@@ -1,0 +1,97 @@
+"""Ablation: Aggregated Noise Sampling (paper Section 5.2.2, Figure 8).
+
+Without ANS, catching a row up after ``n`` deferred iterations costs ``n``
+Gaussian draws; with ANS it costs one.  This benchmark measures the
+catch-up kernel directly as the delay grows, showing exact-mode cost
+scaling linearly while ANS stays flat — the gap that turns LazyDP from
+151x-slower-than-SGD into 2.2x (Figure 10).
+"""
+
+import numpy as np
+
+from repro.bench.reporting import format_table
+from repro.lazydp import ANSEngine
+from repro.rng import NoiseStream
+
+from conftest import emit_report
+
+ROWS = 4096
+DIM = 64
+
+
+def _catchup(engine: ANSEngine, delay: int):
+    rows = np.arange(ROWS, dtype=np.int64)
+    delays = np.full(ROWS, delay, dtype=np.int64)
+    return engine.catchup_noise(0, rows, delays, delay, DIM, std=0.01)
+
+
+def test_ablation_ans_delay64(benchmark):
+    engine = ANSEngine(NoiseStream(0), enabled=True)
+    benchmark(_catchup, engine, 64)
+
+
+def test_ablation_exact_delay8(benchmark):
+    engine = ANSEngine(NoiseStream(0), enabled=False)
+    benchmark.pedantic(_catchup, args=(engine, 8), rounds=3, iterations=1)
+
+
+def test_ablation_exact_delay64(benchmark):
+    engine = ANSEngine(NoiseStream(0), enabled=False)
+    benchmark.pedantic(_catchup, args=(engine, 64), rounds=3, iterations=1)
+
+
+def test_ablation_ans_scaling_report(benchmark):
+    import time
+
+    delays = (1, 8, 64)
+
+    def measure():
+        results = []
+        for delay in delays:
+            ans = ANSEngine(NoiseStream(1), enabled=True)
+            exact = ANSEngine(NoiseStream(1), enabled=False)
+            start = time.perf_counter()
+            _catchup(ans, delay)
+            ans_s = time.perf_counter() - start
+            start = time.perf_counter()
+            _catchup(exact, delay)
+            exact_s = time.perf_counter() - start
+            results.append((delay, ans_s, exact_s))
+        return results
+
+    results = benchmark.pedantic(measure, rounds=2, iterations=1)
+    rows = [
+        [delay, ans_s * 1e3, exact_s * 1e3, exact_s / ans_s]
+        for delay, ans_s, exact_s in results
+    ]
+    emit_report(
+        "ablation_ans",
+        format_table(
+            ["deferred iterations", "ANS ms", "exact-sum ms", "exact/ANS"],
+            rows,
+            title="Ablation: aggregated noise sampling (catch-up cost, "
+                  f"{ROWS} rows x {DIM} dims)",
+        ),
+    )
+    # Exact-mode cost must grow with delay; ANS must not.
+    assert results[-1][2] > 10 * results[0][2]
+    assert results[-1][1] < 3 * results[0][1]
+
+
+def test_ablation_ans_statistical_price_is_zero(benchmark):
+    """ANS is not an approximation: the aggregated draw has exactly the
+    deferred sum's distribution (Theorem 5.1).  Verify moments at scale
+    while benchmarking the two kernels side by side."""
+
+    def run():
+        delay = 16
+        ans = ANSEngine(NoiseStream(3), enabled=True)
+        exact = ANSEngine(NoiseStream(3), enabled=False)
+        return _catchup(ans, delay), _catchup(exact, delay)
+
+    aggregated, summed = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert abs(aggregated.std() - summed.std()) / summed.std() < 0.05
+    # Both means are ~0 with std 0.01*sqrt(16) over ROWS*DIM samples.
+    standard_error = 0.01 * np.sqrt(16) / np.sqrt(ROWS * DIM)
+    assert abs(aggregated.mean()) < 6 * standard_error
+    assert abs(summed.mean()) < 6 * standard_error

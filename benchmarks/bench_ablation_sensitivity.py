@@ -1,0 +1,46 @@
+"""Ablation: robustness of the headline result to calibration constants.
+
+The performance model contains fitted software-overhead constants
+(DESIGN.md).  This benchmark perturbs each by +/-50% and re-derives
+LazyDP's speedup over DP-SGD(F): the orders-of-magnitude conclusion must
+come from the roofline physics, not from the fitted numbers.
+"""
+
+from repro.bench.reporting import format_table
+from repro.perfmodel.sensitivity import (
+    conclusions_hold,
+    headline_speedup,
+    sensitivity_sweep,
+)
+
+from conftest import emit_report
+
+
+def test_ablation_sensitivity_sweep(benchmark):
+    rows = benchmark.pedantic(
+        lambda: sensitivity_sweep(factors=(0.5, 1.5)), rounds=1, iterations=1
+    )
+    table_rows = [
+        [field, factor, speedup] for field, factor, speedup in rows
+    ]
+    emit_report(
+        "ablation_sensitivity",
+        format_table(
+            ["calibrated constant", "x factor", "LazyDP speedup"],
+            table_rows,
+            title="Ablation: headline speedup under calibration "
+                  "perturbations (paper: 119x)",
+        ),
+    )
+    assert conclusions_hold(rows, minimum_speedup=30.0)
+    speedups = [speedup for _, _, speedup in rows]
+    # The conclusion is stable: even the worst perturbation keeps the
+    # speedup within ~2x of the baseline.
+    baseline = rows[0][2]
+    assert min(speedups) > baseline / 2.5
+    assert max(speedups) < baseline * 2.5
+
+
+def test_ablation_headline_evaluation(benchmark):
+    speedup = benchmark(headline_speedup)
+    assert 90 < speedup < 170

@@ -1,0 +1,59 @@
+"""Figure 3: SGD vs DP-SGD(B/R/F) training time across table sizes.
+
+Measured mode benchmarks one full training step of each eager DP-SGD
+variant at a scaled geometry (the dense noisy update already dominates);
+model mode regenerates the paper's 96 MB - 96 GB sweep.
+"""
+
+from repro import configs
+from repro.bench.experiments import figure3
+
+from conftest import SteppableRun, emit_report
+
+
+def test_fig3_report_model_scale(benchmark):
+    result = benchmark.pedantic(figure3, rounds=1, iterations=1)
+    emit_report("fig03_training_breakdown", result.table())
+    # Structure assertions straight from the paper's text.
+    b96mb, r96mb, f96mb = (result.reproduced[a][0]
+                           for a in ("dpsgd_b", "dpsgd_r", "dpsgd_f"))
+    assert b96mb > r96mb > f96mb
+    spread_96gb = (result.reproduced["dpsgd_b"][-1]
+                   / result.reproduced["dpsgd_f"][-1])
+    assert spread_96gb < 1.05
+
+
+def test_fig3_step_sgd(benchmark, bench_config):
+    run = SteppableRun("sgd", bench_config)
+    benchmark(run.step)
+
+
+def test_fig3_step_dpsgd_b(benchmark, tiny_bench_config):
+    # DP-SGD(B) materialises per-example dense grads; keep it small.
+    run = SteppableRun("dpsgd_b", tiny_bench_config, batch=64)
+    benchmark.pedantic(run.step, rounds=3, iterations=1)
+
+
+def test_fig3_step_dpsgd_r(benchmark, tiny_bench_config):
+    run = SteppableRun("dpsgd_r", tiny_bench_config, batch=64)
+    benchmark.pedantic(run.step, rounds=3, iterations=1)
+
+
+def test_fig3_step_dpsgd_f(benchmark, tiny_bench_config):
+    run = SteppableRun("dpsgd_f", tiny_bench_config, batch=64)
+    benchmark.pedantic(run.step, rounds=3, iterations=1)
+
+
+def test_fig3_table_size_scaling_measured(benchmark):
+    """One DP-SGD(F) step at 4x the rows takes ~4x the model-update time."""
+    small = SteppableRun("dpsgd_f", configs.small_dlrm(rows=5000), batch=64)
+    large = SteppableRun("dpsgd_f", configs.small_dlrm(rows=20000), batch=64)
+
+    def both():
+        small.step()
+        large.step()
+
+    benchmark.pedantic(both, rounds=2, iterations=1)
+    small_update = small.trainer.timer.model_update_total()
+    large_update = large.trainer.timer.model_update_total()
+    assert large_update > 2.0 * small_update

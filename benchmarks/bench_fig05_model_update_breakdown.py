@@ -1,0 +1,61 @@
+"""Figure 5: latency breakdown of DP-SGD's model-update stage.
+
+Measured mode times the three kernels separately on a dense table —
+noise sampling (compute-bound), noisy gradient generation, and the noisy
+gradient update (memory-bound) — and checks their latency ordering.
+"""
+
+import numpy as np
+
+from repro.bench.experiments import figure5
+from repro.rng import NoiseStream
+
+from conftest import emit_report
+
+ROWS, DIM = 40000, 64
+
+
+def test_fig5_report_model_scale(benchmark):
+    result = benchmark.pedantic(figure5, rounds=1, iterations=1)
+    emit_report("fig05_model_update_breakdown", result.table())
+    shares = result.reproduced["noise+update share"]
+    # Share of the two bottleneck stages grows with table size -> 83%.
+    assert all(b >= a for a, b in zip(shares, shares[1:]))
+    assert shares[-1] > 0.8
+
+
+def test_fig5_noise_sampling_kernel(benchmark):
+    stream = NoiseStream(0)
+    rows = np.arange(ROWS, dtype=np.int64)
+    state = {"iteration": 0}
+
+    def sample():
+        state["iteration"] += 1
+        return stream.row_noise(0, rows, state["iteration"], DIM, std=0.01)
+
+    benchmark(sample)
+
+
+def test_fig5_noisy_grad_generation_kernel(benchmark):
+    rng = np.random.default_rng(0)
+    noise = rng.normal(size=(ROWS, DIM))
+    sparse_rows = rng.choice(ROWS, size=2048, replace=False)
+    sparse_values = rng.normal(size=(2048, DIM))
+
+    def generate():
+        noisy = noise.copy()
+        noisy[sparse_rows] += sparse_values
+        return noisy
+
+    benchmark(generate)
+
+
+def test_fig5_noisy_grad_update_kernel(benchmark):
+    rng = np.random.default_rng(1)
+    table = rng.normal(size=(ROWS, DIM))
+    noisy_grad = rng.normal(size=(ROWS, DIM))
+
+    def update():
+        table[...] -= 0.05 * noisy_grad
+
+    benchmark(update)

@@ -1,0 +1,82 @@
+"""Figure 6: effective throughput vs per-element op count (roofline).
+
+Measured mode reproduces the paper's microbenchmark in numpy: load a
+vector, apply N arithmetic operations, store the result.  Throughput must
+rise with N in the memory-bound region and flatten once compute-bound.
+Model mode evaluates the calibrated roofline at the paper's two operating
+points (N=2 and N=101).
+"""
+
+import numpy as np
+
+from repro.bench.experiments import figure6
+from repro.bench.reporting import format_table
+
+from conftest import emit_report
+
+ELEMENTS = 4_000_000
+
+
+def _micro_kernel(buffer: np.ndarray, n_ops: int) -> np.ndarray:
+    """N dependent multiply-adds per element between one load and store."""
+    out = buffer * 1.0000001 + 0.5
+    for _ in range(n_ops - 1):
+        out = out * 1.0000001 + 0.5
+    return out
+
+
+def test_fig6_report_model_scale(benchmark):
+    result = benchmark.pedantic(figure6, rounds=1, iterations=1)
+    sweep_rows = [
+        [int(n), g]
+        for n, g in zip(result.extras["sweep_n"][::8],
+                        result.extras["sweep_gflops"][::8])
+    ]
+    text = result.table() + "\n\n" + format_table(
+        ["N", "modelled GFLOPS"], sweep_rows,
+        title="Roofline sweep (every 8th point)",
+    )
+    emit_report("fig06_avx_roofline", text)
+    reproduced = result.reproduced["roofline"]
+    assert reproduced[1] > 10 * reproduced[0]  # compute >> memory point
+
+
+def test_fig6_micro_n2(benchmark):
+    buffer = np.random.default_rng(0).random(ELEMENTS)
+    benchmark(_micro_kernel, buffer, 2)
+
+
+def test_fig6_micro_n16(benchmark):
+    buffer = np.random.default_rng(0).random(ELEMENTS)
+    benchmark(_micro_kernel, buffer, 16)
+
+
+def test_fig6_micro_n101(benchmark):
+    buffer = np.random.default_rng(0).random(ELEMENTS)
+    benchmark.pedantic(_micro_kernel, args=(buffer, 101), rounds=3,
+                       iterations=1)
+
+
+def test_fig6_throughput_saturates_measured(benchmark):
+    """Effective GFLOP/s grows sublinearly with N: the roofline knee.
+
+    At N=2 the kernel is near memory-bound; by N=64 each additional op
+    costs full compute time, so (time at 64) >> (time at 2) while
+    GFLOP/s(64) < 32x GFLOP/s(2).
+    """
+    import time
+
+    buffer = np.random.default_rng(1).random(ELEMENTS)
+
+    def run_all():
+        timings = {}
+        for n_ops in (2, 64):
+            start = time.perf_counter()
+            _micro_kernel(buffer, n_ops)
+            timings[n_ops] = time.perf_counter() - start
+        return timings
+
+    timings = benchmark.pedantic(run_all, rounds=2, iterations=1)
+    gflops_2 = 2 * ELEMENTS / timings[2] / 1e9
+    gflops_64 = 64 * ELEMENTS / timings[64] / 1e9
+    assert gflops_64 < 32 * gflops_2  # sublinear: the roofline bends

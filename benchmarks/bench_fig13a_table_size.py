@@ -1,0 +1,61 @@
+"""Figure 13(a): sensitivity to embedding-table size, incl. the OOM point.
+
+Measured mode steps DP-SGD(F) and LazyDP at two table sizes: DP-SGD's
+cost must scale with the table while LazyDP's stays flat.  Model mode
+regenerates the 24-192 GB sweep with the 192 GB OOM.
+"""
+
+from repro import configs
+from repro.bench.experiments import figure13a
+
+from conftest import SteppableRun, emit_report
+
+
+def test_fig13a_report_model_scale(benchmark):
+    result = benchmark.pedantic(figure13a, rounds=1, iterations=1)
+    emit_report("fig13a_table_size", result.table())
+    series = result.reproduced["dpsgd_f"]
+    assert series[-1] == float("inf")           # 192 GB OOM
+    assert series[1] / series[0] > 1.5          # scales with capacity
+    lazy = result.reproduced["lazydp"]
+    assert max(lazy[:3]) / min(lazy[:3]) < 1.1  # flat
+
+
+def test_fig13a_dpsgd_scales_measured(benchmark):
+    small = SteppableRun("dpsgd_f", configs.small_dlrm(rows=5000), batch=64)
+    large = SteppableRun("dpsgd_f", configs.small_dlrm(rows=20000), batch=64)
+    import time
+
+    def run_both():
+        start = time.perf_counter()
+        small.step()
+        small_s = time.perf_counter() - start
+        start = time.perf_counter()
+        large.step()
+        return small_s, time.perf_counter() - start
+
+    small_s, large_s = benchmark.pedantic(run_both, rounds=3, iterations=1)
+    assert large_s > 1.8 * small_s
+
+
+def test_fig13a_lazydp_flat_measured(benchmark):
+    small = SteppableRun("lazydp", configs.small_dlrm(rows=5000), batch=64)
+    large = SteppableRun("lazydp", configs.small_dlrm(rows=20000), batch=64)
+    import time
+
+    def run_both():
+        start = time.perf_counter()
+        small.step()
+        small_s = time.perf_counter() - start
+        start = time.perf_counter()
+        large.step()
+        return small_s, time.perf_counter() - start
+
+    # LazyDP's per-step cost must not scale with the table (no flush here;
+    # the flush is a one-time end-of-training cost).  4x the rows should
+    # cost nowhere near 4x the time; allow headroom for timer noise.
+    results = [benchmark.pedantic(run_both, rounds=1, iterations=1)
+               if i == 0 else run_both() for i in range(4)]
+    small_avg = sum(r[0] for r in results[1:]) / 3
+    large_avg = sum(r[1] for r in results[1:]) / 3
+    assert large_avg < 2.5 * small_avg

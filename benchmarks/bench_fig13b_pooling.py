@@ -1,0 +1,59 @@
+"""Figure 13(b): sensitivity to the embedding pooling factor.
+
+SGD and LazyDP scale with lookups per table; DP-SGD(F) barely moves
+because the dense update dwarfs the gather work.
+"""
+
+from repro import configs
+from repro.bench.experiments import figure13b
+
+from conftest import SteppableRun, emit_report
+
+
+def _config(lookups, rows=12000):
+    base = configs.small_dlrm(rows=rows)
+    from dataclasses import replace
+    return replace(base, lookups_per_table=lookups,
+                   name=f"{base.name}-L{lookups}")
+
+
+def test_fig13b_report_model_scale(benchmark):
+    result = benchmark.pedantic(figure13b, rounds=1, iterations=1)
+    emit_report("fig13b_pooling", result.table())
+    sgd = result.reproduced["sgd"]
+    lazy = result.reproduced["lazydp"]
+    dpsgd = result.reproduced["dpsgd_f"]
+    assert sgd[-1] > 4 * sgd[0]
+    assert lazy[-1] > 4 * lazy[0]
+    assert dpsgd[-1] < 1.05 * dpsgd[0]
+    # Paper: the LazyDP/DP-SGD gap narrows but stays >= ~16x at pooling 30.
+    assert dpsgd[-1] / lazy[-1] > 10
+
+
+def test_fig13b_step_lazydp_pool1(benchmark):
+    run = SteppableRun("lazydp", _config(1), batch=64)
+    benchmark(run.step)
+
+
+def test_fig13b_step_lazydp_pool8(benchmark):
+    run = SteppableRun("lazydp", _config(8), batch=64)
+    benchmark(run.step)
+
+
+def test_fig13b_dpsgd_insensitive_measured(benchmark):
+    import time
+
+    pool1 = SteppableRun("dpsgd_f", _config(1), batch=64)
+    pool8 = SteppableRun("dpsgd_f", _config(8), batch=64)
+
+    def run_both():
+        start = time.perf_counter()
+        pool1.step()
+        one = time.perf_counter() - start
+        start = time.perf_counter()
+        pool8.step()
+        return one, time.perf_counter() - start
+
+    one, eight = benchmark.pedantic(run_both, rounds=3, iterations=1)
+    # Dense noisy update dominates: 8x the lookups << 8x the time.
+    assert eight < 3.0 * one

@@ -1,0 +1,63 @@
+"""Figure 13(c): alternative DLRM configurations RMC1-RMC3.
+
+Measured mode steps LazyDP and DP-SGD(F) on scaled-down versions of each
+RMC geometry; model mode regenerates the paper-scale comparison.
+"""
+
+from dataclasses import replace
+
+from repro import configs
+from repro.bench.experiments import figure13c
+
+from conftest import SteppableRun, emit_report
+
+
+def _scaled(config, rows=6000):
+    return replace(
+        config,
+        table_rows=(rows,) * config.num_tables,
+        name=f"{config.name}-scaled",
+    )
+
+
+def test_fig13c_report_model_scale(benchmark):
+    result = benchmark.pedantic(figure13c, rounds=1, iterations=1)
+    emit_report("fig13c_model_configs", result.table())
+    dpsgd = dict(zip(result.labels, result.reproduced["dpsgd_f"]))
+    # Paper ordering: RMC3 slowest (huge tables), RMC2 mildest (pooling
+    # inflates its SGD baseline).
+    assert dpsgd["rmc3"] > dpsgd["rmc1"] > dpsgd["rmc2"]
+
+
+def test_fig13c_step_rmc1_lazydp(benchmark):
+    run = SteppableRun("lazydp", _scaled(configs.rmc1()), batch=64)
+    benchmark(run.step)
+
+
+def test_fig13c_step_rmc2_lazydp(benchmark):
+    run = SteppableRun("lazydp", _scaled(configs.rmc2(), rows=3000), batch=32)
+    benchmark.pedantic(run.step, rounds=3, iterations=1)
+
+
+def test_fig13c_step_rmc3_lazydp(benchmark):
+    run = SteppableRun("lazydp", _scaled(configs.rmc3()), batch=64)
+    benchmark(run.step)
+
+
+def test_fig13c_lazydp_beats_dpsgd_measured(benchmark):
+    import time
+
+    config = _scaled(configs.rmc1(), rows=12000)
+    lazy = SteppableRun("lazydp", config, batch=64)
+    eager = SteppableRun("dpsgd_f", config, batch=64)
+
+    def run_both():
+        start = time.perf_counter()
+        lazy.step()
+        lazy_s = time.perf_counter() - start
+        start = time.perf_counter()
+        eager.step()
+        return lazy_s, time.perf_counter() - start
+
+    lazy_s, eager_s = benchmark.pedantic(run_both, rounds=3, iterations=1)
+    assert eager_s > 2 * lazy_s

@@ -1,0 +1,80 @@
+"""Beyond the paper: TB-scale projections and break-even analysis.
+
+The paper ends by arguing its bottlenecks "only get worse" for future
+models.  This bench quantifies that with the calibrated model: the
+DP-SGD tax from 24 GB to 2 TB, the OOM walls on the paper's host, and
+the break-even table size below which eager DP-SGD would actually win.
+"""
+
+from repro.bench.reporting import format_table
+from repro.perfmodel.scaling import (
+    break_even_model_bytes,
+    oom_capacity_bytes,
+    project_scaling,
+)
+
+from conftest import emit_report
+
+
+def test_scaling_projection_report(benchmark):
+    points = benchmark.pedantic(project_scaling, rounds=1, iterations=1)
+    by_size: dict = {}
+    for point in points:
+        by_size.setdefault(point.model_bytes, {})[point.algorithm] = point
+    rows = []
+    for size, algorithms in sorted(by_size.items()):
+        eager = algorithms["dpsgd_f"]
+        lazy = algorithms["lazydp"]
+        rows.append([
+            f"{size/1e9:g} GB",
+            eager.seconds_per_iteration,
+            lazy.seconds_per_iteration,
+            lazy.speedup_vs_dpsgd,
+        ])
+    emit_report(
+        "scaling_projection",
+        format_table(
+            ["model size", "DP-SGD(F) s/iter", "LazyDP s/iter", "speedup"],
+            rows,
+            title="Beyond the paper: projected scaling on a 4 TB host",
+        ),
+    )
+    finite = [r[3] for r in rows if r[3] is not None]
+    assert all(b > a for a, b in zip(finite, finite[1:]))
+
+
+def test_scaling_oom_walls(benchmark):
+    def walls():
+        return {
+            "dpsgd_f": oom_capacity_bytes("dpsgd_f"),
+            "lazydp": oom_capacity_bytes("lazydp"),
+        }
+
+    result = benchmark.pedantic(walls, rounds=1, iterations=1)
+    emit_report(
+        "scaling_oom_walls",
+        format_table(
+            ["algorithm", "largest trainable model (GB)"],
+            [[name, bytes_ / 1e9] for name, bytes_ in result.items()],
+            title="OOM walls on the paper's 256 GB host",
+        ),
+    )
+    assert result["dpsgd_f"] < 192e9
+    assert result["lazydp"] > 230e9
+
+
+def test_scaling_break_even(benchmark):
+    crossover = benchmark.pedantic(
+        break_even_model_bytes, rounds=1, iterations=1
+    )
+    emit_report(
+        "scaling_break_even",
+        format_table(
+            ["quantity", "value"],
+            [["break-even table size", f"{crossover/1e9:.2f} GB"],
+             ["paper default", "96 GB"],
+             ["ratio", f"{96e9/crossover:.0f}x"]],
+            title="Break-even: below this size, eager DP-SGD beats LazyDP",
+        ),
+    )
+    assert crossover < 96e9 / 10

@@ -1,0 +1,75 @@
+"""Project the paper's full-scale results with the calibrated perf model.
+
+The 96 GB MLPerf DLRM does not fit on a laptop, but the performance model
+(calibrated once against the paper's measured kernel characteristics,
+Figure 6) regenerates every evaluation figure at paper scale.  This
+script prints the headline numbers and the stage breakdowns behind them.
+
+Run:  python examples/paper_scale_projection.py
+"""
+
+from repro import configs
+from repro.bench.experiments import figure10, figure12, figure13a
+from repro.bench.reporting import format_table
+from repro.perfmodel import (
+    iteration_breakdown,
+    iteration_energy_joules,
+    paper_system,
+)
+
+
+def stage_table(algorithm: str, config, batch: int = 2048) -> str:
+    breakdown = iteration_breakdown(algorithm, config, batch)
+    rows = [
+        [stage, seconds * 1e3, seconds / breakdown.total]
+        for stage, seconds in breakdown.stages.items()
+    ]
+    rows.append(["TOTAL", breakdown.total * 1e3, 1.0])
+    return format_table(
+        ["stage", "ms", "fraction"], rows,
+        title=f"{algorithm} @ {config.name}, batch {batch}",
+    )
+
+
+def main() -> None:
+    hw = paper_system()
+    config = configs.mlperf_dlrm()
+
+    print("=" * 72)
+    print("Headline (paper Section 7.1: 119x average speedup, 85-155x)")
+    print("=" * 72)
+    result = figure10()
+    print(result.table())
+    print()
+
+    print("Where DP-SGD's time goes at 96 GB:")
+    print(stage_table("dpsgd_f", config))
+    print()
+    print("Where LazyDP's time goes at 96 GB:")
+    print(stage_table("lazydp", config))
+    print()
+
+    print("=" * 72)
+    print("Scaling out: table-size sensitivity (paper Figure 13a)")
+    print("=" * 72)
+    print(figure13a().table())
+    print()
+
+    print("=" * 72)
+    print("Energy (paper Figure 12: ~155x saving)")
+    print("=" * 72)
+    energy = figure12()
+    print(energy.table())
+    print()
+
+    lazy = iteration_breakdown("lazydp", config, 2048)
+    eager = iteration_breakdown("dpsgd_f", config, 2048)
+    print(f"modelled speedup   : {eager.total / lazy.total:.0f}x "
+          f"(paper: 119x average)")
+    print(f"modelled energy win: "
+          f"{iteration_energy_joules(eager, hw) / iteration_energy_joules(lazy, hw):.0f}x "
+          f"(paper: 155x average)")
+
+
+if __name__ == "__main__":
+    main()

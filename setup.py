@@ -1,0 +1,10 @@
+"""Setup shim.
+
+All metadata lives in pyproject.toml; this file exists so the package can
+be installed editable (``pip install -e . --no-use-pep517``) in offline
+environments that lack the ``wheel`` package required by PEP 517 builds.
+"""
+
+from setuptools import setup
+
+setup()

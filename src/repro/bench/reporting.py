@@ -1,0 +1,137 @@
+"""ASCII reporting helpers: the benches print paper-vs-reproduced tables."""
+
+from __future__ import annotations
+
+import math
+
+
+def format_value(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, str):
+        return value
+    if isinstance(value, float) and math.isinf(value):
+        return "OOM"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 100:
+            return f"{value:.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.2f}"
+    return str(value)
+
+
+def format_table(headers: list, rows: list, title: str | None = None) -> str:
+    """Render a list-of-lists as a fixed-width ASCII table."""
+    cells = [[format_value(c) for c in row] for row in rows]
+    header_cells = [str(h) for h in headers]
+    widths = [len(h) for h in header_cells]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def render_row(row):
+        return " | ".join(cell.rjust(widths[i]) for i, cell in enumerate(row))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(render_row(header_cells))
+    lines.append("-+-".join("-" * w for w in widths))
+    lines.extend(render_row(row) for row in cells)
+    return "\n".join(lines)
+
+
+def comparison_rows(labels, paper_series: dict, ours_series: dict) -> list:
+    """Interleave paper and reproduced series into table rows.
+
+    ``paper_series`` / ``ours_series`` map a series name (e.g. algorithm)
+    to a sequence aligned with ``labels``.
+    """
+    rows = []
+    for name in ours_series:
+        ours = ours_series[name]
+        paper = paper_series.get(name)
+        for i, label in enumerate(labels):
+            paper_value = paper[i] if paper is not None else None
+            rows.append([name, label, paper_value, ours[i]])
+    return rows
+
+
+def comparison_table(title: str, labels, paper_series: dict,
+                     ours_series: dict, label_name: str = "point") -> str:
+    return format_table(
+        ["series", label_name, "paper", "reproduced"],
+        comparison_rows(labels, paper_series, ours_series),
+        title=title,
+    )
+
+
+def geometric_mean(values) -> float:
+    values = [v for v in values if not math.isinf(v)]
+    if not values:
+        return float("nan")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def bar_chart(labels, values, width: int = 48, log_scale: bool = False,
+              title: str | None = None) -> str:
+    """Horizontal ASCII bar chart; the terminal stand-in for the paper's
+    figures.  ``log_scale`` keeps 260x-range series legible (OOM/inf
+    values render as a marker instead of a bar).
+    """
+    labels = [str(label) for label in labels]
+    values = list(values)
+    if len(labels) != len(values):
+        raise ValueError("labels and values must align")
+    if width < 4:
+        raise ValueError("width must be at least 4")
+    finite = [v for v in values if v is not None and not math.isinf(v)]
+    if not finite:
+        raise ValueError("need at least one finite value")
+    peak = max(finite)
+    if log_scale:
+        floor = min(v for v in finite if v > 0) / 2.0
+
+        def bar_length(value):
+            if value <= floor:
+                return 1
+            return max(1, int(round(
+                width * math.log(value / floor) / math.log(peak / floor)
+            )))
+    else:
+        def bar_length(value):
+            if peak == 0:
+                return 0
+            return int(round(width * value / peak))
+
+    label_width = max(len(label) for label in labels)
+    lines = []
+    if title:
+        lines.append(title)
+    for label, value in zip(labels, values):
+        if value is None:
+            lines.append(f"{label.rjust(label_width)} | (missing)")
+        elif math.isinf(value):
+            lines.append(f"{label.rjust(label_width)} |{'!' * 3} OOM")
+        else:
+            bar = "#" * bar_length(value)
+            lines.append(
+                f"{label.rjust(label_width)} |{bar} {format_value(value)}"
+            )
+    return "\n".join(lines)
+
+
+def series_chart(labels, series: dict, width: int = 48,
+                 log_scale: bool = True, title: str | None = None) -> str:
+    """One bar group per series entry, flattened with series prefixes."""
+    flat_labels = []
+    flat_values = []
+    for name, values in series.items():
+        for label, value in zip(labels, values):
+            flat_labels.append(f"{name}@{label}")
+            flat_values.append(value)
+    return bar_chart(flat_labels, flat_values, width=width,
+                     log_scale=log_scale, title=title)

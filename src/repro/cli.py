@@ -1,0 +1,210 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``train``    train a scaled DLRM with any of the seven algorithms and
+             print throughput, loss and the privacy budget spent.
+``figures``  print the paper-vs-reproduced table for one figure (or all).
+``report``   write the full EXPERIMENTS-style report (optionally with the
+             measured-mode sweep).
+``audit``    train EANA and LazyDP on the same trace and run the
+             untouched-row attack against both final models.
+``score``    evaluate the reproduction scoreboard: every tracked figure
+             point vs the paper, with pass/fail per tolerance band.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from . import configs
+from .bench.experiments import ALL_FIGURES, make_trainer, measured_series
+from .bench.report import build_report
+from .bench.reporting import format_table
+from .data import DataLoader, SyntheticClickDataset, paper_skew_spec
+from .nn import DLRM
+from .perfmodel import ALGORITHMS
+from .privacy import audit_untouched_rows
+from .train import DPConfig
+
+
+def _add_train_parser(subparsers) -> None:
+    parser = subparsers.add_parser(
+        "train", help="train a scaled DLRM with one algorithm"
+    )
+    parser.add_argument("--algorithm", choices=ALGORITHMS, default="lazydp")
+    parser.add_argument("--rows", type=int, default=8192,
+                        help="rows per embedding table")
+    parser.add_argument("--batch", type=int, default=256)
+    parser.add_argument("--iterations", type=int, default=10)
+    parser.add_argument("--noise-multiplier", type=float, default=1.1)
+    parser.add_argument("--max-grad-norm", type=float, default=1.0)
+    parser.add_argument("--learning-rate", type=float, default=0.05)
+    parser.add_argument("--delta", type=float, default=1e-5)
+    parser.add_argument("--skew", choices=("random", "low", "medium", "high"),
+                        default="random")
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _run_train(args) -> int:
+    config = configs.small_dlrm(rows=args.rows)
+    skew = (None if args.skew == "random"
+            else paper_skew_spec(args.skew, args.rows))
+    model = DLRM(config, seed=args.seed)
+    dataset = SyntheticClickDataset(config, seed=args.seed + 1, skew=skew)
+    loader = DataLoader(dataset, batch_size=args.batch,
+                        num_batches=args.iterations, seed=args.seed + 2)
+    dp = DPConfig(
+        noise_multiplier=args.noise_multiplier,
+        max_grad_norm=args.max_grad_norm,
+        learning_rate=args.learning_rate,
+        delta=args.delta,
+    )
+    trainer = make_trainer(args.algorithm, model, dp,
+                           noise_seed=args.seed + 3)
+    result = trainer.fit(loader)
+    per_iteration = result.wall_time / max(result.iterations, 1)
+    print(f"algorithm        : {result.algorithm}")
+    print(f"iterations       : {result.iterations}")
+    print(f"wall time        : {result.wall_time:.3f}s "
+          f"({per_iteration * 1e3:.1f} ms/iter)")
+    print(f"loss             : {result.mean_losses[0]:.4f} -> "
+          f"{result.final_loss:.4f}")
+    if result.epsilon is not None:
+        print(f"privacy          : epsilon = {result.epsilon:.3f} "
+              f"at delta = {args.delta:g}")
+    stage_rows = sorted(
+        result.stage_times.items(), key=lambda item: -item[1]
+    )
+    print(format_table(
+        ["stage", "seconds"], [[s, t] for s, t in stage_rows],
+        title="stage breakdown",
+    ))
+    return 0
+
+
+def _run_figures(args) -> int:
+    names = list(ALL_FIGURES) if args.which == "all" else [args.which]
+    for name in names:
+        result = ALL_FIGURES[name]()
+        print(result.table())
+        print()
+    return 0
+
+
+def _run_report(args) -> int:
+    report = build_report(include_measured=args.measured)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(report)
+        print(f"wrote {args.output}")
+    else:
+        sys.stdout.write(report)
+    return 0
+
+
+def _run_audit(args) -> int:
+    config = configs.small_dlrm(rows=args.rows)
+    rows_for_table = []
+    final_tables = {}
+    reference = DLRM(config, seed=11)
+    for algorithm in ("eana", "lazydp"):
+        model = DLRM(config, seed=11)
+        dataset = SyntheticClickDataset(config, seed=12)
+        loader = DataLoader(dataset, batch_size=args.batch,
+                            num_batches=args.iterations, seed=13)
+        trainer = make_trainer(algorithm, model, DPConfig(), noise_seed=14)
+        trainer.fit(loader)
+        final_tables[algorithm] = model.embeddings[0].table.data
+        if not rows_for_table:
+            rows_for_table = [
+                batch.accessed_rows(0) for batch in loader
+            ]
+    accessed = np.unique(np.concatenate(rows_for_table))
+    table_rows = []
+    for algorithm, final in final_tables.items():
+        outcome = audit_untouched_rows(
+            reference.embeddings[0].table.data, final, accessed
+        )
+        table_rows.append([
+            algorithm, outcome.flagged_untouched, outcome.precision,
+            outcome.recall, "LEAKS" if outcome.leaks else "protected",
+        ])
+    print(format_table(
+        ["algorithm", "rows flagged", "precision", "recall", "verdict"],
+        table_rows,
+        title="Untouched-row attack against the final model (table 0)",
+    ))
+    return 0
+
+
+def _run_score(args) -> int:
+    from .bench.scoreboard import evaluate_scoreboard, failures
+
+    rows = evaluate_scoreboard()
+    table_rows = [
+        [row.figure, row.series, row.label, row.paper, row.reproduced,
+         f"{row.relative_error:.1%}", "ok" if row.passed else "FAIL"]
+        for row in rows
+    ]
+    print(format_table(
+        ["figure", "series", "point", "paper", "reproduced", "error",
+         "status"],
+        table_rows,
+        title="Reproduction scoreboard",
+    ))
+    failed = failures(rows)
+    print(f"\n{len(rows) - len(failed)}/{len(rows)} tracked points within "
+          "tolerance")
+    return 1 if failed else 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    _add_train_parser(subparsers)
+
+    figures_parser = subparsers.add_parser(
+        "figures", help="print paper-vs-reproduced tables"
+    )
+    figures_parser.add_argument(
+        "--which", choices=list(ALL_FIGURES) + ["all"], default="all"
+    )
+
+    report_parser = subparsers.add_parser(
+        "report", help="write the full reproduction report"
+    )
+    report_parser.add_argument("--output")
+    report_parser.add_argument("--measured", action="store_true")
+
+    audit_parser = subparsers.add_parser(
+        "audit", help="run the untouched-row attack on EANA vs LazyDP"
+    )
+    audit_parser.add_argument("--rows", type=int, default=4096)
+    audit_parser.add_argument("--batch", type=int, default=128)
+    audit_parser.add_argument("--iterations", type=int, default=6)
+
+    subparsers.add_parser(
+        "score", help="evaluate the reproduction scoreboard"
+    )
+
+    args = parser.parse_args(argv)
+    handlers = {
+        "train": _run_train,
+        "figures": _run_figures,
+        "report": _run_report,
+        "audit": _run_audit,
+        "score": _run_score,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,57 @@
+"""The mini-batch container shared by data loaders, models and trainers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class Batch:
+    """One training mini-batch for a DLRM-style model.
+
+    Attributes
+    ----------
+    dense:
+        ``(batch, dense_features)`` float array of continuous features.
+    sparse:
+        ``(batch, num_tables, lookups)`` int64 array of embedding indices —
+        the "sparse feature input" of paper Figure 1.  ``lookups`` is the
+        pooling factor the paper sweeps in Figure 13(b).
+    labels:
+        ``(batch,)`` float array of {0, 1} click labels.
+    """
+
+    dense: np.ndarray
+    sparse: np.ndarray
+    labels: np.ndarray
+
+    def __post_init__(self):
+        self.dense = np.asarray(self.dense, dtype=np.float64)
+        self.sparse = np.asarray(self.sparse, dtype=np.int64)
+        self.labels = np.asarray(self.labels, dtype=np.float64)
+        if self.sparse.ndim != 3:
+            raise ValueError("sparse must be (batch, num_tables, lookups)")
+        if self.dense.ndim != 2:
+            raise ValueError("dense must be (batch, dense_features)")
+        if not (
+            self.dense.shape[0] == self.sparse.shape[0] == self.labels.shape[0]
+        ):
+            raise ValueError("batch dimension mismatch across fields")
+
+    @property
+    def size(self) -> int:
+        return self.dense.shape[0]
+
+    @property
+    def num_tables(self) -> int:
+        return self.sparse.shape[1]
+
+    @property
+    def lookups(self) -> int:
+        return self.sparse.shape[2]
+
+    def accessed_rows(self, table: int) -> np.ndarray:
+        """Unique rows of ``table`` this batch will gather (sorted)."""
+        return np.unique(self.sparse[:, table, :])

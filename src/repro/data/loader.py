@@ -1,0 +1,152 @@
+"""Mini-batch sampling and the LazyDP lookahead queue.
+
+Two samplers are provided:
+
+* ``"fixed"`` — shuffled fixed-size batches, the configuration the paper's
+  throughput study uses (batch is a constant 1024/2048/4096).
+* ``"poisson"`` — Opacus-style Poisson sampling, where each example joins
+  the batch independently with probability ``q = batch_size / num_examples``.
+  This is the sampling the RDP accountant assumes (paper Section 5.3 keeps
+  Opacus' Poisson sampler).
+
+``InputQueue`` is the two-entry structure of Algorithm 1 (lines 3-5) and
+Figure 9(b): LazyDP prefetches exactly one mini-batch of lookahead so it
+knows which rows the *next* iteration will gather.  ``LookaheadLoader``
+packages a loader plus queue into ``(iteration, current, upcoming)`` tuples.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from ..rng.philox import splitmix64
+from .batch import Batch
+from .synthetic import SyntheticClickDataset
+
+
+class DataLoader:
+    """Deterministic sampler over a :class:`SyntheticClickDataset`."""
+
+    def __init__(self, dataset: SyntheticClickDataset, batch_size: int,
+                 num_batches: int, sampling: str = "fixed", seed: int = 0):
+        if sampling not in ("fixed", "poisson"):
+            raise ValueError(f"unknown sampling mode: {sampling}")
+        if batch_size < 1 or num_batches < 1:
+            raise ValueError("batch_size and num_batches must be positive")
+        if batch_size > len(dataset):
+            raise ValueError("batch_size cannot exceed the dataset size")
+        self.dataset = dataset
+        self.batch_size = int(batch_size)
+        self.num_batches = int(num_batches)
+        self.sampling = sampling
+        self.seed = int(seed)
+
+    @property
+    def sample_rate(self) -> float:
+        """The Poisson inclusion probability q used for DP accounting."""
+        return self.batch_size / len(self.dataset)
+
+    def example_ids_for(self, iteration: int) -> np.ndarray:
+        """Deterministic example ids for a given iteration (0-based)."""
+        iteration_seed = int(
+            splitmix64(np.uint64(self.seed) ^ np.uint64(0xB47C * (iteration + 1)))
+        )
+        rng = np.random.default_rng(iteration_seed)
+        population = len(self.dataset)
+        if self.sampling == "fixed":
+            return rng.choice(population, size=self.batch_size, replace=False)
+        mask = rng.random(population) < self.sample_rate
+        ids = np.nonzero(mask)[0]
+        if ids.size == 0:
+            # An empty Poisson batch is valid DP-wise but useless for
+            # training; resample one element to keep the pipeline moving.
+            ids = rng.choice(population, size=1)
+        return ids
+
+    def batch_for(self, iteration: int) -> Batch:
+        return self.dataset.batch(self.example_ids_for(iteration))
+
+    def __iter__(self):
+        for iteration in range(self.num_batches):
+            yield self.batch_for(iteration)
+
+    def __len__(self) -> int:
+        return self.num_batches
+
+
+class InputQueue:
+    """The two-entry mini-batch queue of Algorithm 1 (lines 3-5).
+
+    ``head`` is the batch being trained on; ``tail`` is the prefetched next
+    batch whose sparse indices identify the rows that need their deferred
+    noise applied *this* iteration.
+    """
+
+    def __init__(self, size: int = 2):
+        if size < 2:
+            raise ValueError("LazyDP needs at least one batch of lookahead")
+        self.size = size
+        self._queue: deque = deque()
+
+    def push(self, batch: Batch | None) -> None:
+        if len(self._queue) >= self.size:
+            raise RuntimeError("InputQueue overflow: pop before pushing")
+        self._queue.append(batch)
+
+    def pop(self) -> Batch | None:
+        if not self._queue:
+            raise RuntimeError("InputQueue underflow")
+        return self._queue.popleft()
+
+    def head(self) -> Batch | None:
+        """The current iteration's mini-batch."""
+        if not self._queue:
+            raise RuntimeError("InputQueue is empty")
+        return self._queue[0]
+
+    def tail(self) -> Batch | None:
+        """The next iteration's (prefetched) mini-batch."""
+        if len(self._queue) < 2:
+            raise RuntimeError("InputQueue has no lookahead entry")
+        return self._queue[-1]
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+
+class LookaheadLoader:
+    """Iterate ``(iteration, current, upcoming)`` with one batch of lookahead.
+
+    ``upcoming`` is ``None`` on the final iteration — there is no next batch,
+    so LazyDP has nothing to catch up eagerly and relies on the terminal
+    flush instead.
+    """
+
+    def __init__(self, loader: DataLoader):
+        self.loader = loader
+
+    def __iter__(self):
+        queue = InputQueue(size=2)
+        iterator = iter(self.loader)
+        try:
+            queue.push(next(iterator))  # bootstrap: load the first mini-batch
+        except StopIteration:
+            return
+        iteration = 0
+        while True:
+            try:
+                queue.push(next(iterator))
+            except StopIteration:
+                queue.push(None)
+            current = queue.head()
+            upcoming = queue.tail()
+            yield iteration, current, upcoming
+            queue.pop()
+            if upcoming is None:
+                return
+            iteration += 1
+
+    def __len__(self) -> int:
+        return len(self.loader)

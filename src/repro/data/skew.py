@@ -1,0 +1,133 @@
+"""Calibrated access-skew models for embedding-table traces.
+
+Paper Figure 13(d) builds three datasets from Criteo following [38] where
+"90% of the embedding table accesses are concentrated on 36%, 10%, and 0.6%
+of table entries" (low / medium / high skew).  Real RecSys traces follow a
+power law [34, 35, 38, 41, 64], so we model popularity as Zipf with exponent
+``s`` and *calibrate* ``s`` per table size to hit exactly those operating
+points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+# Fraction of rows that receives 90% of accesses, per skew level (Section 7.3).
+PAPER_SKEW_TOP_FRACTIONS = {
+    "low": 0.36,
+    "medium": 0.10,
+    "high": 0.006,
+}
+PAPER_SKEW_MASS = 0.90
+
+
+@dataclass(frozen=True)
+class SkewSpec:
+    """How a table's accesses are distributed over its rows.
+
+    ``kind`` is ``"uniform"`` (the paper's default trace, Section 6) or
+    ``"zipf"`` with the given exponent.
+    """
+
+    kind: str = "uniform"
+    exponent: float = 0.0
+
+    def __post_init__(self):
+        if self.kind not in ("uniform", "zipf"):
+            raise ValueError(f"unknown skew kind: {self.kind}")
+        if self.kind == "zipf" and self.exponent <= 0:
+            raise ValueError("zipf skew requires a positive exponent")
+
+
+def zipf_weights(num_rows: int, exponent: float) -> np.ndarray:
+    """Unnormalised Zipf popularity for ranks 1..num_rows (descending)."""
+    if num_rows < 1:
+        raise ValueError("num_rows must be positive")
+    ranks = np.arange(1, num_rows + 1, dtype=np.float64)
+    return ranks ** (-float(exponent))
+
+
+def mass_of_top_fraction(exponent: float, num_rows: int,
+                         fraction: float) -> float:
+    """Fraction of total access mass landing on the hottest ``fraction`` rows."""
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError("fraction must be in (0, 1]")
+    weights = zipf_weights(num_rows, exponent)
+    top_rows = max(1, int(round(fraction * num_rows)))
+    return float(weights[:top_rows].sum() / weights.sum())
+
+
+def calibrate_zipf_exponent(num_rows: int, top_fraction: float,
+                            target_mass: float = PAPER_SKEW_MASS,
+                            tolerance: float = 1e-4) -> float:
+    """Find the Zipf exponent that puts ``target_mass`` on the top rows.
+
+    Solves ``mass_of_top_fraction(s) == target_mass`` by bisection; the mass
+    is monotonically increasing in ``s``, so the root is unique.
+    """
+    if not 0.0 < top_fraction < 1.0:
+        raise ValueError("top_fraction must be in (0, 1)")
+    if not 0.0 < target_mass < 1.0:
+        raise ValueError("target_mass must be in (0, 1)")
+    if mass_of_top_fraction(1e-9, num_rows, top_fraction) > target_mass:
+        raise ValueError(
+            "table too small: even uniform access exceeds the target mass"
+        )
+    low, high = 1e-9, 1.0
+    while mass_of_top_fraction(high, num_rows, top_fraction) < target_mass:
+        high *= 2.0
+        if high > 64.0:
+            raise RuntimeError("zipf calibration failed to bracket the root")
+    while high - low > tolerance:
+        mid = 0.5 * (low + high)
+        if mass_of_top_fraction(mid, num_rows, top_fraction) < target_mass:
+            low = mid
+        else:
+            high = mid
+    return 0.5 * (low + high)
+
+
+@lru_cache(maxsize=1024)
+def expected_unique_rows(num_rows: int, draws: int,
+                         spec: SkewSpec | None = None) -> float:
+    """Expected count of distinct rows hit by ``draws`` i.i.d. lookups.
+
+    For a row hit with probability ``p_r`` per lookup, the chance it is
+    touched at least once in ``draws`` lookups is ``1 - (1 - p_r)^draws``;
+    summing over rows gives the expected unique footprint.  This is what
+    sizes LazyDP's per-iteration catch-up set (and hence its cost), so the
+    performance model leans on it for Figures 10, 13(b) and 13(d).
+    """
+    if draws < 0:
+        raise ValueError("draws must be non-negative")
+    if draws == 0:
+        return 0.0
+    if spec is None or spec.kind == "uniform":
+        # All rows share p = 1/num_rows; use expm1/log1p for precision when
+        # num_rows is huge and p is tiny.
+        log_miss = draws * np.log1p(-1.0 / num_rows)
+        return float(-num_rows * np.expm1(log_miss))
+    weights = zipf_weights(num_rows, spec.exponent)
+    probabilities = weights / weights.sum()
+    log_miss = draws * np.log1p(-probabilities)
+    return float(-np.expm1(log_miss).sum())
+
+
+@lru_cache(maxsize=64)
+def paper_skew_spec(level: str, num_rows: int) -> SkewSpec:
+    """SkewSpec for the paper's named skew level, calibrated to ``num_rows``.
+
+    ``level`` is ``"random"`` (uniform), ``"low"``, ``"medium"`` or
+    ``"high"``.
+    """
+    if level == "random":
+        return SkewSpec(kind="uniform")
+    if level not in PAPER_SKEW_TOP_FRACTIONS:
+        raise ValueError(f"unknown skew level: {level}")
+    exponent = calibrate_zipf_exponent(
+        num_rows, PAPER_SKEW_TOP_FRACTIONS[level]
+    )
+    return SkewSpec(kind="zipf", exponent=exponent)

@@ -1,0 +1,104 @@
+"""Empirical statistics of embedding access traces.
+
+The performance model's LazyDP costs hinge on trace statistics — unique
+rows per iteration, access-mass concentration, catch-up delay
+distributions.  This module computes them from *generated* traces so the
+analytic expectations (``expected_unique_rows``, the steady-state delay
+argument behind LazyDP-without-ANS) can be validated empirically, and so
+users can characterise their own workloads before choosing batch sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .loader import DataLoader
+
+
+@dataclass(frozen=True)
+class TraceStats:
+    """Summary of one table's access trace over a training run."""
+
+    num_rows: int
+    iterations: int
+    lookups_per_iteration: float      # raw lookups (with duplicates)
+    unique_per_iteration: float       # mean deduped footprint
+    coverage: float                   # fraction of rows touched at least once
+    top_fraction_mass: dict           # {fraction: access-mass share}
+    mean_catchup_delay: float         # mean LazyDP delay at catch-up time
+    total_deferred_draws: float       # sum of delays = no-ANS draw count
+
+
+def collect_trace(loader: DataLoader, table: int) -> list:
+    """Materialise the per-iteration raw lookup streams for one table.
+
+    Duplicates are preserved — access *mass* statistics need multiplicity;
+    :func:`analyze_trace` dedupes internally where footprints are needed.
+    """
+    return [batch.sparse[:, table, :].ravel() for batch in loader]
+
+
+def analyze_trace(per_iteration_rows: list, num_rows: int,
+                  fractions=(0.006, 0.01, 0.1, 0.36)) -> TraceStats:
+    """Compute :class:`TraceStats` from per-iteration accessed-row sets.
+
+    ``mean_catchup_delay`` replays LazyDP's HistoryTable discipline: when
+    a row is accessed at iteration ``i`` having last been caught up at
+    ``h``, it contributes a delay of ``i - h``.  ``total_deferred_draws``
+    (the sum of those delays plus the terminal flush) is exactly the
+    number of Gaussian draws LazyDP-without-ANS performs — the quantity
+    ANS collapses (paper Section 5.2.2).
+    """
+    iterations = len(per_iteration_rows)
+    if iterations == 0:
+        raise ValueError("trace must contain at least one iteration")
+
+    lookup_counts = []
+    unique_counts = []
+    all_access_counts = np.zeros(num_rows, dtype=np.int64)
+    last_caught_up = np.zeros(num_rows, dtype=np.int64)
+    delays = []
+
+    for index, rows in enumerate(per_iteration_rows):
+        iteration = index + 1
+        rows = np.asarray(rows, dtype=np.int64)
+        unique_rows = np.unique(rows)
+        lookup_counts.append(rows.size)
+        unique_counts.append(unique_rows.size)
+        np.add.at(all_access_counts, rows, 1)
+        # LazyDP catches these rows up during iteration - 1; the delay is
+        # measured against the previous catch-up.
+        catchup_iteration = max(iteration - 1, 0)
+        row_delays = catchup_iteration - last_caught_up[unique_rows]
+        delays.extend(row_delays[row_delays > 0].tolist())
+        last_caught_up[unique_rows] = catchup_iteration
+
+    # Terminal flush: every row owes noise through the final iteration.
+    flush_delays = iterations - last_caught_up
+    total_draws = float(sum(delays) + flush_delays.sum())
+
+    sorted_counts = np.sort(all_access_counts)[::-1]
+    total_accesses = sorted_counts.sum()
+    mass = {}
+    for fraction in fractions:
+        top = max(1, int(round(fraction * num_rows)))
+        mass[fraction] = float(sorted_counts[:top].sum() / total_accesses)
+
+    return TraceStats(
+        num_rows=num_rows,
+        iterations=iterations,
+        lookups_per_iteration=float(np.mean(lookup_counts)),
+        unique_per_iteration=float(np.mean(unique_counts)),
+        coverage=float(np.count_nonzero(all_access_counts) / num_rows),
+        top_fraction_mass=mass,
+        mean_catchup_delay=float(np.mean(delays)) if delays else 0.0,
+        total_deferred_draws=total_draws,
+    )
+
+
+def loader_stats(loader: DataLoader, table: int = 0) -> TraceStats:
+    """Convenience: collect + analyze a loader's trace for one table."""
+    num_rows = loader.dataset.config.table_rows[table]
+    return analyze_trace(collect_trace(loader, table), num_rows)

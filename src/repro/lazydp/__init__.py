@@ -1,0 +1,21 @@
+"""LazyDP: lazy noise update + aggregated noise sampling (the paper's core)."""
+
+from .ans import ANSEngine
+from .api import PrivateTrainingSession, make_private
+from .checkpoint import export_private_model, load_checkpoint, save_checkpoint
+from .history import HistoryTable, NaiveCounterHistory
+from .optimizer import LazyNoiseEngine
+from .trainer import LazyDPTrainer
+
+__all__ = [
+    "ANSEngine",
+    "PrivateTrainingSession",
+    "make_private",
+    "export_private_model",
+    "load_checkpoint",
+    "save_checkpoint",
+    "HistoryTable",
+    "NaiveCounterHistory",
+    "LazyNoiseEngine",
+    "LazyDPTrainer",
+]

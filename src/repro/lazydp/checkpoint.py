@@ -1,0 +1,129 @@
+"""Checkpointing and model release for LazyDP training.
+
+LazyDP introduces a subtlety that eager DP-SGD does not have: between
+iterations, embedding tables are *behind* on noise by design.  Persisting
+or publishing them naively would leak which rows were recently accessed —
+the very signal the threat model (paper Section 3) says the adversary may
+inspect.  Two distinct operations are therefore provided:
+
+* :func:`save_checkpoint` / :func:`load_checkpoint` — **resume** support:
+  persists the raw (lazy) tables *together with* the HistoryTables and
+  iteration counter, so training continues exactly where it stopped.
+  The checkpoint file itself must be treated as training state, not as a
+  released model.
+* :func:`export_private_model` — **release** support: returns a copy of
+  the parameters with every pending noise update applied (the terminal
+  flush of Algorithm 1, without mutating the live training state), i.e.
+  the artifact that is safe to publish and distributionally identical to
+  eager DP-SGD's model at that iteration.
+
+Checkpoints are ``.npz`` archives; geometry is validated on load.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .trainer import LazyDPTrainer
+
+_FORMAT_VERSION = 1
+
+
+def save_checkpoint(path, trainer: LazyDPTrainer, iteration: int) -> None:
+    """Persist model parameters, HistoryTables and progress to ``path``."""
+    if iteration < 0:
+        raise ValueError("iteration must be non-negative")
+    arrays = {
+        "meta/version": np.array([_FORMAT_VERSION], dtype=np.int64),
+        "meta/iteration": np.array([iteration], dtype=np.int64),
+        "meta/use_ans": np.array([int(trainer.use_ans)], dtype=np.int64),
+        "meta/noise_seed": np.array(
+            [trainer.noise_stream.seed], dtype=np.int64
+        ),
+    }
+    for name, param in trainer.model.parameters().items():
+        arrays[f"param/{name}"] = param.data
+    for index, history in enumerate(trainer.engine.histories):
+        arrays[f"history/{index}"] = history.snapshot()
+    np.savez_compressed(path, **arrays)
+
+
+def load_checkpoint(path, trainer: LazyDPTrainer) -> int:
+    """Restore ``trainer`` (in place) from ``path``; returns the iteration.
+
+    The trainer must be built over a model with the same geometry and the
+    same ANS mode; mismatches raise rather than silently corrupting the
+    privacy bookkeeping.
+    """
+    with np.load(path) as archive:
+        version = int(archive["meta/version"][0])
+        if version != _FORMAT_VERSION:
+            raise ValueError(f"unsupported checkpoint version: {version}")
+        if bool(archive["meta/use_ans"][0]) != trainer.use_ans:
+            raise ValueError("checkpoint ANS mode does not match trainer")
+        if int(archive["meta/noise_seed"][0]) != trainer.noise_stream.seed:
+            raise ValueError(
+                "checkpoint noise seed does not match trainer; resuming "
+                "with a different stream would break DP bookkeeping"
+            )
+        iteration = int(archive["meta/iteration"][0])
+
+        params = trainer.model.parameters()
+        for name, param in params.items():
+            key = f"param/{name}"
+            if key not in archive:
+                raise ValueError(f"checkpoint missing parameter {name}")
+            stored = archive[key]
+            if stored.shape != param.data.shape:
+                raise ValueError(
+                    f"shape mismatch for {name}: checkpoint "
+                    f"{stored.shape} vs model {param.data.shape}"
+                )
+            param.data[...] = stored
+
+        for index, history in enumerate(trainer.engine.histories):
+            key = f"history/{index}"
+            if key not in archive:
+                raise ValueError(f"checkpoint missing history table {index}")
+            stored = archive[key]
+            if stored.shape[0] != history.num_rows:
+                raise ValueError(
+                    f"history table {index} size mismatch: checkpoint "
+                    f"{stored.shape[0]} vs model {history.num_rows}"
+                )
+            history._last_updated[...] = stored
+    return iteration
+
+
+def export_private_model(trainer: LazyDPTrainer, iteration: int,
+                         noise_std: float | None = None) -> dict:
+    """A flushed copy of all parameters, safe to release at ``iteration``.
+
+    Performs Algorithm 1's terminal catch-up on copies: every embedding
+    row receives its deferred noise through ``iteration``.  The live
+    trainer (tables, HistoryTables) is left untouched so training can
+    continue afterwards — this is how one publishes periodic model
+    snapshots during a long run without breaking the lazy schedule.
+    """
+    if noise_std is None:
+        noise_std = trainer._last_noise_std
+    if noise_std is None:
+        raise ValueError(
+            "noise_std unknown: train at least one step or pass it in"
+        )
+    released = {
+        name: param.data.copy()
+        for name, param in trainer.model.parameters().items()
+    }
+    lr = trainer.config.learning_rate
+    for table_index, bag in enumerate(trainer.model.embeddings):
+        history = trainer.engine.histories[table_index]
+        pending = history.pending_rows(iteration)
+        if pending.size == 0:
+            continue
+        delays = history.delays(pending, iteration)
+        noise = trainer.engine.ans.catchup_noise(
+            table_index, pending, delays, iteration, bag.dim, noise_std
+        )
+        released[bag.table.name][pending] -= lr * noise
+    return released

@@ -1,0 +1,87 @@
+"""The lazy noise update engine (paper Algorithm 1).
+
+``LazyNoiseEngine`` owns one :class:`HistoryTable` per embedding table and
+an :class:`ANSEngine`, and produces the sparse catch-up noise for the rows
+the *next* mini-batch will gather.  The trainer merges that noise with the
+current batch's clipped gradient into one sparse write (Algorithm 1,
+lines 19-25), and calls :meth:`flush` once at the end of training so the
+released model carries every row's full noise history — without the flush,
+the final table would not match eager DP-SGD (DESIGN.md, deviations).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn.dlrm import DLRM
+from ..rng import NoiseStream
+from .ans import ANSEngine
+from .history import HistoryTable
+
+
+class LazyNoiseEngine:
+    """Deferred-noise bookkeeping and catch-up for all embedding tables."""
+
+    def __init__(self, model: DLRM, noise_stream: NoiseStream,
+                 use_ans: bool = True, flush_chunk_rows: int = 65536):
+        self.model = model
+        self.ans = ANSEngine(noise_stream, enabled=use_ans)
+        self.histories = [
+            HistoryTable(bag.num_rows) for bag in model.embeddings
+        ]
+        self.flush_chunk_rows = int(flush_chunk_rows)
+        self.flushed_through: int | None = None
+
+    @property
+    def use_ans(self) -> bool:
+        return self.ans.enabled
+
+    def history_bytes(self) -> int:
+        """Total HistoryTable footprint (paper Section 7.2)."""
+        return int(sum(history.nbytes for history in self.histories))
+
+    def catchup_for_next_access(self, table_index: int,
+                                next_rows: np.ndarray, iteration: int,
+                                dim: int, std: float
+                                ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Catch-up noise for rows the next iteration will gather.
+
+        Returns ``(rows, delays, noise_values)`` where ``noise_values`` is
+        the deferred noise through ``iteration`` for each row.  Also
+        advances the HistoryTable (Algorithm 1, line 15).
+        """
+        if self.flushed_through is not None:
+            raise RuntimeError("engine already flushed; training has ended")
+        history = self.histories[table_index]
+        next_rows = np.asarray(next_rows, dtype=np.int64)
+        delays = history.delays(next_rows, iteration)
+        history.mark_updated(next_rows, iteration)
+        noise = self.ans.catchup_noise(
+            table_index, next_rows, delays, iteration, dim, std
+        )
+        return next_rows, delays, noise
+
+    def flush(self, final_iteration: int, learning_rate: float,
+              std: float) -> int:
+        """Apply all still-deferred noise so the model matches eager DP-SGD.
+
+        Walks every table in bounded-size row chunks (the real system
+        streams this, Section 5.2.1 requires it only before rows become
+        visible).  Returns the number of rows that needed catching up.
+        """
+        caught_up = 0
+        for table_index, bag in enumerate(self.model.embeddings):
+            history = self.histories[table_index]
+            pending = history.pending_rows(final_iteration)
+            for start in range(0, pending.size, self.flush_chunk_rows):
+                rows = pending[start:start + self.flush_chunk_rows]
+                delays = history.delays(rows, final_iteration)
+                noise = self.ans.catchup_noise(
+                    table_index, rows, delays, final_iteration,
+                    bag.dim, std,
+                )
+                bag.table.data[rows] -= learning_rate * noise
+                history.mark_updated(rows, final_iteration)
+            caught_up += int(pending.size)
+        self.flushed_through = int(final_iteration)
+        return caught_up

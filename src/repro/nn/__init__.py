@@ -1,0 +1,31 @@
+"""From-scratch neural-network substrate with DP-aware backward passes."""
+
+from .dlrm import DLRM
+from .functional import (
+    bce_with_logits,
+    bce_with_logits_grad,
+    relu,
+    relu_grad,
+    sigmoid,
+)
+from .init import ParameterFactory
+from .layers import MLP, EmbeddingBag, FeatureInteraction, Linear
+from .parameter import GradSet, Parameter, PerExamplePairs, SparseRowGrad
+
+__all__ = [
+    "DLRM",
+    "bce_with_logits",
+    "bce_with_logits_grad",
+    "relu",
+    "relu_grad",
+    "sigmoid",
+    "ParameterFactory",
+    "MLP",
+    "EmbeddingBag",
+    "FeatureInteraction",
+    "Linear",
+    "GradSet",
+    "Parameter",
+    "PerExamplePairs",
+    "SparseRowGrad",
+]

@@ -1,0 +1,148 @@
+"""Parameter and gradient containers for the from-scratch NN substrate.
+
+Embedding-table gradients are the heart of this paper, so they get a real
+sparse representation (``SparseRowGrad``) instead of being densified: a
+non-private SGD step must touch only the gathered rows (paper Figure 4a),
+and LazyDP's whole point is keeping the DP update sparse too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+class Parameter:
+    """A trainable tensor with a stable identity.
+
+    Attributes
+    ----------
+    name:
+        Dotted path inside the owning model (e.g. ``"top_mlp.linear_0.weight"``).
+    data:
+        The numpy array holding the current weights; updated in place.
+    param_id:
+        Small integer unique within the model; keys the deterministic
+        initialisation / noise streams.
+    is_embedding:
+        True for embedding tables, which take the sparse update path.
+    """
+
+    def __init__(self, name: str, data: np.ndarray, param_id: int,
+                 is_embedding: bool = False):
+        self.name = name
+        self.data = data
+        self.param_id = int(param_id)
+        self.is_embedding = bool(is_embedding)
+
+    @property
+    def shape(self) -> tuple:
+        return self.data.shape
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "embedding" if self.is_embedding else "dense"
+        return f"Parameter({self.name!r}, shape={self.data.shape}, {kind})"
+
+
+@dataclass
+class SparseRowGrad:
+    """Gradient of an embedding table: values for a set of unique rows.
+
+    ``rows`` are unique, sorted row indices; ``values[k]`` is the gradient
+    for ``rows[k]``.  This is the object a sparse optimizer consumes; its
+    size is proportional to the batch's pooling footprint, not the table.
+    """
+
+    rows: np.ndarray            # (n,) int64, unique & sorted
+    values: np.ndarray          # (n, dim) float
+
+    def __post_init__(self):
+        self.rows = np.asarray(self.rows, dtype=np.int64)
+        self.values = np.asarray(self.values)
+        if self.rows.ndim != 1 or self.values.ndim != 2:
+            raise ValueError("rows must be (n,), values must be (n, dim)")
+        if self.rows.shape[0] != self.values.shape[0]:
+            raise ValueError("rows and values must align")
+
+    @property
+    def dim(self) -> int:
+        return self.values.shape[1]
+
+    def to_dense(self, num_rows: int) -> np.ndarray:
+        """Materialise as a dense ``(num_rows, dim)`` gradient (tests only)."""
+        dense = np.zeros((num_rows, self.dim), dtype=self.values.dtype)
+        dense[self.rows] = self.values
+        return dense
+
+    def scaled(self, factor: float) -> "SparseRowGrad":
+        return SparseRowGrad(self.rows, self.values * factor)
+
+
+@dataclass
+class PerExamplePairs:
+    """Per-example embedding gradients in factored (pair) form.
+
+    For EmbeddingBag with sum pooling, example ``b``'s gradient w.r.t. table
+    row ``r`` is ``mult * delta_b`` where ``mult`` counts how many of the
+    example's lookups hit ``r``.  Storing (example, row, mult) pairs plus the
+    shared ``deltas`` matrix keeps per-example gradients implicit — exactly
+    the structure the DP-SGD(F) ghost-norm trick exploits (paper Section 2.5).
+    """
+
+    example_ids: np.ndarray     # (p,) int64
+    rows: np.ndarray            # (p,) int64
+    mults: np.ndarray           # (p,) float64 lookup multiplicities
+    deltas: np.ndarray          # (batch, dim) upstream grads per example
+    batch_size: int
+
+    def norm_sq_per_example(self) -> np.ndarray:
+        """||g_b||^2 for each example, computed without materialisation.
+
+        ``sum_r (mult_{b,r} * ||delta_b||)^2`` — the embedding ghost norm.
+        """
+        delta_norm_sq = np.einsum("bd,bd->b", self.deltas, self.deltas)
+        mult_sq = self.mults.astype(np.float64) ** 2
+        per_example = np.bincount(
+            self.example_ids, weights=mult_sq, minlength=self.batch_size
+        )
+        return per_example * delta_norm_sq
+
+    def weighted_row_grad(self, weights: np.ndarray) -> SparseRowGrad:
+        """``sum_b weights[b] * g_b`` as a sparse row gradient.
+
+        ``weights`` typically holds ``clip_factor_b / batch`` so the result
+        is the clipped averaged gradient DP-SGD feeds the optimizer.
+        """
+        weights = np.asarray(weights, dtype=np.float64)
+        unique_rows, inverse = np.unique(self.rows, return_inverse=True)
+        scale = weights[self.example_ids] * self.mults
+        contrib = self.deltas[self.example_ids] * scale[:, None]
+        values = np.zeros((unique_rows.shape[0], self.deltas.shape[1]),
+                          dtype=np.float64)
+        np.add.at(values, inverse, contrib)
+        return SparseRowGrad(unique_rows, values)
+
+    def dense_per_example(self, num_rows: int) -> np.ndarray:
+        """Materialise ``(batch, num_rows, dim)`` grads (small tests only)."""
+        dense = np.zeros(
+            (self.batch_size, num_rows, self.deltas.shape[1]), dtype=np.float64
+        )
+        contrib = self.deltas[self.example_ids] * self.mults[:, None]
+        np.add.at(dense, (self.example_ids, self.rows), contrib)
+        return dense
+
+
+@dataclass
+class GradSet:
+    """A named collection of gradients: dense arrays and sparse row grads."""
+
+    dense: dict = field(default_factory=dict)    # name -> np.ndarray
+    sparse: dict = field(default_factory=dict)   # name -> SparseRowGrad
+
+    def names(self) -> list:
+        return list(self.dense) + list(self.sparse)

@@ -1,0 +1,87 @@
+"""Calibrated performance model of the paper's CPU-GPU training system."""
+
+from .energy import average_power_watts, iteration_energy_joules, stage_power_watts
+from .hardware import (
+    CPUSpec,
+    DEFAULT_CALIBRATION,
+    GPUSpec,
+    HardwareSpec,
+    PowerSpec,
+    SoftwareCalibration,
+    paper_system,
+)
+from .memory import (
+    fits_in_host_memory,
+    history_table_bytes,
+    input_queue_bytes,
+    lazydp_metadata_fraction,
+    required_host_bytes,
+    table_bytes,
+)
+from .roofline import (
+    effective_avx_gflops,
+    noise_sampling_throughput,
+    noisy_update_throughput,
+    ridge_point,
+    sweep,
+)
+from .scaling import (
+    ScalingPoint,
+    break_even_model_bytes,
+    oom_capacity_bytes,
+    project_scaling,
+)
+from .sensitivity import (
+    conclusions_hold,
+    headline_speedup,
+    perturbed_calibration,
+    sensitivity_sweep,
+)
+from .timeline import (
+    ALGORITHMS,
+    LAZYDP_OVERHEAD_STAGES,
+    MODEL_UPDATE_STAGES,
+    PRIVATE_ALGORITHMS,
+    StageBreakdown,
+    end_to_end_seconds,
+    iteration_breakdown,
+)
+
+__all__ = [
+    "average_power_watts",
+    "iteration_energy_joules",
+    "stage_power_watts",
+    "CPUSpec",
+    "DEFAULT_CALIBRATION",
+    "GPUSpec",
+    "HardwareSpec",
+    "PowerSpec",
+    "SoftwareCalibration",
+    "paper_system",
+    "fits_in_host_memory",
+    "history_table_bytes",
+    "input_queue_bytes",
+    "lazydp_metadata_fraction",
+    "required_host_bytes",
+    "table_bytes",
+    "effective_avx_gflops",
+    "noise_sampling_throughput",
+    "noisy_update_throughput",
+    "ridge_point",
+    "sweep",
+    "ScalingPoint",
+    "break_even_model_bytes",
+    "oom_capacity_bytes",
+    "project_scaling",
+    "conclusions_hold",
+    "headline_speedup",
+    "perturbed_calibration",
+    "sensitivity_sweep",
+    "ALGORITHMS",
+    "LAZYDP_OVERHEAD_STAGES",
+    "MODEL_UPDATE_STAGES",
+    "PRIVATE_ALGORITHMS",
+    "StageBreakdown",
+    "end_to_end_seconds",
+    "iteration_breakdown",
+]

@@ -1,0 +1,65 @@
+"""Energy model (paper Figure 12).
+
+The paper measures wall power with pcm-power / nvidia-smi and multiplies by
+training time; LazyDP's ~155x energy saving over DP-SGD(F) is therefore
+mostly a time story, amplified slightly because DP-SGD's long model-update
+phase keeps the CPU pinned in its AVX power state while the GPU idles.  We
+integrate phase power over the modelled stage timeline: each stage maps to
+a (CPU state, GPU state) pair whose combined draw comes from
+:class:`repro.perfmodel.hardware.PowerSpec`.
+"""
+
+from __future__ import annotations
+
+from .hardware import HardwareSpec
+from .timeline import StageBreakdown
+
+# stage -> (cpu_state, gpu_state); states index into PowerSpec fields.
+STAGE_POWER_STATES = {
+    "fwd": ("stream", "active"),
+    "bwd_per_example": ("idle", "active"),
+    "bwd_per_batch": ("stream", "active"),
+    "grad_coalescing": ("stream", "idle"),
+    "noise_sampling": ("avx", "idle"),
+    "noisy_grad_generation": ("stream", "idle"),
+    "noisy_grad_update": ("stream", "idle"),
+    "model_update_else": ("stream", "idle"),
+    "lazydp_dedup": ("stream", "idle"),
+    "lazydp_history_read": ("stream", "idle"),
+    "lazydp_history_update": ("stream", "idle"),
+    "else": ("stream", "idle"),
+}
+
+
+def stage_power_watts(stage: str, hw: HardwareSpec) -> float:
+    cpu_state, gpu_state = STAGE_POWER_STATES[stage]
+    power = hw.power
+    cpu_watts = {
+        "idle": power.cpu_idle,
+        "stream": power.cpu_stream,
+        "avx": power.cpu_avx,
+    }[cpu_state]
+    gpu_watts = {
+        "idle": power.gpu_idle,
+        "active": power.gpu_active,
+    }[gpu_state]
+    return cpu_watts + gpu_watts
+
+
+def iteration_energy_joules(breakdown: StageBreakdown,
+                            hw: HardwareSpec) -> float:
+    """Integrate phase power over one modelled iteration."""
+    if breakdown.oom:
+        return float("inf")
+    return sum(
+        seconds * stage_power_watts(stage, hw)
+        for stage, seconds in breakdown.stages.items()
+    )
+
+
+def average_power_watts(breakdown: StageBreakdown,
+                        hw: HardwareSpec) -> float:
+    total = breakdown.total
+    if total == 0.0:
+        return 0.0
+    return iteration_energy_joules(breakdown, hw) / total

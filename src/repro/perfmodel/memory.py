@@ -1,0 +1,68 @@
+"""Memory-capacity model: OOM prediction and LazyDP's metadata overheads.
+
+Reproduces two quantitative claims:
+
+* Figure 13(a): DP-SGD(F) runs out of host memory at the 192 GB model —
+  the dense noisy gradient is sized like the table, so eager DP-SGD needs
+  roughly twice the model's footprint; SGD and LazyDP need ~1x and scale on.
+* Section 7.2: LazyDP's metadata costs 213 KB for the input queue
+  (one extra mini-batch of indices) and 751 MB for the HistoryTable
+  (4 bytes per embedding row, <1% of the 96 GB model).
+"""
+
+from __future__ import annotations
+
+from ..configs import FP32_BYTES, DLRMConfig
+from .hardware import HardwareSpec
+
+INDEX_BYTES = 4  # the paper's Section 7.2 arithmetic uses 4-byte indices
+
+#: Algorithms whose model update materialises a dense table-sized tensor.
+DENSE_UPDATE_ALGORITHMS = ("dpsgd_b", "dpsgd_r", "dpsgd_f")
+
+
+def table_bytes(config: DLRMConfig) -> int:
+    return config.embedding_bytes(FP32_BYTES)
+
+
+def input_queue_bytes(batch: int, config: DLRMConfig) -> int:
+    """One prefetched mini-batch of sparse indices (Section 7.2: 213 KB)."""
+    return batch * config.num_tables * config.lookups_per_table * INDEX_BYTES
+
+
+def history_table_bytes(config: DLRMConfig) -> int:
+    """4 bytes per embedding row across all tables (Section 7.2: 751 MB)."""
+    return config.total_embedding_rows * INDEX_BYTES
+
+
+def lazydp_metadata_fraction(config: DLRMConfig, batch: int) -> float:
+    """LazyDP metadata relative to model size (paper: <1% / <3.1%)."""
+    metadata = history_table_bytes(config) + input_queue_bytes(batch, config)
+    return metadata / table_bytes(config)
+
+
+def required_host_bytes(algorithm: str, config: DLRMConfig,
+                        batch: int) -> int:
+    """Peak host-DRAM footprint of one training iteration.
+
+    Eager DP-SGD variants hold the model *and* a dense noisy gradient of
+    the same size; sparse-update algorithms hold the model plus per-batch
+    buffers.
+    """
+    model = table_bytes(config)
+    batch_rows = batch * config.num_tables * config.lookups_per_table
+    sparse_buffers = 4 * batch_rows * config.embedding_dim * FP32_BYTES
+    if algorithm in DENSE_UPDATE_ALGORITHMS:
+        return 2 * model + sparse_buffers
+    if algorithm in ("lazydp", "lazydp_no_ans"):
+        return (
+            model + sparse_buffers
+            + history_table_bytes(config)
+            + 2 * input_queue_bytes(batch, config)
+        )
+    return model + sparse_buffers
+
+
+def fits_in_host_memory(algorithm: str, config: DLRMConfig, batch: int,
+                        hw: HardwareSpec) -> bool:
+    return required_host_bytes(algorithm, config, batch) <= hw.cpu.dram_capacity

@@ -1,0 +1,142 @@
+"""Per-operation cost primitives for the hybrid CPU-GPU timeline model.
+
+Every primitive returns seconds for one invocation, derived from the
+hardware roofline (``repro.perfmodel.hardware``): streaming operations are
+bandwidth-bound, the Box-Muller kernel is compute-bound at 101 AVX ops per
+element, GEMMs ride the GPU's effective FLOP rate, and host-device traffic
+crosses PCIe.  The timeline model composes these into per-iteration stage
+breakdowns (paper Figures 3, 5, 10-14).
+"""
+
+from __future__ import annotations
+
+from ..configs import FP32_BYTES, DLRMConfig
+from ..rng.boxmuller import BOX_MULLER_AVX_OPS
+from .hardware import HardwareSpec
+
+
+def cpu_stream_seconds(num_bytes: float, hw: HardwareSpec) -> float:
+    """Time to stream ``num_bytes`` through the CPU's DRAM interface."""
+    return num_bytes / hw.cpu.effective_bandwidth
+
+
+def cpu_avx_seconds(flops: float, hw: HardwareSpec) -> float:
+    """Time for a compute-bound AVX kernel executing ``flops``."""
+    return flops / (hw.cpu.effective_gflops * 1e9)
+
+
+def gpu_compute_seconds(flops: float, hw: HardwareSpec) -> float:
+    return flops / hw.gpu.effective_flops
+
+
+def pcie_seconds(num_bytes: float, hw: HardwareSpec) -> float:
+    return num_bytes / hw.pcie_bandwidth
+
+
+# ---------------------------------------------------------------------------
+# Embedding-side primitives (run on the CPU)
+# ---------------------------------------------------------------------------
+
+def random_row_touch_seconds(num_rows: float, dim: int, accesses_per_row: float,
+                             hw: HardwareSpec) -> float:
+    """Cost of touching rows at random addresses.
+
+    Each touched row pays the larger of its streaming time and one DRAM
+    random access; gathers and sparse updates are latency-bound for small
+    rows, which is what makes SGD (and LazyDP) scale with the pooling
+    factor in Figure 13(b).
+    """
+    row_bytes = dim * FP32_BYTES
+    per_access = max(
+        row_bytes / hw.cpu.effective_bandwidth, hw.cpu.row_access_latency
+    )
+    return num_rows * accesses_per_row * per_access
+
+
+def embedding_gather_seconds(batch: int, config: DLRMConfig,
+                             hw: HardwareSpec) -> float:
+    """Gather + pool: one random row read per lookup, one pooled write."""
+    lookups = batch * config.num_tables * config.lookups_per_table
+    gather = random_row_touch_seconds(
+        lookups, config.embedding_dim, 1.0, hw
+    )
+    pooled_bytes = batch * config.num_tables * config.embedding_dim * FP32_BYTES
+    return gather + cpu_stream_seconds(pooled_bytes, hw)
+
+
+def sparse_row_update_seconds(num_rows: float, dim: int,
+                              hw: HardwareSpec) -> float:
+    """Scatter updates into ``num_rows`` table rows.
+
+    Each row is read and written at a random address, plus the update
+    values themselves stream in.
+    """
+    touch = random_row_touch_seconds(num_rows, dim, 2.0, hw)
+    return touch + cpu_stream_seconds(num_rows * dim * FP32_BYTES, hw)
+
+
+def noise_sampling_seconds(num_elements: float, hw: HardwareSpec) -> float:
+    """Box-Muller over ``num_elements`` scalars: 101 AVX ops each
+    (paper Section 4.3) at the measured 81%-of-peak efficiency."""
+    return cpu_avx_seconds(num_elements * BOX_MULLER_AVX_OPS, hw)
+
+
+def noisy_grad_generation_seconds(num_elements: float,
+                                  hw: HardwareSpec) -> float:
+    """Merge gradient and noise into the noisy gradient: two streams
+    per element (read gradient, write noisy gradient; the noise value
+    arrives fused from the sampling stage)."""
+    return cpu_stream_seconds(2.0 * num_elements * FP32_BYTES, hw)
+
+
+def noisy_grad_update_seconds(num_elements: float,
+                              hw: HardwareSpec) -> float:
+    """Apply the noisy gradient: read it, read the weight, write the
+    weight — the memory-bound streaming kernel of Figure 6 (N = 2)."""
+    return cpu_stream_seconds(3.0 * num_elements * FP32_BYTES, hw)
+
+
+# ---------------------------------------------------------------------------
+# MLP-side primitives (run on the GPU)
+# ---------------------------------------------------------------------------
+
+def mlp_multiplies(config: DLRMConfig) -> int:
+    """Total multiply count of one example's forward pass through the MLPs."""
+    return int(sum(fan_in * fan_out for fan_in, fan_out in config.mlp_layer_dims()))
+
+
+def interaction_multiplies(config: DLRMConfig) -> int:
+    """Pairwise-dot feature interaction cost per example."""
+    features = config.interaction_features
+    return features * features * config.embedding_dim
+
+
+def mlp_forward_seconds(batch: int, config: DLRMConfig,
+                        hw: HardwareSpec) -> float:
+    flops = 2.0 * batch * (mlp_multiplies(config) + interaction_multiplies(config))
+    return gpu_compute_seconds(flops, hw)
+
+
+def mlp_backward_seconds(batch: int, config: DLRMConfig,
+                         hw: HardwareSpec) -> float:
+    """Standard backward: activation grads + weight grads = 2x forward."""
+    return 2.0 * mlp_forward_seconds(batch, config, hw)
+
+
+def per_example_grad_traffic_seconds(batch: int, config: DLRMConfig,
+                                     hw: HardwareSpec) -> float:
+    """DP-SGD(B)'s extra HBM traffic for materialised per-example grads.
+
+    Writes one full MLP gradient per example, reads them back for norms,
+    reads again for the weighted reduction — 3 passes over
+    ``batch * mlp_params`` floats.
+    """
+    num_bytes = 3.0 * batch * config.mlp_params * FP32_BYTES
+    return num_bytes / hw.gpu.hbm_bandwidth
+
+
+def embeddings_pcie_seconds(batch: int, config: DLRMConfig,
+                            hw: HardwareSpec) -> float:
+    """Pooled embeddings (and their grads on the way back) cross PCIe."""
+    num_bytes = batch * config.num_tables * config.embedding_dim * FP32_BYTES
+    return pcie_seconds(num_bytes, hw)

@@ -1,0 +1,64 @@
+"""Roofline model of the CPU's AVX pipeline (paper Figure 6).
+
+The paper's microbenchmark loads a vector, performs ``N`` AVX computations
+on it, and stores the result; sweeping ``N`` traces the classic roofline:
+memory-bound for small ``N`` (throughput grows linearly with arithmetic
+intensity), compute-bound beyond the ridge point.  Noise sampling sits at
+``N = 101`` (deep in the compute-bound region, 81% of peak) and the noisy
+gradient update at ``N = 2`` (memory-bound, 85.5% of DRAM bandwidth).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..rng.boxmuller import BOX_MULLER_AVX_OPS, NOISY_UPDATE_AVX_OPS
+from .hardware import HardwareSpec
+
+#: Bytes moved per element by the microbenchmark: one fp32 load + one store.
+MICROBENCH_BYTES_PER_ELEMENT = 8.0
+
+
+def effective_avx_gflops(n_ops: float, hw: HardwareSpec) -> float:
+    """Modelled effective AVX throughput at arithmetic intensity ``n_ops``.
+
+    ``throughput = min(compute ceiling, N * effective bandwidth / bytes)``,
+    with the paper's measured efficiency fractions applied to each ceiling.
+    """
+    if n_ops <= 0:
+        return 0.0
+    compute_ceiling = hw.cpu.effective_gflops
+    memory_ceiling = (
+        n_ops * hw.cpu.effective_bandwidth / MICROBENCH_BYTES_PER_ELEMENT / 1e9
+    )
+    return float(min(compute_ceiling, memory_ceiling))
+
+
+def ridge_point(hw: HardwareSpec) -> float:
+    """The N at which the microbenchmark turns compute-bound."""
+    return (
+        hw.cpu.effective_gflops * 1e9
+        * MICROBENCH_BYTES_PER_ELEMENT
+        / hw.cpu.effective_bandwidth
+    )
+
+
+def sweep(hw: HardwareSpec, n_values=None) -> tuple[np.ndarray, np.ndarray]:
+    """(N values, effective GFLOPS) series reproducing Figure 6's curve."""
+    if n_values is None:
+        n_values = np.arange(0, 125, dtype=np.float64)
+    n_values = np.asarray(n_values, dtype=np.float64)
+    gflops = np.array(
+        [effective_avx_gflops(n, hw) for n in n_values], dtype=np.float64
+    )
+    return n_values, gflops
+
+
+def noise_sampling_throughput(hw: HardwareSpec) -> float:
+    """Modelled throughput of the Box-Muller kernel (N = 101)."""
+    return effective_avx_gflops(BOX_MULLER_AVX_OPS, hw)
+
+
+def noisy_update_throughput(hw: HardwareSpec) -> float:
+    """Modelled throughput of the streaming update kernel (N = 2)."""
+    return effective_avx_gflops(NOISY_UPDATE_AVX_OPS, hw)

@@ -1,0 +1,127 @@
+"""Beyond-the-paper scaling projections.
+
+The paper's closing argument (Sections 4.2 and 7.3): noise sampling and
+noisy-update overheads "will only get worse for future RecSys models with
+even larger table sizes" [46, 67] — industrial models already reach
+TB-scale.  This module extends the calibrated timeline to those scales
+and answers the questions the paper's Figure 13(a) stops short of:
+
+* how the DP-SGD tax grows from 24 GB to 2 TB (given enough host memory),
+* where eager DP-SGD runs out of memory on realistic hosts,
+* the break-even analysis: how *small* a table would have to be before
+  eager DP-SGD's simplicity beats LazyDP's bookkeeping overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..configs import DLRMConfig, mlperf_dlrm
+from .hardware import HardwareSpec, paper_system
+from .timeline import end_to_end_seconds, iteration_breakdown
+
+#: Projection sweep: today's default through near-future TB-scale.
+PROJECTION_MODEL_BYTES = (
+    24 * 10**9, 96 * 10**9, 384 * 10**9, 10**12, 2 * 10**12,
+)
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """Modelled behaviour of one algorithm at one model capacity."""
+
+    model_bytes: int
+    algorithm: str
+    seconds_per_iteration: float   # inf when OOM
+    speedup_vs_dpsgd: float | None
+
+    @property
+    def oom(self) -> bool:
+        return self.seconds_per_iteration == float("inf")
+
+
+def _with_capacity(hw: HardwareSpec, capacity_bytes: int) -> HardwareSpec:
+    return replace(hw, cpu=replace(hw.cpu, dram_capacity=capacity_bytes))
+
+
+def project_scaling(batch: int = 2048, hw: HardwareSpec | None = None,
+                    host_capacity_bytes: int | None = None,
+                    sizes=PROJECTION_MODEL_BYTES) -> list:
+    """ScalingPoints for LazyDP and DP-SGD(F) across model capacities.
+
+    ``host_capacity_bytes`` overrides the host DRAM (default: a 4 TB
+    future host so the *compute* scaling is visible past the paper's
+    256 GB OOM wall; pass the paper value to reproduce the wall itself).
+    """
+    hw = hw or paper_system()
+    if host_capacity_bytes is not None:
+        hw = _with_capacity(hw, host_capacity_bytes)
+    else:
+        hw = _with_capacity(hw, 4 * 10**12)
+    points = []
+    for size in sizes:
+        config = mlperf_dlrm(int(size))
+        eager = end_to_end_seconds("dpsgd_f", config, batch, hw=hw)
+        lazy = end_to_end_seconds("lazydp", config, batch, hw=hw)
+        points.append(ScalingPoint(int(size), "dpsgd_f", eager, None))
+        points.append(ScalingPoint(
+            int(size), "lazydp", lazy,
+            None if eager == float("inf") else eager / lazy,
+        ))
+    return points
+
+
+def oom_capacity_bytes(algorithm: str, hw: HardwareSpec | None = None,
+                       batch: int = 2048,
+                       tolerance: float = 0.01) -> float:
+    """Largest model (bytes) the algorithm can train on the given host.
+
+    Bisection over capacity; reproduces the paper's 192 GB failure for
+    eager DP-SGD on the 256 GB host and quantifies LazyDP's headroom.
+    """
+    hw = hw or paper_system()
+    low, high = 10**9, float(hw.cpu.dram_capacity) * 2
+
+    def fits(size: float) -> bool:
+        config = mlperf_dlrm(int(size))
+        return not iteration_breakdown(algorithm, config, batch, hw=hw).oom
+
+    if not fits(low):
+        raise ValueError("even a 1 GB model does not fit")
+    while high / low > 1 + tolerance:
+        mid = (low * high) ** 0.5
+        if fits(mid):
+            low = mid
+        else:
+            high = mid
+    return low
+
+
+def break_even_model_bytes(batch: int = 2048,
+                           hw: HardwareSpec | None = None,
+                           tolerance: float = 0.01) -> float:
+    """Model size below which eager DP-SGD(F) is *faster* than LazyDP.
+
+    LazyDP pays fixed bookkeeping (dedup, history, an extra row-set of
+    sparse updates); for small enough tables the dense update is cheaper.
+    The crossover quantifies "how sparse does the problem need to be" —
+    far below any production model, which is the point.
+    """
+    hw = hw or paper_system()
+
+    def lazydp_wins(size: float) -> bool:
+        config = mlperf_dlrm(max(int(size), 10**6))
+        eager = end_to_end_seconds("dpsgd_f", config, batch, hw=hw)
+        lazy = end_to_end_seconds("lazydp", config, batch, hw=hw)
+        return lazy < eager
+
+    low, high = 10**6, 96 * 10**9
+    if lazydp_wins(low):
+        return float(low)  # LazyDP wins even at 1 MB of tables
+    while high / low > 1 + tolerance:
+        mid = (low * high) ** 0.5
+        if lazydp_wins(mid):
+            high = mid
+        else:
+            low = mid
+    return high

@@ -1,0 +1,53 @@
+"""Differential-privacy substrate: clipping, mechanisms, accounting, audit."""
+
+from .accountant import (
+    DEFAULT_ORDERS,
+    RDPAccountant,
+    compute_rdp,
+    rdp_gaussian,
+    rdp_sampled_gaussian,
+    rdp_to_epsilon,
+)
+from .audit import AuditResult, audit_untouched_rows
+from .gdp import (
+    analytic_gaussian_delta,
+    analytic_gaussian_epsilon,
+    analytic_gaussian_sigma,
+    classical_gaussian_sigma,
+)
+from .clipping import (
+    clip_dense_per_example,
+    clip_factors,
+    clipped_average_weights,
+    global_norms,
+)
+from .mechanisms import aggregated_noise_std, gradient_noise_std
+from .membership import (
+    MembershipAttackResult,
+    dp_advantage_bound,
+    loss_threshold_attack,
+)
+
+__all__ = [
+    "DEFAULT_ORDERS",
+    "RDPAccountant",
+    "compute_rdp",
+    "rdp_gaussian",
+    "rdp_sampled_gaussian",
+    "rdp_to_epsilon",
+    "AuditResult",
+    "audit_untouched_rows",
+    "analytic_gaussian_delta",
+    "analytic_gaussian_epsilon",
+    "analytic_gaussian_sigma",
+    "classical_gaussian_sigma",
+    "clip_dense_per_example",
+    "clip_factors",
+    "clipped_average_weights",
+    "global_norms",
+    "aggregated_noise_std",
+    "gradient_noise_std",
+    "MembershipAttackResult",
+    "dp_advantage_bound",
+    "loss_threshold_attack",
+]

@@ -1,0 +1,88 @@
+"""Empirical privacy audit of embedding tables.
+
+The paper's argument against EANA (Section 2.5): because EANA "never adds
+noise to an embedding vector if it has never been accessed", an adversary
+inspecting the final model learns *exactly* which feature values appeared
+in someone's training data — rows still holding their initialisation value
+were never accessed.  DP-SGD and LazyDP perturb every row, so the final
+table reveals nothing about which rows were touched.
+
+``audit_untouched_rows`` runs that attack: it flags rows whose final value
+equals the initial value and scores the flags against the ground-truth
+access set.  A perfect (1.0 precision/recall) attack is the EANA leak; an
+attack at chance level is what DP requires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class AuditResult:
+    """Outcome of the untouched-row identification attack on one table."""
+
+    num_rows: int
+    num_accessed: int
+    flagged_untouched: int
+    true_positives: int       # flagged rows that really were never accessed
+    false_positives: int      # flagged rows that were accessed after all
+
+    @property
+    def precision(self) -> float:
+        flagged = self.true_positives + self.false_positives
+        if flagged == 0:
+            return 0.0
+        return self.true_positives / flagged
+
+    @property
+    def recall(self) -> float:
+        untouched = self.num_rows - self.num_accessed
+        if untouched == 0:
+            return 0.0
+        return self.true_positives / untouched
+
+    @property
+    def leaks(self) -> bool:
+        """True when the attack recovers the access set essentially exactly."""
+        return self.recall > 0.99 and self.precision > 0.99
+
+
+def audit_untouched_rows(initial_table: np.ndarray, final_table: np.ndarray,
+                         accessed_rows: np.ndarray,
+                         atol: float = 0.0) -> AuditResult:
+    """Run the adversary of paper Section 2.5 against one trained table.
+
+    Parameters
+    ----------
+    initial_table, final_table:
+        The table before and after training.
+    accessed_rows:
+        Ground-truth row indices gathered at least once during training.
+    atol:
+        Tolerance for "the row did not move"; 0 demands exact equality.
+    """
+    if initial_table.shape != final_table.shape:
+        raise ValueError("table shapes must match")
+    num_rows = initial_table.shape[0]
+    accessed = np.zeros(num_rows, dtype=bool)
+    accessed[np.asarray(accessed_rows, dtype=np.int64)] = True
+
+    if atol == 0.0:
+        unchanged = np.all(final_table == initial_table, axis=1)
+    else:
+        unchanged = np.all(
+            np.abs(final_table - initial_table) <= atol, axis=1
+        )
+
+    true_positives = int(np.count_nonzero(unchanged & ~accessed))
+    false_positives = int(np.count_nonzero(unchanged & accessed))
+    return AuditResult(
+        num_rows=num_rows,
+        num_accessed=int(np.count_nonzero(accessed)),
+        flagged_untouched=int(np.count_nonzero(unchanged)),
+        true_positives=true_positives,
+        false_positives=false_positives,
+    )

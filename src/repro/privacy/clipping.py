@@ -1,0 +1,62 @@
+"""Per-example gradient clipping (DP-SGD step 2, paper Section 2.4).
+
+DP-SGD bounds each example's influence by scaling its gradient ``g_b`` to
+norm at most ``C``:
+
+    g_b <- g_b * min(1, C / ||g_b||)
+
+The three baseline algorithms differ only in how ``||g_b||`` is obtained
+(materialised per-example grads for DP-SGD(B), a norm-only first pass for
+DP-SGD(R), ghost norms for DP-SGD(F)); the clip factors themselves are
+identical, which is why all three train identical models (Section 2.5).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def clip_factors(norms: np.ndarray, max_norm: float) -> np.ndarray:
+    """``min(1, C / ||g_b||)`` per example, with 0-norm treated as factor 1."""
+    if max_norm <= 0:
+        raise ValueError("max_norm must be positive")
+    norms = np.asarray(norms, dtype=np.float64)
+    if np.any(norms < 0):
+        raise ValueError("norms must be non-negative")
+    factors = np.ones_like(norms)
+    # Divide only where the norm exceeds the bound; tiny norms would
+    # otherwise overflow the division (harmlessly, but noisily).
+    np.divide(max_norm, norms, out=factors, where=norms > max_norm)
+    return factors
+
+
+def clipped_average_weights(norms: np.ndarray, max_norm: float,
+                            batch_size: int) -> np.ndarray:
+    """Per-example weights for the reweighted backward pass.
+
+    ``w_b = min(1, C/||g_b||) / B`` — backpropagating with the output
+    gradients scaled by ``w_b`` yields the clipped averaged gradient in a
+    single per-batch pass (the DP-SGD(R)/(F) trick, [40], [13]).
+    """
+    if batch_size < 1:
+        raise ValueError("batch_size must be positive")
+    return clip_factors(norms, max_norm) / float(batch_size)
+
+
+def global_norms(norm_sq_contributions: list) -> np.ndarray:
+    """Combine per-layer ||g_b||^2 contributions into per-example L2 norms."""
+    if not norm_sq_contributions:
+        raise ValueError("need at least one contribution")
+    total = None
+    for contribution in norm_sq_contributions:
+        contribution = np.asarray(contribution, dtype=np.float64)
+        total = contribution if total is None else total + contribution
+    return np.sqrt(np.maximum(total, 0.0))
+
+
+def clip_dense_per_example(per_example: np.ndarray,
+                           factors: np.ndarray) -> np.ndarray:
+    """Scale each example's materialised gradient by its clip factor."""
+    factors = np.asarray(factors, dtype=np.float64)
+    shape = (-1,) + (1,) * (per_example.ndim - 1)
+    return per_example * factors.reshape(shape)

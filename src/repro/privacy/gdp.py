@@ -1,0 +1,91 @@
+"""The analytic Gaussian mechanism (Balle & Wang, ICML 2018).
+
+Gives the *exact* (epsilon, delta) profile of a single Gaussian-mechanism
+application with L2 sensitivity 1 and noise std ``sigma``:
+
+    delta(eps, sigma) = Phi(1/(2 sigma) - eps sigma)
+                        - e^eps * Phi(-1/(2 sigma) - eps sigma)
+
+This serves two roles in the reproduction:
+
+* a ground-truth cross-check for the RDP accountant — RDP composition is
+  an upper bound, so for a single full-batch step the accountant's
+  epsilon must dominate the analytic one (tested);
+* the calibration tool practitioners use to pick sigma for a one-shot
+  release (e.g. publishing a single flushed LazyDP model).
+
+The classical bound ``sigma = sqrt(2 ln(1.25/delta)) / eps`` is included
+for comparison; the analytic calibration is strictly tighter.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.stats import norm
+
+
+def analytic_gaussian_delta(sigma: float, epsilon: float) -> float:
+    """Exact delta of the sensitivity-1 Gaussian mechanism at epsilon."""
+    if sigma <= 0:
+        raise ValueError("sigma must be positive")
+    if epsilon < 0:
+        raise ValueError("epsilon must be non-negative")
+    a = 1.0 / (2.0 * sigma)
+    b = epsilon * sigma
+    return float(norm.cdf(a - b) - np.exp(epsilon) * norm.cdf(-a - b))
+
+
+def analytic_gaussian_epsilon(sigma: float, delta: float,
+                              tolerance: float = 1e-12) -> float:
+    """Smallest epsilon such that the mechanism is (epsilon, delta)-DP."""
+    if not 0.0 < delta < 1.0:
+        raise ValueError("delta must be in (0, 1)")
+    if analytic_gaussian_delta(sigma, 0.0) <= delta:
+        return 0.0
+    low, high = 0.0, 1.0
+    while analytic_gaussian_delta(sigma, high) > delta:
+        high *= 2.0
+        if high > 1e6:
+            raise RuntimeError("failed to bracket epsilon")
+    while high - low > tolerance * max(1.0, high):
+        mid = 0.5 * (low + high)
+        if analytic_gaussian_delta(sigma, mid) > delta:
+            low = mid
+        else:
+            high = mid
+    return high
+
+
+def analytic_gaussian_sigma(epsilon: float, delta: float,
+                            tolerance: float = 1e-9) -> float:
+    """Smallest sigma making the mechanism (epsilon, delta)-DP.
+
+    This is Balle & Wang's 'analytic calibration'; strictly less noise
+    than the classical bound, and valid for epsilon >= 1 where the
+    classical bound is not.
+    """
+    if epsilon <= 0:
+        raise ValueError("epsilon must be positive")
+    if not 0.0 < delta < 1.0:
+        raise ValueError("delta must be in (0, 1)")
+    low, high = 1e-6, 1.0
+    while analytic_gaussian_delta(high, epsilon) > delta:
+        high *= 2.0
+        if high > 1e9:
+            raise RuntimeError("failed to bracket sigma")
+    while high - low > tolerance * max(1.0, high):
+        mid = 0.5 * (low + high)
+        if analytic_gaussian_delta(mid, epsilon) > delta:
+            low = mid
+        else:
+            high = mid
+    return high
+
+
+def classical_gaussian_sigma(epsilon: float, delta: float) -> float:
+    """The textbook bound sqrt(2 ln(1.25/delta)) / epsilon (needs eps < 1)."""
+    if not 0.0 < epsilon < 1.0:
+        raise ValueError("the classical bound requires 0 < epsilon < 1")
+    if not 0.0 < delta < 1.0:
+        raise ValueError("delta must be in (0, 1)")
+    return float(np.sqrt(2.0 * np.log(1.25 / delta)) / epsilon)

@@ -1,0 +1,43 @@
+"""Gaussian-mechanism noise conventions shared by every trainer.
+
+DP-SGD (Abadi et al. [1]) adds ``N(0, sigma^2 C^2)`` to the *sum* of clipped
+per-example gradients, then divides by the batch size:
+
+    g_noisy = (1/B) * ( sum_b clip_C(g_b) + N(0, sigma^2 C^2 I) )
+
+so the per-coordinate noise applied to the averaged gradient has standard
+deviation ``sigma * C / B`` (paper Algorithm 1, lines 34 and 38).  Keeping
+this arithmetic in one place guarantees every variant — DP-SGD(B/R/F),
+EANA, LazyDP with or without ANS — adds *identically distributed* noise,
+which the equivalence tests rely on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def gradient_noise_std(noise_multiplier: float, max_norm: float,
+                       batch_size: int) -> float:
+    """Per-coordinate noise std applied to the averaged clipped gradient."""
+    if noise_multiplier < 0:
+        raise ValueError("noise_multiplier must be non-negative")
+    if max_norm <= 0:
+        raise ValueError("max_norm must be positive")
+    if batch_size < 1:
+        raise ValueError("batch_size must be positive")
+    return noise_multiplier * max_norm / float(batch_size)
+
+
+def aggregated_noise_std(noise_multiplier: float, max_norm: float,
+                         batch_size: int, delays: np.ndarray) -> np.ndarray:
+    """Std of one ANS draw replacing ``delays`` deferred noise values.
+
+    By Theorem 5.1 the sum of ``n`` i.i.d. ``N(0, s^2)`` values is
+    ``N(0, n s^2)``, so the replacement draw has std ``s * sqrt(n)``.
+    """
+    base = gradient_noise_std(noise_multiplier, max_norm, batch_size)
+    delays = np.asarray(delays, dtype=np.float64)
+    if np.any(delays < 0):
+        raise ValueError("delays must be non-negative")
+    return base * np.sqrt(delays)

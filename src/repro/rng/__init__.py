@@ -1,0 +1,52 @@
+"""Counter-based random number generation substrate.
+
+Provides the deterministic, coordinate-addressable Gaussian noise that makes
+LazyDP's lazy-vs-eager equivalence exactly testable, plus the Box-Muller
+kernel whose cost model mirrors the paper's characterisation (Section 4.3).
+"""
+
+from .boxmuller import (
+    BOX_MULLER_AVX_OPS,
+    NOISE_SAMPLING_PEAK_FRACTION,
+    NOISY_UPDATE_AVX_OPS,
+    NOISY_UPDATE_BANDWIDTH_FRACTION,
+    box_muller,
+    gaussians_from_uint32_block,
+)
+from .noise import (
+    DOMAIN_ANS_NOISE,
+    DOMAIN_DATA,
+    DOMAIN_DENSE_NOISE,
+    DOMAIN_INIT,
+    DOMAIN_ROW_NOISE,
+    NoiseStream,
+)
+from .philox import (
+    PHILOX_ROUNDS,
+    derive_key,
+    make_counters,
+    philox4x32,
+    splitmix64,
+    uniform_from_uint32,
+)
+
+__all__ = [
+    "BOX_MULLER_AVX_OPS",
+    "NOISE_SAMPLING_PEAK_FRACTION",
+    "NOISY_UPDATE_AVX_OPS",
+    "NOISY_UPDATE_BANDWIDTH_FRACTION",
+    "box_muller",
+    "gaussians_from_uint32_block",
+    "DOMAIN_ANS_NOISE",
+    "DOMAIN_DATA",
+    "DOMAIN_DENSE_NOISE",
+    "DOMAIN_INIT",
+    "DOMAIN_ROW_NOISE",
+    "NoiseStream",
+    "PHILOX_ROUNDS",
+    "derive_key",
+    "make_counters",
+    "philox4x32",
+    "splitmix64",
+    "uniform_from_uint32",
+]

@@ -1,0 +1,60 @@
+"""Box-Muller transform: uniforms -> independent standard Gaussians.
+
+The paper (Section 4.3) identifies PyTorch's ``torch.normal`` as a
+Box-Muller implementation whose AVX code path executes ~101 vector compute
+instructions per loaded vector (trigonometric + logarithmic series), making
+noise sampling compute-bound at 81% of peak AVX throughput.  We implement
+the same transform in numpy and export the instruction-count constants the
+performance model uses to place noise sampling on the roofline (Figure 6).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+# Per-element AVX compute-instruction counts measured by the paper for the
+# two bottleneck kernels (Section 4.3, Figure 6).  These calibrate the
+# roofline model; they are workload constants, not tunables.
+BOX_MULLER_AVX_OPS = 101   # noise sampling: trig/log series per element
+NOISY_UPDATE_AVX_OPS = 2   # noisy gradient update: multiply + add per element
+
+# Measured efficiency ceilings from the paper's microbenchmark (Section 4.3).
+NOISE_SAMPLING_PEAK_FRACTION = 0.81      # fraction of peak AVX GFLOPS reached
+NOISY_UPDATE_BANDWIDTH_FRACTION = 0.855  # fraction of DRAM bandwidth reached
+
+
+def box_muller(u1: np.ndarray, u2: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Transform two uniform arrays in (0, 1) into two standard normal arrays.
+
+    Implements the basic (non-polar) Box-Muller transform:
+
+        z0 = sqrt(-2 ln u1) * cos(2 pi u2)
+        z1 = sqrt(-2 ln u1) * sin(2 pi u2)
+
+    The polar variant avoids trig at the cost of rejection sampling; the
+    paper's kernel (and ours) uses the basic form because it vectorises
+    without divergence.
+    """
+    u1 = np.asarray(u1, dtype=np.float64)
+    u2 = np.asarray(u2, dtype=np.float64)
+    if np.any(u1 <= 0.0) or np.any(u1 > 1.0):
+        raise ValueError("u1 must lie in (0, 1]")
+    radius = np.sqrt(-2.0 * np.log(u1))
+    theta = 2.0 * np.pi * u2
+    return radius * np.cos(theta), radius * np.sin(theta)
+
+
+def gaussians_from_uint32_block(words: np.ndarray) -> np.ndarray:
+    """Turn a ``(n, 4)`` uint32 Philox output block into ``(n, 4)`` Gaussians.
+
+    Words 0/1 feed one Box-Muller pair and words 2/3 feed another, so each
+    128-bit Philox block yields four independent N(0, 1) samples.
+    """
+    from .philox import uniform_from_uint32
+
+    if words.ndim != 2 or words.shape[1] != 4:
+        raise ValueError(f"expected shape (n, 4), got {words.shape}")
+    u = uniform_from_uint32(words)
+    z0, z1 = box_muller(u[:, 0], u[:, 1])
+    z2, z3 = box_muller(u[:, 2], u[:, 3])
+    return np.stack([z0, z1, z2, z3], axis=1)

@@ -1,0 +1,164 @@
+"""Deterministic, coordinate-keyed Gaussian noise streams.
+
+``NoiseStream`` gives every DP noise value a *name*: the Gaussian destined
+for row ``r`` of table ``t`` at iteration ``i`` is a pure function of
+``(seed, t, r, i)``.  Eager DP-SGD applies that value at iteration ``i``;
+LazyDP applies the sum of several of them years (well, iterations) later.
+Because both consume the same named values, the two training schedules can
+be compared for *exact* equality, which is how we verify the paper's
+equivalence claim (Section 5.1) rather than taking it on faith.
+
+Domains keep unrelated consumers of randomness on disjoint key spaces:
+
+* ``DOMAIN_ROW_NOISE``   - per-(table, row, iteration) embedding noise
+* ``DOMAIN_ANS_NOISE``   - aggregated noise draws (one per deferred span)
+* ``DOMAIN_DENSE_NOISE`` - per-iteration MLP weight noise
+* ``DOMAIN_INIT``        - model weight initialisation
+* ``DOMAIN_DATA``        - synthetic trace generation
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .boxmuller import gaussians_from_uint32_block
+from .philox import derive_key, make_counters, philox4x32
+
+DOMAIN_ROW_NOISE = 1
+DOMAIN_ANS_NOISE = 2
+DOMAIN_DENSE_NOISE = 3
+DOMAIN_INIT = 4
+DOMAIN_DATA = 5
+
+_U32 = np.uint64(0xFFFFFFFF)
+
+
+class NoiseStream:
+    """Factory for deterministic Gaussian noise, keyed by coordinates.
+
+    Parameters
+    ----------
+    seed:
+        Master seed.  Two streams with the same seed produce identical
+        values for identical coordinates; different seeds are independent.
+    """
+
+    def __init__(self, seed: int):
+        self.seed = int(seed)
+
+    # ------------------------------------------------------------------
+    # Per-row embedding noise (the values LazyDP defers).
+    # ------------------------------------------------------------------
+    def row_noise(self, table_id: int, rows: np.ndarray, iteration: int,
+                  dim: int, std: float = 1.0) -> np.ndarray:
+        """N(0, std^2) noise for ``rows`` of ``table_id`` at ``iteration``.
+
+        Returns a ``(len(rows), dim)`` float64 array.  The value for a given
+        (table, row, iteration, lane) never depends on which other rows are
+        requested alongside it.
+        """
+        rows = np.asarray(rows, dtype=np.uint64)
+        if rows.ndim != 1:
+            raise ValueError("rows must be a 1-D array of row indices")
+        key = derive_key(self.seed, DOMAIN_ROW_NOISE, table_id)
+        gaussians = self._keyed_gaussians(key, rows, int(iteration), dim)
+        if std != 1.0:
+            gaussians *= std
+        return gaussians
+
+    def row_noise_sum(self, table_id: int, rows: np.ndarray,
+                      first_iteration: int, last_iteration: int,
+                      dim: int, std: float = 1.0) -> np.ndarray:
+        """Exact sum of per-iteration row noise over an inclusive range.
+
+        This is what LazyDP *without* ANS applies when it catches a row up:
+        the same values eager DP-SGD would have applied one at a time
+        (paper Algorithm 1, lines 31-35).
+        """
+        if last_iteration < first_iteration:
+            return np.zeros((len(np.atleast_1d(rows)), dim), dtype=np.float64)
+        total = None
+        for iteration in range(int(first_iteration), int(last_iteration) + 1):
+            sample = self.row_noise(table_id, rows, iteration, dim, std)
+            total = sample if total is None else total + sample
+        return total
+
+    def aggregated_row_noise(self, table_id: int, rows: np.ndarray,
+                             delays: np.ndarray, iteration: int,
+                             dim: int, std: float = 1.0) -> np.ndarray:
+        """One ANS draw per row: N(0, delays * std^2) (paper Theorem 5.1).
+
+        ``delays`` holds, per row, how many per-iteration noise values the
+        single draw replaces.  Rows with ``delays == 0`` get exactly zero.
+        The draw is keyed by the iteration at which the catch-up happens, so
+        repeated catch-ups of the same row use fresh randomness.
+        """
+        rows = np.asarray(rows, dtype=np.uint64)
+        delays = np.asarray(delays, dtype=np.float64)
+        if delays.shape != rows.shape:
+            raise ValueError("delays must align with rows")
+        if np.any(delays < 0):
+            raise ValueError("delays must be non-negative")
+        key = derive_key(self.seed, DOMAIN_ANS_NOISE, table_id)
+        gaussians = self._keyed_gaussians(key, rows, int(iteration), dim)
+        scale = std * np.sqrt(delays)
+        return gaussians * scale[:, None]
+
+    # ------------------------------------------------------------------
+    # Dense (MLP) noise and generic draws.
+    # ------------------------------------------------------------------
+    def dense_noise(self, param_id: int, iteration: int, shape: tuple,
+                    std: float = 1.0) -> np.ndarray:
+        """Per-iteration N(0, std^2) noise for a dense parameter tensor."""
+        count = int(np.prod(shape)) if shape else 1
+        key = derive_key(self.seed, DOMAIN_DENSE_NOISE, param_id)
+        flat = self._keyed_gaussians(
+            key, np.arange(1, dtype=np.uint64), int(iteration), count
+        )[0]
+        if std != 1.0:
+            flat = flat * std
+        return flat.reshape(shape)
+
+    def init_values(self, param_id: int, shape: tuple,
+                    std: float = 1.0) -> np.ndarray:
+        """Deterministic Gaussian weight-initialisation values."""
+        count = int(np.prod(shape)) if shape else 1
+        key = derive_key(self.seed, DOMAIN_INIT, param_id)
+        flat = self._keyed_gaussians(
+            key, np.arange(1, dtype=np.uint64), 0, count
+        )[0]
+        if std != 1.0:
+            flat = flat * std
+        return flat.reshape(shape)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _keyed_gaussians(key: np.ndarray, rows: np.ndarray, iteration: int,
+                         dim: int) -> np.ndarray:
+        """Produce ``(len(rows), dim)`` Gaussians for one (key, iteration).
+
+        Each Philox block yields 4 Gaussians, so a row of width ``dim``
+        consumes ``ceil(dim / 4)`` counter blocks distinguished by counter
+        word 3.
+        """
+        if dim <= 0:
+            raise ValueError("dim must be positive")
+        n_rows = rows.shape[0]
+        if n_rows == 0:
+            return np.zeros((0, dim), dtype=np.float64)
+        blocks_per_row = (dim + 3) // 4
+        row_lo = (rows & _U32).astype(np.uint32)
+        row_hi = (rows >> np.uint64(32)).astype(np.uint32)
+        block_idx = np.arange(blocks_per_row, dtype=np.uint32)
+        counters = make_counters(
+            np.repeat(row_lo, blocks_per_row),
+            np.repeat(row_hi, blocks_per_row),
+            np.uint32(iteration & 0xFFFFFFFF),
+            np.tile(block_idx, n_rows),
+        )
+        words = philox4x32(counters, key)
+        gaussians = gaussians_from_uint32_block(words)
+        gaussians = gaussians.reshape(n_rows, blocks_per_row * 4)
+        return np.ascontiguousarray(gaussians[:, :dim])

@@ -1,0 +1,244 @@
+"""Shared trainer machinery: hyper-parameters, stage timing, update kernels.
+
+Stage names deliberately mirror the paper's figure legends so benchmark
+output maps one-to-one onto Figures 3, 5, 10 and 11:
+
+* ``fwd``                    - forward propagation
+* ``bwd_per_example``        - per-example gradient / norm derivation
+* ``bwd_per_batch``          - per-batch (reweighted) gradient derivation
+* ``grad_coalescing``        - building sparse row gradients
+* ``noise_sampling``         - Gaussian sampling (the compute-bound stage)
+* ``noisy_grad_generation``  - merging gradient with noise
+* ``noisy_grad_update``      - applying updates to weights (memory-bound)
+* ``lazydp_dedup`` / ``lazydp_history_read`` / ``lazydp_history_update``
+                             - the pure LazyDP overheads of Figure 11
+* ``else``                   - everything not attributed above
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..data.loader import DataLoader, LookaheadLoader
+from ..nn.dlrm import DLRM
+from ..privacy.accountant import RDPAccountant
+from ..privacy.mechanisms import gradient_noise_std
+from ..rng import NoiseStream
+from .optimizers import DenseOptimizer, DenseSGD
+
+MODEL_UPDATE_STAGES = (
+    "grad_coalescing",
+    "noise_sampling",
+    "noisy_grad_generation",
+    "noisy_grad_update",
+    "lazydp_dedup",
+    "lazydp_history_read",
+    "lazydp_history_update",
+)
+
+LAZYDP_OVERHEAD_STAGES = (
+    "lazydp_dedup",
+    "lazydp_history_read",
+    "lazydp_history_update",
+)
+
+
+class StageTimer:
+    """Accumulates wall-clock time per named pipeline stage."""
+
+    def __init__(self):
+        self.totals: dict = {}
+
+    @contextmanager
+    def time(self, stage: str):
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.totals[stage] = self.totals.get(stage, 0.0) + elapsed
+
+    def total(self, *stages: str) -> float:
+        if not stages:
+            return sum(self.totals.values())
+        return sum(self.totals.get(stage, 0.0) for stage in stages)
+
+    def model_update_total(self) -> float:
+        return self.total(*MODEL_UPDATE_STAGES)
+
+    def lazydp_overhead_total(self) -> float:
+        return self.total(*LAZYDP_OVERHEAD_STAGES)
+
+    def as_dict(self) -> dict:
+        return dict(self.totals)
+
+
+@dataclass(frozen=True)
+class DPConfig:
+    """DP-SGD hyper-parameters (paper Figure 9a's wrapper arguments)."""
+
+    noise_multiplier: float = 1.1
+    max_grad_norm: float = 1.0
+    learning_rate: float = 0.05
+    delta: float = 1e-5
+
+    def noise_std(self, batch_size: int) -> float:
+        """Per-coordinate std of noise on the averaged clipped gradient."""
+        return gradient_noise_std(
+            self.noise_multiplier, self.max_grad_norm, batch_size
+        )
+
+
+@dataclass
+class TrainResult:
+    """Everything a ``fit`` run produced."""
+
+    algorithm: str
+    iterations: int
+    mean_losses: list = field(default_factory=list)
+    stage_times: dict = field(default_factory=dict)
+    epsilon: float | None = None
+    wall_time: float = 0.0
+
+    @property
+    def final_loss(self) -> float:
+        return self.mean_losses[-1] if self.mean_losses else float("nan")
+
+
+def merge_sparse_updates(rows_a: np.ndarray, values_a: np.ndarray,
+                         rows_b: np.ndarray, values_b: np.ndarray
+                         ) -> tuple[np.ndarray, np.ndarray]:
+    """Union two sparse row-update sets, summing values on shared rows.
+
+    This is Algorithm 1 line 20: ``noisy_gradient <- gradient + noise``,
+    where the gradient covers the current batch's rows and the noise covers
+    the next batch's rows.
+    """
+    if rows_a.size == 0:
+        return rows_b, values_b
+    if rows_b.size == 0:
+        return rows_a, values_a
+    rows = np.union1d(rows_a, rows_b)
+    dim = values_a.shape[1]
+    values = np.zeros((rows.shape[0], dim), dtype=np.float64)
+    values[np.searchsorted(rows, rows_a)] += values_a
+    values[np.searchsorted(rows, rows_b)] += values_b
+    return rows, values
+
+
+class TrainerBase:
+    """Common training loop; subclasses implement one DP-SGD variant each.
+
+    The loop walks a :class:`LookaheadLoader`, so every step sees the
+    current batch *and* the prefetched next batch.  Eager algorithms ignore
+    the lookahead; LazyDP uses it to schedule deferred noise.  Iterations
+    are 1-based to match Algorithm 1 (a ``HistoryTable`` value of 0 means
+    "all noise up to iteration 0", i.e. none).
+    """
+
+    name = "base"
+    is_private = True
+
+    def __init__(self, model: DLRM, config: DPConfig, noise_seed: int = 1234,
+                 dense_optimizer: DenseOptimizer | None = None):
+        self.model = model
+        self.config = config
+        self.noise_stream = NoiseStream(noise_seed)
+        self.timer = StageTimer()
+        self.accountant = RDPAccountant() if self.is_private else None
+        # Dense (MLP) parameters may use any update rule — the noise for
+        # them is applied eagerly every iteration, so statefulness is
+        # fine.  Embedding tables are pinned to the linear sparse update
+        # inside each trainer (LazyDP's deferral requires it; see
+        # repro.train.optimizers).
+        self.dense_optimizer = dense_optimizer or DenseSGD(
+            config.learning_rate
+        )
+        # With Poisson sampling the realised batch size fluctuates, but the
+        # DP convention (Opacus) averages and scales noise by the expected
+        # lot size; ``fit`` pins this from the loader.
+        self.expected_batch_size: int | None = None
+        # Optional learning-rate schedule.  Plain trainers leave this None
+        # (constant lr from config); the scheduled trainers in
+        # ``repro.train.schedules`` install one.  LazyDP must NOT be given
+        # a schedule through this attribute — deferred noise needs
+        # origin-iteration scaling, which only ScheduledLazyDPTrainer
+        # implements.
+        self.schedule = None
+
+    def _batch_denominator(self, batch) -> int:
+        return self.expected_batch_size or batch.size
+
+    def _learning_rate(self, iteration: int) -> float:
+        if self.schedule is not None:
+            return self.schedule.rate(iteration)
+        return self.config.learning_rate
+
+    # -- subclass hooks --------------------------------------------------
+    def train_step(self, iteration: int, batch, next_batch) -> float:
+        raise NotImplementedError
+
+    def finalize(self, final_iteration: int) -> None:
+        """Hook run once after the last iteration (LazyDP flushes here)."""
+
+    # -- main loop --------------------------------------------------------
+    def fit(self, loader: DataLoader) -> TrainResult:
+        start = time.perf_counter()
+        self.expected_batch_size = loader.batch_size
+        final_iteration = 0
+        losses = []
+        for index, batch, next_batch in LookaheadLoader(loader):
+            iteration = index + 1
+            loss = self.train_step(iteration, batch, next_batch)
+            losses.append(loss)
+            if self.accountant is not None:
+                self.accountant.step(
+                    self.config.noise_multiplier, loader.sample_rate
+                )
+            final_iteration = iteration
+        self.finalize(final_iteration)
+        epsilon = None
+        if self.accountant is not None and final_iteration > 0:
+            epsilon = self.accountant.get_epsilon(self.config.delta)
+        return TrainResult(
+            algorithm=self.name,
+            iterations=final_iteration,
+            mean_losses=losses,
+            stage_times=self.timer.as_dict(),
+            epsilon=epsilon,
+            wall_time=time.perf_counter() - start,
+        )
+
+    # -- shared update kernels ---------------------------------------------
+    def _apply_dense_noisy_updates(self, grads: dict, iteration: int,
+                                   noise_std: float) -> None:
+        """Noisy update for every dense (MLP) parameter.
+
+        All private variants treat the MLPs identically (paper Section
+        5.2.1: "both DP-SGD(F) and LazyDP apply the identical DP protection
+        for MLP layers").
+        """
+        if self.schedule is not None:
+            self.dense_optimizer.learning_rate = self._learning_rate(iteration)
+        for name, param in self.model.dense_parameters().items():
+            grad = grads[name]
+            with self.timer.time("noise_sampling"):
+                noise = self.noise_stream.dense_noise(
+                    param.param_id, iteration, param.shape, std=noise_std
+                )
+            with self.timer.time("noisy_grad_generation"):
+                noisy_grad = grad + noise
+            with self.timer.time("noisy_grad_update"):
+                self.dense_optimizer.update(param, noisy_grad)
+
+    def _apply_dense_plain_updates(self, grads: dict,
+                                   iteration: int) -> None:
+        if self.schedule is not None:
+            self.dense_optimizer.learning_rate = self._learning_rate(iteration)
+        with self.timer.time("noisy_grad_update"):
+            for name, param in self.model.dense_parameters().items():
+                self.dense_optimizer.update(param, grads[name])

@@ -1,0 +1,40 @@
+"""EANA (Ning et al. [52]): noise only where the gradient is.
+
+EANA sidesteps the dense noisy update by adding noise exclusively to the
+embedding rows *accessed in the current iteration*.  That restores sparse
+updates and high throughput — but breaks DP-SGD's guarantee: a row that no
+example ever touches never moves, so the final table reveals which feature
+values exist in the training data (paper Section 2.5; demonstrated by
+``repro.privacy.audit``).  Implemented as the comparison point of
+Figure 14.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .common import merge_sparse_updates
+from .dpsgd import DPSGDFTrainer
+
+
+class EANATrainer(DPSGDFTrainer):
+    """DP-SGD(F) clipping pipeline with accessed-rows-only noise."""
+
+    name = "eana"
+
+    def _apply_embedding_dense_noisy_update(self, table_index: int, bag,
+                                            sparse_grad, iteration: int,
+                                            noise_std: float) -> None:
+        lr = self._learning_rate(iteration)
+        with self.timer.time("noise_sampling"):
+            noise_values = self.noise_stream.row_noise(
+                table_index, sparse_grad.rows, iteration, bag.dim,
+                std=noise_std,
+            )
+        with self.timer.time("noisy_grad_generation"):
+            rows, values = merge_sparse_updates(
+                sparse_grad.rows, sparse_grad.values,
+                sparse_grad.rows, noise_values,
+            )
+        with self.timer.time("noisy_grad_update"):
+            bag.table.data[rows] -= lr * values

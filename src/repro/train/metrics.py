@@ -1,0 +1,137 @@
+"""Evaluation metrics for CTR models, implemented from scratch.
+
+The paper evaluates throughput, not utility, but its motivation rests on
+the privacy-utility results of Denison et al. [13]; these metrics make
+that axis measurable here (see ``examples/utility_vs_privacy.py``):
+
+* ROC AUC — the standard CTR ranking metric, computed exactly via the
+  Mann-Whitney statistic with proper tie handling;
+* log loss — the (capped) BCE on probabilities;
+* calibration — predicted-vs-observed positive rate per probability bin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..data.batch import Batch
+from ..nn.dlrm import DLRM
+from ..nn.functional import sigmoid
+
+
+def roc_auc(labels: np.ndarray, scores: np.ndarray) -> float:
+    """Exact ROC AUC via the rank-sum (Mann-Whitney U) statistic.
+
+    Ties in ``scores`` receive average ranks, matching
+    ``sklearn.metrics.roc_auc_score``.  Requires both classes present.
+    """
+    labels = np.asarray(labels, dtype=np.float64)
+    scores = np.asarray(scores, dtype=np.float64)
+    if labels.shape != scores.shape or labels.ndim != 1:
+        raise ValueError("labels and scores must be aligned 1-D arrays")
+    positives = int(np.count_nonzero(labels == 1.0))
+    negatives = int(np.count_nonzero(labels == 0.0))
+    if positives + negatives != labels.size:
+        raise ValueError("labels must be binary (0/1)")
+    if positives == 0 or negatives == 0:
+        raise ValueError("AUC needs both classes present")
+
+    order = np.argsort(scores, kind="mergesort")
+    sorted_scores = scores[order]
+    ranks = np.empty(labels.size, dtype=np.float64)
+    # Average ranks over tie groups.
+    boundaries = np.nonzero(np.diff(sorted_scores))[0] + 1
+    group_starts = np.concatenate(([0], boundaries))
+    group_ends = np.concatenate((boundaries, [labels.size]))
+    for start, end in zip(group_starts, group_ends):
+        ranks[order[start:end]] = 0.5 * (start + 1 + end)
+    rank_sum_positive = ranks[labels == 1.0].sum()
+    u_statistic = rank_sum_positive - positives * (positives + 1) / 2.0
+    return float(u_statistic / (positives * negatives))
+
+
+def log_loss(labels: np.ndarray, probabilities: np.ndarray,
+             epsilon: float = 1e-12) -> float:
+    """Mean binary cross-entropy on probabilities, clipped away from 0/1."""
+    labels = np.asarray(labels, dtype=np.float64)
+    probabilities = np.clip(
+        np.asarray(probabilities, dtype=np.float64), epsilon, 1.0 - epsilon
+    )
+    if labels.shape != probabilities.shape:
+        raise ValueError("labels and probabilities must be aligned")
+    losses = -(labels * np.log(probabilities)
+               + (1.0 - labels) * np.log(1.0 - probabilities))
+    return float(losses.mean())
+
+
+@dataclass(frozen=True)
+class CalibrationBin:
+    lower: float
+    upper: float
+    count: int
+    mean_predicted: float
+    observed_rate: float
+
+
+def calibration_bins(labels: np.ndarray, probabilities: np.ndarray,
+                     num_bins: int = 10) -> list:
+    """Reliability-diagram bins: predicted vs observed positive rate."""
+    if num_bins < 1:
+        raise ValueError("num_bins must be positive")
+    labels = np.asarray(labels, dtype=np.float64)
+    probabilities = np.asarray(probabilities, dtype=np.float64)
+    edges = np.linspace(0.0, 1.0, num_bins + 1)
+    bins = []
+    for i in range(num_bins):
+        lower, upper = edges[i], edges[i + 1]
+        if i == num_bins - 1:
+            mask = (probabilities >= lower) & (probabilities <= upper)
+        else:
+            mask = (probabilities >= lower) & (probabilities < upper)
+        count = int(np.count_nonzero(mask))
+        if count == 0:
+            bins.append(CalibrationBin(lower, upper, 0, float("nan"),
+                                       float("nan")))
+        else:
+            bins.append(CalibrationBin(
+                lower, upper, count,
+                float(probabilities[mask].mean()),
+                float(labels[mask].mean()),
+            ))
+    return bins
+
+
+def expected_calibration_error(labels: np.ndarray,
+                               probabilities: np.ndarray,
+                               num_bins: int = 10) -> float:
+    """Count-weighted |predicted - observed| over calibration bins."""
+    bins = calibration_bins(labels, probabilities, num_bins)
+    total = sum(b.count for b in bins)
+    if total == 0:
+        return float("nan")
+    return float(sum(
+        b.count * abs(b.mean_predicted - b.observed_rate)
+        for b in bins if b.count > 0
+    ) / total)
+
+
+def evaluate_model(model: DLRM, batches: list) -> dict:
+    """AUC / log-loss / ECE of a model over held-out batches."""
+    all_labels = []
+    all_scores = []
+    for batch in batches:
+        if not isinstance(batch, Batch):
+            raise TypeError("expected Batch instances")
+        logits = model.forward(batch)
+        all_labels.append(batch.labels)
+        all_scores.append(sigmoid(logits))
+    labels = np.concatenate(all_labels)
+    scores = np.concatenate(all_scores)
+    return {
+        "auc": roc_auc(labels, scores),
+        "log_loss": log_loss(labels, scores),
+        "ece": expected_calibration_error(labels, scores),
+        "examples": int(labels.size),
+    }

@@ -1,0 +1,73 @@
+"""Tests for the untouched-row privacy audit."""
+
+import numpy as np
+import pytest
+
+from repro.privacy import AuditResult, audit_untouched_rows
+
+
+def make_tables(rows=20, dim=4, seed=0):
+    rng = np.random.default_rng(seed)
+    initial = rng.normal(size=(rows, dim))
+    return initial, initial.copy()
+
+
+class TestAudit:
+    def test_eana_style_leak_detected(self):
+        """Accessed rows move, untouched rows don't -> perfect attack."""
+        initial, final = make_tables()
+        accessed = np.array([0, 3, 7])
+        final[accessed] += 0.5
+        result = audit_untouched_rows(initial, final, accessed)
+        assert result.leaks
+        assert result.precision == 1.0
+        assert result.recall == 1.0
+        assert result.true_positives == 17
+        assert result.false_positives == 0
+
+    def test_dp_style_no_leak(self):
+        """Every row perturbed (dense noise) -> nothing to flag."""
+        initial, final = make_tables(seed=1)
+        final += np.random.default_rng(2).normal(scale=1e-3, size=final.shape)
+        result = audit_untouched_rows(initial, final, np.array([0, 1]))
+        assert not result.leaks
+        assert result.flagged_untouched == 0
+        assert result.recall == 0.0
+
+    def test_tolerance_widens_flagging(self):
+        initial, final = make_tables(seed=3)
+        final += 1e-6  # sub-tolerance perturbation everywhere
+        accessed = np.array([5])
+        final[5] += 1.0
+        strict = audit_untouched_rows(initial, final, accessed, atol=0.0)
+        loose = audit_untouched_rows(initial, final, accessed, atol=1e-3)
+        assert strict.flagged_untouched == 0
+        assert loose.flagged_untouched == 19
+        assert loose.leaks
+
+    def test_all_rows_accessed(self):
+        initial, final = make_tables(rows=4)
+        final += 1.0
+        result = audit_untouched_rows(initial, final, np.arange(4))
+        assert result.recall == 0.0
+        assert not result.leaks
+
+    def test_shape_mismatch_rejected(self):
+        initial, _ = make_tables()
+        with pytest.raises(ValueError):
+            audit_untouched_rows(initial, initial[:5], np.array([0]))
+
+    def test_precision_with_false_positives(self):
+        result = AuditResult(
+            num_rows=10, num_accessed=4, flagged_untouched=4,
+            true_positives=2, false_positives=2,
+        )
+        assert result.precision == 0.5
+        assert result.recall == pytest.approx(2 / 6)
+
+    def test_zero_flagged_precision(self):
+        result = AuditResult(
+            num_rows=10, num_accessed=4, flagged_untouched=0,
+            true_positives=0, false_positives=0,
+        )
+        assert result.precision == 0.0

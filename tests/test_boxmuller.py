@@ -1,0 +1,106 @@
+"""Tests for the Box-Muller transform and its workload constants."""
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.rng import (
+    BOX_MULLER_AVX_OPS,
+    NOISE_SAMPLING_PEAK_FRACTION,
+    NOISY_UPDATE_AVX_OPS,
+    NOISY_UPDATE_BANDWIDTH_FRACTION,
+    box_muller,
+    derive_key,
+    gaussians_from_uint32_block,
+    make_counters,
+    philox4x32,
+)
+
+
+def _uniform_pairs(n, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.random(n) * (1 - 1e-12) + 1e-12, rng.random(n)
+
+
+class TestBoxMuller:
+    def test_output_shapes(self):
+        u1, u2 = _uniform_pairs(100)
+        z0, z1 = box_muller(u1, u2)
+        assert z0.shape == (100,)
+        assert z1.shape == (100,)
+
+    def test_deterministic(self):
+        u1, u2 = _uniform_pairs(10)
+        assert np.array_equal(box_muller(u1, u2)[0], box_muller(u1, u2)[0])
+
+    def test_known_value(self):
+        """u1 = 1 gives radius 0, so both outputs are exactly 0."""
+        z0, z1 = box_muller(np.array([1.0]), np.array([0.25]))
+        assert z0[0] == 0.0
+        assert z1[0] == 0.0
+
+    def test_moments(self):
+        u1, u2 = _uniform_pairs(200000, seed=1)
+        z0, z1 = box_muller(u1, u2)
+        samples = np.concatenate([z0, z1])
+        assert abs(samples.mean()) < 0.01
+        assert abs(samples.std() - 1.0) < 0.01
+        assert abs(stats.skew(samples)) < 0.02
+
+    def test_normality_kolmogorov_smirnov(self):
+        u1, u2 = _uniform_pairs(50000, seed=2)
+        z0, _ = box_muller(u1, u2)
+        _, p_value = stats.kstest(z0, "norm")
+        assert p_value > 0.001
+
+    def test_pair_independence(self):
+        u1, u2 = _uniform_pairs(100000, seed=3)
+        z0, z1 = box_muller(u1, u2)
+        assert abs(np.corrcoef(z0, z1)[0, 1]) < 0.01
+
+    def test_rejects_zero_u1(self):
+        with pytest.raises(ValueError):
+            box_muller(np.array([0.0]), np.array([0.5]))
+
+    def test_rejects_u1_above_one(self):
+        with pytest.raises(ValueError):
+            box_muller(np.array([1.5]), np.array([0.5]))
+
+
+class TestBlockConversion:
+    def test_shape(self):
+        words = philox4x32(
+            make_counters(np.arange(64, dtype=np.uint32), np.uint32(0),
+                          np.uint32(0), np.uint32(0)),
+            derive_key(0),
+        )
+        gaussians = gaussians_from_uint32_block(words)
+        assert gaussians.shape == (64, 4)
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            gaussians_from_uint32_block(np.zeros((4, 3), dtype=np.uint32))
+
+    def test_statistics(self):
+        words = philox4x32(
+            make_counters(np.arange(50000, dtype=np.uint32), np.uint32(0),
+                          np.uint32(0), np.uint32(0)),
+            derive_key(9),
+        )
+        samples = gaussians_from_uint32_block(words).ravel()
+        assert abs(samples.mean()) < 0.01
+        assert abs(samples.std() - 1.0) < 0.01
+
+
+class TestWorkloadConstants:
+    """The paper's measured kernel characteristics (Section 4.3)."""
+
+    def test_noise_sampling_op_count(self):
+        assert BOX_MULLER_AVX_OPS == 101
+
+    def test_noisy_update_op_count(self):
+        assert NOISY_UPDATE_AVX_OPS == 2
+
+    def test_efficiency_fractions(self):
+        assert NOISE_SAMPLING_PEAK_FRACTION == pytest.approx(0.81)
+        assert NOISY_UPDATE_BANDWIDTH_FRACTION == pytest.approx(0.855)

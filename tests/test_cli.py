@@ -1,0 +1,83 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestTrainCommand:
+    def test_trains_and_reports(self, capsys):
+        code = main([
+            "train", "--algorithm", "lazydp", "--rows", "512",
+            "--batch", "32", "--iterations", "3",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "lazydp" in out
+        assert "epsilon" in out
+        assert "stage breakdown" in out
+
+    def test_sgd_has_no_epsilon(self, capsys):
+        main(["train", "--algorithm", "sgd", "--rows", "256",
+              "--batch", "16", "--iterations", "2"])
+        out = capsys.readouterr().out
+        assert "epsilon" not in out
+
+    def test_skewed_training(self, capsys):
+        code = main([
+            "train", "--algorithm", "eana", "--rows", "512",
+            "--batch", "16", "--iterations", "2", "--skew", "high",
+        ])
+        assert code == 0
+
+    def test_rejects_unknown_algorithm(self):
+        with pytest.raises(SystemExit):
+            main(["train", "--algorithm", "adam"])
+
+
+class TestFiguresCommand:
+    def test_single_figure(self, capsys):
+        code = main(["figures", "--which", "figure13a"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "paper" in out
+        assert "OOM" in out
+
+    def test_rejects_unknown_figure(self):
+        with pytest.raises(SystemExit):
+            main(["figures", "--which", "figure99"])
+
+
+class TestReportCommand:
+    def test_writes_file(self, tmp_path, capsys):
+        path = tmp_path / "report.md"
+        code = main(["report", "--output", str(path)])
+        assert code == 0
+        content = path.read_text()
+        assert "Figure 10" in content
+        assert "reproduced" in content
+
+
+class TestAuditCommand:
+    def test_audit_verdicts(self, capsys):
+        code = main(["audit", "--rows", "512", "--batch", "32",
+                     "--iterations", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "LEAKS" in out       # EANA
+        assert "protected" in out   # LazyDP
+
+
+class TestScoreCommand:
+    def test_scoreboard_passes(self, capsys):
+        code = main(["score"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "within tolerance" in out
+        assert "FAIL" not in out
+
+
+class TestArgumentValidation:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,94 @@
+"""Tests for per-example gradient clipping."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.privacy import (
+    clip_dense_per_example,
+    clip_factors,
+    clipped_average_weights,
+    global_norms,
+)
+
+norm_arrays = hnp.arrays(
+    np.float64, st.integers(min_value=1, max_value=32),
+    elements=st.floats(min_value=0.0, max_value=1e6),
+)
+
+
+class TestClipFactors:
+    def test_small_norms_untouched(self):
+        factors = clip_factors(np.array([0.5, 0.9]), max_norm=1.0)
+        np.testing.assert_allclose(factors, [1.0, 1.0])
+
+    def test_large_norms_scaled(self):
+        factors = clip_factors(np.array([2.0, 4.0]), max_norm=1.0)
+        np.testing.assert_allclose(factors, [0.5, 0.25])
+
+    def test_zero_norm_safe(self):
+        assert clip_factors(np.array([0.0]), 1.0)[0] == 1.0
+
+    def test_rejects_nonpositive_max_norm(self):
+        with pytest.raises(ValueError):
+            clip_factors(np.array([1.0]), 0.0)
+
+    def test_rejects_negative_norms(self):
+        with pytest.raises(ValueError):
+            clip_factors(np.array([-1.0]), 1.0)
+
+    @given(norm_arrays, st.floats(min_value=1e-3, max_value=1e3))
+    def test_clipped_norm_never_exceeds_bound(self, norms, max_norm):
+        factors = clip_factors(norms, max_norm)
+        clipped = norms * factors
+        assert np.all(clipped <= max_norm * (1 + 1e-9))
+
+    @given(norm_arrays, st.floats(min_value=1e-3, max_value=1e3))
+    def test_factors_in_unit_interval(self, norms, max_norm):
+        factors = clip_factors(norms, max_norm)
+        assert np.all(factors > 0.0)
+        assert np.all(factors <= 1.0)
+
+
+class TestClippedAverageWeights:
+    def test_divides_by_batch(self):
+        weights = clipped_average_weights(np.array([0.5, 2.0]), 1.0, 4)
+        np.testing.assert_allclose(weights, [0.25, 0.125])
+
+    def test_rejects_bad_batch(self):
+        with pytest.raises(ValueError):
+            clipped_average_weights(np.array([1.0]), 1.0, 0)
+
+
+class TestGlobalNorms:
+    def test_combines_contributions(self):
+        norms = global_norms([np.array([9.0]), np.array([16.0])])
+        np.testing.assert_allclose(norms, [5.0])
+
+    def test_single_contribution(self):
+        np.testing.assert_allclose(
+            global_norms([np.array([4.0, 0.0])]), [2.0, 0.0]
+        )
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            global_norms([])
+
+    def test_negative_rounding_clamped(self):
+        # Tiny negative values from float error must not NaN the sqrt.
+        norms = global_norms([np.array([-1e-18])])
+        assert norms[0] == 0.0
+
+
+class TestClipDensePerExample:
+    def test_scales_each_example(self):
+        grads = np.ones((2, 3, 4))
+        out = clip_dense_per_example(grads, np.array([0.5, 2.0]))
+        assert np.all(out[0] == 0.5)
+        assert np.all(out[1] == 2.0)
+
+    def test_preserves_shape(self):
+        grads = np.zeros((3, 2))
+        assert clip_dense_per_example(grads, np.ones(3)).shape == (3, 2)

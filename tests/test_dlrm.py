@@ -1,0 +1,177 @@
+"""Tests for the assembled DLRM model and its DP gradient views."""
+
+import numpy as np
+import pytest
+
+from repro import configs
+from repro.data import SyntheticClickDataset
+from repro.nn import DLRM
+
+from conftest import numeric_gradient
+
+
+@pytest.fixture
+def setup():
+    config = configs.tiny_dlrm(num_tables=2, rows=16, dim=4, lookups=2)
+    model = DLRM(config, seed=1)
+    dataset = SyntheticClickDataset(config, seed=2)
+    batch = dataset.batch(np.arange(5))
+    return config, model, batch
+
+
+class TestConstruction:
+    def test_parameter_inventory(self, setup):
+        config, model, _ = setup
+        params = model.parameters()
+        # bottom: 2 linears, top: 2 linears -> 8 dense params + 2 tables.
+        assert len(params) == 10
+        assert len(model.embedding_parameters()) == 2
+        assert len(model.dense_parameters()) == 8
+
+    def test_same_seed_same_weights(self, setup):
+        config, model, _ = setup
+        clone = DLRM(config, seed=1)
+        for name, param in model.parameters().items():
+            np.testing.assert_array_equal(param.data, clone.parameters()[name].data)
+
+    def test_different_seed_different_weights(self, setup):
+        config, model, _ = setup
+        other = DLRM(config, seed=2)
+        assert any(
+            not np.array_equal(param.data, other.parameters()[name].data)
+            for name, param in model.parameters().items()
+        )
+
+    def test_parameter_count_matches_config(self, setup):
+        config, model, _ = setup
+        assert model.parameter_count() == (
+            config.mlp_params + config.total_embedding_params
+        )
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            configs.DLRMConfig(
+                name="bad", dense_features=4, bottom_mlp=(8, 9),
+                embedding_dim=8, table_rows=(10,), lookups_per_table=1,
+                top_mlp=(4, 1),
+            )
+        with pytest.raises(ValueError):
+            configs.DLRMConfig(
+                name="bad", dense_features=4, bottom_mlp=(8,),
+                embedding_dim=8, table_rows=(10,), lookups_per_table=0,
+                top_mlp=(4, 1),
+            )
+
+
+class TestForward:
+    def test_logit_shape(self, setup):
+        _, model, batch = setup
+        assert model.forward(batch).shape == (5,)
+
+    def test_loss_shape_and_finite(self, setup):
+        _, model, batch = setup
+        losses = model.loss(batch)
+        assert losses.shape == (5,)
+        assert np.all(np.isfinite(losses))
+        assert np.all(losses >= 0.0)
+
+    def test_rejects_table_mismatch(self, setup):
+        config, model, _ = setup
+        other_config = configs.tiny_dlrm(num_tables=3, rows=16, dim=4)
+        other_batch = SyntheticClickDataset(other_config, seed=0).batch(
+            np.arange(2)
+        )
+        with pytest.raises(ValueError):
+            model.forward(other_batch)
+
+    def test_loss_grad_requires_forward(self, setup):
+        config, _, batch = setup
+        fresh = DLRM(config, seed=3)
+        with pytest.raises(RuntimeError):
+            fresh.loss_grad_per_example(batch)
+
+    def test_deterministic_forward(self, setup):
+        _, model, batch = setup
+        np.testing.assert_array_equal(model.forward(batch), model.forward(batch))
+
+
+class TestGradients:
+    def test_embedding_grad_numeric(self, setup):
+        """Full-model gradcheck through to an embedding table."""
+        _, model, batch = setup
+        table = model.embeddings[0].table
+        original = table.data.copy()
+        # Only check rows the batch actually touches (others have zero grad).
+        touched = batch.accessed_rows(0)
+
+        def total_loss(table_values):
+            table.data = table_values
+            return float(model.loss(batch).sum())
+
+        numeric = numeric_gradient(total_loss, original.copy())
+        table.data = original
+        model.loss(batch)
+        model.backward(model.loss_grad_per_example(batch))
+        sparse = model.batch_grads()[table.name]
+        dense = sparse.to_dense(table.data.shape[0])
+        np.testing.assert_allclose(dense[touched], numeric[touched], atol=1e-5)
+        untouched = np.setdiff1d(np.arange(table.data.shape[0]), touched)
+        assert np.all(numeric[untouched] == 0.0)
+
+    def test_mlp_weight_grad_numeric(self, setup):
+        _, model, batch = setup
+        linear = model.top_mlp.linears[-1]
+        original = linear.weight.data.copy()
+
+        def total_loss(weight_values):
+            linear.weight.data = weight_values
+            return float(model.loss(batch).sum())
+
+        numeric = numeric_gradient(total_loss, original.copy())
+        linear.weight.data = original
+        model.loss(batch)
+        model.backward(model.loss_grad_per_example(batch))
+        grads = model.batch_grads()
+        np.testing.assert_allclose(
+            grads[linear.weight.name], numeric, atol=1e-5
+        )
+
+    def test_per_example_dense_sums_to_batch(self, setup):
+        _, model, batch = setup
+        model.loss(batch)
+        model.backward(model.loss_grad_per_example(batch))
+        per_example = model.per_example_dense_grads()
+        batch_grads = model.batch_grads()
+        for name, grad in per_example.items():
+            np.testing.assert_allclose(
+                grad.sum(axis=0), batch_grads[name], atol=1e-10
+            )
+
+    def test_ghost_norms_match_materialised(self, setup):
+        """DP-SGD(F)'s norms equal DP-SGD(B)'s, across the whole model."""
+        config, model, batch = setup
+        model.loss(batch)
+        model.backward(model.loss_grad_per_example(batch))
+        ghost = model.ghost_norm_sq()
+        expected = np.zeros(batch.size)
+        for grad in model.per_example_dense_grads().values():
+            expected += (grad.reshape(batch.size, -1) ** 2).sum(axis=1)
+        for t, pairs in enumerate(model.per_example_embedding_pairs().values()):
+            rows = config.table_rows[t]
+            dense = pairs.dense_per_example(rows)
+            expected += (dense.reshape(batch.size, -1) ** 2).sum(axis=1)
+        np.testing.assert_allclose(ghost, expected, rtol=1e-9)
+
+    def test_weighted_grads_match_per_example_combination(self, setup):
+        _, model, batch = setup
+        model.loss(batch)
+        model.backward(model.loss_grad_per_example(batch))
+        weights = np.linspace(0.2, 1.0, batch.size)
+        weighted = model.weighted_grads(weights)
+        per_example = model.per_example_dense_grads()
+        for name, grad in per_example.items():
+            np.testing.assert_allclose(
+                weighted[name],
+                np.einsum("b...,b->...", grad, weights),
+                atol=1e-10,
+            )

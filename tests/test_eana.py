@@ -1,0 +1,108 @@
+"""Tests for EANA and its privacy leak (paper Section 2.5 / Figure 14)."""
+
+import numpy as np
+import pytest
+
+from repro import configs
+from repro.data import SyntheticClickDataset, DataLoader
+from repro.nn import DLRM
+from repro.privacy import audit_untouched_rows
+
+from conftest import train_algorithm
+
+
+@pytest.fixture
+def config():
+    return configs.tiny_dlrm(num_tables=2, rows=64, dim=8, lookups=1)
+
+
+def accessed_rows_of_run(config, table, batch_size=8, num_batches=4,
+                         seed=5, data_seed=3):
+    # Must mirror conftest.make_loader exactly so the trace matches the
+    # one the trainer consumed.
+    dataset = SyntheticClickDataset(config, seed=data_seed,
+                                    num_examples=1 << 12)
+    loader = DataLoader(dataset, batch_size=batch_size,
+                        num_batches=num_batches, seed=seed)
+    rows = [batch.accessed_rows(table) for batch in loader]
+    return np.unique(np.concatenate(rows))
+
+
+class TestEANALeak:
+    def test_untouched_rows_never_move(self, config):
+        model, _, _ = train_algorithm("eana", config, batch_size=8,
+                                      num_batches=4)
+        reference = DLRM(config, seed=7)
+        for t, bag in enumerate(model.embeddings):
+            accessed = accessed_rows_of_run(config, t)
+            untouched = np.setdiff1d(np.arange(bag.num_rows), accessed)
+            np.testing.assert_array_equal(
+                bag.table.data[untouched],
+                reference.embeddings[t].table.data[untouched],
+            )
+
+    def test_audit_recovers_access_set(self, config):
+        """The paper's attack: unchanged rows reveal 'never accessed'."""
+        model, _, _ = train_algorithm("eana", config, batch_size=8,
+                                      num_batches=4)
+        reference = DLRM(config, seed=7)
+        for t, bag in enumerate(model.embeddings):
+            accessed = accessed_rows_of_run(config, t)
+            result = audit_untouched_rows(
+                reference.embeddings[t].table.data, bag.table.data, accessed
+            )
+            assert result.leaks
+
+    def test_dpsgd_defeats_the_same_audit(self, config):
+        model, _, _ = train_algorithm("dpsgd_f", config, batch_size=8,
+                                      num_batches=4)
+        reference = DLRM(config, seed=7)
+        for t, bag in enumerate(model.embeddings):
+            accessed = accessed_rows_of_run(config, t)
+            result = audit_untouched_rows(
+                reference.embeddings[t].table.data, bag.table.data, accessed
+            )
+            assert not result.leaks
+            assert result.flagged_untouched == 0
+
+    def test_lazydp_defeats_the_same_audit(self, config):
+        """After the terminal flush every row has moved, like DP-SGD."""
+        model, _, _ = train_algorithm("lazydp", config, batch_size=8,
+                                      num_batches=4)
+        reference = DLRM(config, seed=7)
+        for t, bag in enumerate(model.embeddings):
+            accessed = accessed_rows_of_run(config, t)
+            result = audit_untouched_rows(
+                reference.embeddings[t].table.data, bag.table.data, accessed
+            )
+            assert not result.leaks
+            assert result.flagged_untouched == 0
+
+
+class TestEANABehaviour:
+    def test_accessed_rows_receive_noise(self, config):
+        """Even zero-gradient accessed rows move (noise is added)."""
+        model, _, _ = train_algorithm("eana", config, batch_size=8,
+                                      num_batches=1)
+        reference = DLRM(config, seed=7)
+        for t, bag in enumerate(model.embeddings):
+            accessed = accessed_rows_of_run(config, t, num_batches=1)
+            moved = ~np.all(
+                bag.table.data[accessed]
+                == reference.embeddings[t].table.data[accessed],
+                axis=1,
+            )
+            assert np.all(moved)
+
+    def test_mlp_params_still_fully_private(self, config):
+        """EANA only relaxes the embedding noise; MLPs get dense noise."""
+        model, _, _ = train_algorithm("eana", config, num_batches=1)
+        reference = DLRM(config, seed=7)
+        for name, param in model.dense_parameters().items():
+            assert not np.array_equal(
+                param.data, reference.parameters()[name].data
+            )
+
+    def test_loss_stays_finite(self, config):
+        _, result, _ = train_algorithm("eana", config, num_batches=6)
+        assert np.all(np.isfinite(result.mean_losses))

@@ -1,0 +1,99 @@
+"""Tests for the stateless numerical primitives."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.nn import bce_with_logits, bce_with_logits_grad, relu, relu_grad, sigmoid
+
+finite_floats = st.floats(min_value=-50, max_value=50, allow_nan=False)
+
+
+class TestSigmoid:
+    def test_midpoint(self):
+        assert sigmoid(np.array([0.0]))[0] == pytest.approx(0.5)
+
+    def test_symmetry(self):
+        x = np.linspace(-10, 10, 101)
+        np.testing.assert_allclose(sigmoid(x) + sigmoid(-x), 1.0, atol=1e-12)
+
+    def test_extreme_values_stable(self):
+        out = sigmoid(np.array([-1000.0, 1000.0]))
+        assert out[0] == pytest.approx(0.0)
+        assert out[1] == pytest.approx(1.0)
+        assert np.all(np.isfinite(out))
+
+    @given(hnp.arrays(np.float64, 10, elements=finite_floats))
+    def test_range(self, x):
+        out = sigmoid(x)
+        assert np.all(out >= 0.0)
+        assert np.all(out <= 1.0)
+
+
+class TestReLU:
+    def test_values(self):
+        np.testing.assert_array_equal(
+            relu(np.array([-2.0, 0.0, 3.0])), [0.0, 0.0, 3.0]
+        )
+
+    def test_grad_masks_negative(self):
+        x = np.array([-1.0, 0.0, 2.0])
+        upstream = np.ones(3)
+        np.testing.assert_array_equal(relu_grad(x, upstream), [0.0, 0.0, 1.0])
+
+    def test_grad_scales_upstream(self):
+        x = np.array([1.0, 5.0])
+        upstream = np.array([2.0, -3.0])
+        np.testing.assert_array_equal(relu_grad(x, upstream), [2.0, -3.0])
+
+
+class TestBCEWithLogits:
+    def test_matches_naive_formula(self):
+        logits = np.array([-2.0, -0.5, 0.0, 0.5, 2.0])
+        targets = np.array([0.0, 1.0, 1.0, 0.0, 1.0])
+        p = sigmoid(logits)
+        naive = -(targets * np.log(p) + (1 - targets) * np.log(1 - p))
+        np.testing.assert_allclose(
+            bce_with_logits(logits, targets), naive, rtol=1e-10
+        )
+
+    def test_stable_for_large_logits(self):
+        losses = bce_with_logits(np.array([800.0, -800.0]), np.array([0.0, 1.0]))
+        assert np.all(np.isfinite(losses))
+        assert losses[0] == pytest.approx(800.0)
+        assert losses[1] == pytest.approx(800.0)
+
+    def test_zero_loss_when_confidently_correct(self):
+        losses = bce_with_logits(np.array([50.0, -50.0]), np.array([1.0, 0.0]))
+        assert np.all(losses < 1e-10)
+
+    def test_loss_is_nonnegative(self):
+        rng = np.random.default_rng(0)
+        logits = rng.normal(size=100) * 5
+        targets = rng.integers(0, 2, size=100).astype(float)
+        assert np.all(bce_with_logits(logits, targets) >= 0.0)
+
+    def test_grad_formula(self):
+        logits = np.array([0.3, -1.2])
+        targets = np.array([1.0, 0.0])
+        np.testing.assert_allclose(
+            bce_with_logits_grad(logits, targets), sigmoid(logits) - targets
+        )
+
+    @given(finite_floats, st.sampled_from([0.0, 1.0]))
+    def test_grad_matches_numeric(self, logit, target):
+        eps = 1e-6
+        numeric = (
+            bce_with_logits(np.array([logit + eps]), np.array([target]))[0]
+            - bce_with_logits(np.array([logit - eps]), np.array([target]))[0]
+        ) / (2 * eps)
+        analytic = bce_with_logits_grad(np.array([logit]), np.array([target]))[0]
+        assert analytic == pytest.approx(numeric, abs=1e-4)
+
+    def test_grad_bounded(self):
+        logits = np.linspace(-100, 100, 201)
+        grads = bce_with_logits_grad(logits, np.zeros(201))
+        assert np.all(grads >= 0.0)
+        assert np.all(grads <= 1.0)

@@ -1,0 +1,87 @@
+"""Tests for the analytic Gaussian mechanism (Balle & Wang)."""
+
+import pytest
+
+from repro.privacy import compute_rdp, rdp_to_epsilon
+from repro.privacy.gdp import (
+    analytic_gaussian_delta,
+    analytic_gaussian_epsilon,
+    analytic_gaussian_sigma,
+    classical_gaussian_sigma,
+)
+
+
+class TestDeltaProfile:
+    def test_delta_decreases_with_epsilon(self):
+        deltas = [analytic_gaussian_delta(1.0, eps) for eps in
+                  (0.0, 0.5, 1.0, 2.0, 4.0)]
+        assert all(a > b for a, b in zip(deltas, deltas[1:]))
+
+    def test_delta_decreases_with_sigma(self):
+        deltas = [analytic_gaussian_delta(s, 1.0) for s in
+                  (0.5, 1.0, 2.0, 4.0)]
+        assert all(a > b for a, b in zip(deltas, deltas[1:]))
+
+    def test_delta_in_unit_interval(self):
+        for sigma in (0.3, 1.0, 5.0):
+            for epsilon in (0.0, 1.0, 10.0):
+                delta = analytic_gaussian_delta(sigma, epsilon)
+                assert 0.0 <= delta <= 1.0
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            analytic_gaussian_delta(0.0, 1.0)
+        with pytest.raises(ValueError):
+            analytic_gaussian_delta(1.0, -1.0)
+
+
+class TestCalibration:
+    def test_epsilon_sigma_roundtrip(self):
+        for target_epsilon in (0.5, 1.0, 3.0):
+            sigma = analytic_gaussian_sigma(target_epsilon, 1e-5)
+            achieved = analytic_gaussian_epsilon(sigma, 1e-5)
+            assert achieved == pytest.approx(target_epsilon, rel=1e-4)
+
+    def test_delta_consistency(self):
+        sigma = analytic_gaussian_sigma(1.0, 1e-6)
+        assert analytic_gaussian_delta(sigma, 1.0) == pytest.approx(
+            1e-6, rel=1e-3
+        )
+
+    def test_analytic_beats_classical(self):
+        """Balle & Wang's headline: strictly less noise than the textbook
+        bound at the same (epsilon, delta)."""
+        for epsilon in (0.2, 0.5, 0.9):
+            analytic = analytic_gaussian_sigma(epsilon, 1e-5)
+            classical = classical_gaussian_sigma(epsilon, 1e-5)
+            assert analytic < classical
+
+    def test_classical_bound_domain(self):
+        with pytest.raises(ValueError):
+            classical_gaussian_sigma(1.5, 1e-5)
+        with pytest.raises(ValueError):
+            classical_gaussian_sigma(0.5, 0.0)
+
+    def test_huge_sigma_gives_zero_epsilon(self):
+        assert analytic_gaussian_epsilon(1e5, 0.5) == pytest.approx(
+            0.0, abs=1e-6
+        )
+
+
+class TestAgainstRDPAccountant:
+    def test_rdp_upper_bounds_analytic_single_step(self):
+        """RDP composition is a bound: for one full-batch Gaussian step
+        the accountant's epsilon must dominate the exact value."""
+        for sigma in (0.8, 1.0, 2.0, 4.0):
+            exact = analytic_gaussian_epsilon(sigma, 1e-5)
+            rdp = compute_rdp(q=1.0, noise_multiplier=sigma, steps=1)
+            bound, _ = rdp_to_epsilon(rdp, 1e-5)
+            assert bound >= exact * 0.999
+
+    def test_rdp_bound_is_not_wildly_loose(self):
+        """...but should stay within ~2x of exact for moderate sigma."""
+        sigma = 2.0
+        exact = analytic_gaussian_epsilon(sigma, 1e-5)
+        rdp = compute_rdp(q=1.0, noise_multiplier=sigma, steps=1)
+        bound, _ = rdp_to_epsilon(rdp, 1e-5)
+        assert bound < 2.0 * exact

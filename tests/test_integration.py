@@ -1,0 +1,115 @@
+"""Cross-module integration tests: whole-pipeline behaviour."""
+
+import numpy as np
+import pytest
+
+from repro import configs, make_private
+from repro.data import DataLoader, SyntheticClickDataset, paper_skew_spec
+from repro.nn import DLRM
+from repro.perfmodel import ALGORITHMS
+from repro.train import DPConfig
+
+from conftest import max_param_diff, train_algorithm
+
+
+@pytest.fixture
+def config():
+    return configs.tiny_dlrm(num_tables=2, rows=64, dim=8, lookups=2)
+
+
+class TestAllAlgorithmsEndToEnd:
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_runs_and_stays_finite(self, algorithm, config):
+        model, result, _ = train_algorithm(algorithm, config, num_batches=4)
+        assert result.iterations == 4
+        assert np.all(np.isfinite(result.mean_losses))
+        for param in model.parameters().values():
+            assert np.all(np.isfinite(param.data))
+
+    @pytest.mark.parametrize(
+        "algorithm", [a for a in ALGORITHMS if a != "sgd"]
+    )
+    def test_private_algorithms_report_epsilon(self, algorithm, config):
+        _, result, _ = train_algorithm(algorithm, config, num_batches=3)
+        assert result.epsilon is not None and result.epsilon > 0
+
+    def test_all_private_algorithms_spend_identical_budget(self, config):
+        """Accounting depends only on (sigma, q, steps), never on how the
+        noise lands in the table."""
+        epsilons = set()
+        for algorithm in ("dpsgd_b", "dpsgd_r", "dpsgd_f", "lazydp",
+                          "lazydp_no_ans"):
+            _, result, _ = train_algorithm(algorithm, config, num_batches=5)
+            epsilons.add(round(result.epsilon, 12))
+        assert len(epsilons) == 1
+
+
+class TestUtilityUnderDP:
+    def test_dp_training_learns_with_mild_noise(self, config):
+        dp = DPConfig(noise_multiplier=0.3, max_grad_norm=5.0,
+                      learning_rate=0.05)
+        _, result, _ = train_algorithm(
+            "lazydp", config, batch_size=64, num_batches=30, dp=dp,
+        )
+        assert np.mean(result.mean_losses[-5:]) < np.mean(
+            result.mean_losses[:5]
+        )
+
+    def test_more_noise_hurts_loss(self, config):
+        losses = {}
+        for sigma in (0.1, 8.0):
+            dp = DPConfig(noise_multiplier=sigma, max_grad_norm=1.0,
+                          learning_rate=0.05)
+            _, result, _ = train_algorithm(
+                "lazydp", config, batch_size=64, num_batches=25, dp=dp,
+            )
+            losses[sigma] = np.mean(result.mean_losses[-5:])
+        assert losses[0.1] < losses[8.0]
+
+
+class TestSkewedEndToEnd:
+    def test_lazydp_equivalence_under_paper_skew(self):
+        config = configs.tiny_dlrm(num_tables=2, rows=256, dim=8, lookups=2)
+        skew = paper_skew_spec("high", 256)
+        eager, _, _ = train_algorithm(
+            "dpsgd_f", config, num_batches=6, skew=skew
+        )
+        lazy, _, _ = train_algorithm(
+            "lazydp_no_ans", config, num_batches=6, skew=skew
+        )
+        assert max_param_diff(eager, lazy) < 1e-9
+
+    def test_skewed_trace_trains(self):
+        config = configs.tiny_dlrm(num_tables=2, rows=256, dim=8, lookups=2)
+        skew = paper_skew_spec("medium", 256)
+        _, result, _ = train_algorithm(
+            "lazydp", config, num_batches=5, skew=skew
+        )
+        assert np.all(np.isfinite(result.mean_losses))
+
+
+class TestMakePrivateWorkflow:
+    def test_documented_quickstart(self):
+        """The README quickstart, verbatim."""
+        config = configs.tiny_dlrm()
+        model = DLRM(config, seed=0)
+        dataset = SyntheticClickDataset(config, seed=0)
+        loader = DataLoader(dataset, batch_size=64, num_batches=20)
+        session = make_private(model, loader, noise_multiplier=1.1,
+                               max_gradient_norm=1.0)
+        result = session.fit()
+        assert np.isfinite(result.final_loss)
+        assert session.epsilon() > 0
+
+    def test_two_sessions_same_seed_identical(self):
+        config = configs.tiny_dlrm()
+
+        def run():
+            model = DLRM(config, seed=4)
+            dataset = SyntheticClickDataset(config, seed=5)
+            loader = DataLoader(dataset, batch_size=16, num_batches=6, seed=6)
+            session = make_private(model, loader, noise_seed=42)
+            session.fit()
+            return model
+
+        assert max_param_diff(run(), run()) == 0.0

@@ -1,0 +1,162 @@
+"""Tests for EmbeddingBag: the sparse layer at the heart of the paper."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import EmbeddingBag, Parameter
+
+
+def make_bag(rows=10, dim=4, seed=0):
+    rng = np.random.default_rng(seed)
+    table = Parameter("t", rng.normal(size=(rows, dim)), 0, is_embedding=True)
+    return EmbeddingBag(table)
+
+
+def run_bag(indices, rows=10, dim=4, seed=0, delta_seed=1):
+    bag = make_bag(rows, dim, seed)
+    indices = np.asarray(indices, dtype=np.int64)
+    bag.forward(indices)
+    delta = np.random.default_rng(delta_seed).normal(
+        size=(indices.shape[0], dim)
+    )
+    bag.backward(delta)
+    return bag, delta
+
+
+class TestForward:
+    def test_sum_pooling(self):
+        bag = make_bag()
+        indices = np.array([[0, 1], [2, 2]])
+        out = bag.forward(indices)
+        table = bag.table.data
+        np.testing.assert_allclose(out[0], table[0] + table[1])
+        np.testing.assert_allclose(out[1], 2 * table[2])
+
+    def test_single_lookup(self):
+        bag = make_bag()
+        out = bag.forward(np.array([[3]]))
+        np.testing.assert_allclose(out[0], bag.table.data[3])
+
+    def test_rejects_out_of_range(self):
+        bag = make_bag(rows=4)
+        with pytest.raises(IndexError):
+            bag.forward(np.array([[4]]))
+
+    def test_rejects_negative(self):
+        bag = make_bag()
+        with pytest.raises(IndexError):
+            bag.forward(np.array([[-1]]))
+
+    def test_rejects_1d_indices(self):
+        bag = make_bag()
+        with pytest.raises(ValueError):
+            bag.forward(np.array([1, 2]))
+
+    def test_accessed_rows_sorted_unique(self):
+        bag, _ = run_bag([[5, 2], [2, 7]])
+        np.testing.assert_array_equal(bag.accessed_rows(), [2, 5, 7])
+
+
+class TestPairs:
+    def test_multiplicities(self):
+        bag, _ = run_bag([[1, 1, 3], [3, 3, 3]])
+        pairs = bag.per_example_pairs()
+        # Example 0: row 1 twice, row 3 once; example 1: row 3 thrice.
+        lookup = {
+            (int(e), int(r)): m
+            for e, r, m in zip(pairs.example_ids, pairs.rows, pairs.mults)
+        }
+        assert lookup == {(0, 1): 2.0, (0, 3): 1.0, (1, 3): 3.0}
+
+    def test_dense_per_example_matches_definition(self):
+        bag, delta = run_bag([[0, 1], [1, 1]])
+        dense = bag.per_example_pairs().dense_per_example(10)
+        np.testing.assert_allclose(dense[0, 0], delta[0])
+        np.testing.assert_allclose(dense[0, 1], delta[0])
+        np.testing.assert_allclose(dense[1, 1], 2 * delta[1])
+        assert np.all(dense[:, 2:] == 0.0)
+
+
+class TestGradientViews:
+    def test_batch_grad_matches_scatter(self):
+        bag, delta = run_bag([[0, 1], [1, 2]])
+        sparse = bag.batch_grads()["t"]
+        dense = np.zeros((10, 4))
+        for b, row_set in enumerate([[0, 1], [1, 2]]):
+            for row in row_set:
+                dense[row] += delta[b]
+        np.testing.assert_allclose(sparse.to_dense(10), dense)
+
+    def test_ghost_norm_matches_dense(self):
+        bag, _ = run_bag([[1, 1, 5], [2, 3, 3]])
+        dense = bag.per_example_pairs().dense_per_example(10)
+        expected = (dense.reshape(2, -1) ** 2).sum(axis=1)
+        np.testing.assert_allclose(bag.ghost_norm_sq(), expected, rtol=1e-9)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=6),   # batch
+        st.integers(min_value=1, max_value=5),   # lookups
+        st.integers(min_value=2, max_value=12),  # rows
+        st.integers(min_value=0, max_value=999),
+    )
+    def test_ghost_norm_property(self, batch, lookups, rows, seed):
+        rng = np.random.default_rng(seed)
+        indices = rng.integers(0, rows, size=(batch, lookups))
+        bag = make_bag(rows=rows, dim=3, seed=seed)
+        bag.forward(indices)
+        delta = rng.normal(size=(batch, 3))
+        bag.backward(delta)
+        dense = bag.per_example_pairs().dense_per_example(rows)
+        expected = (dense.reshape(batch, -1) ** 2).sum(axis=1)
+        np.testing.assert_allclose(bag.ghost_norm_sq(), expected, rtol=1e-9)
+
+    def test_weighted_grad_matches_dense(self):
+        bag, delta = run_bag([[0, 1], [1, 2], [4, 4]])
+        weights = np.array([0.5, 1.0, 0.25])
+        sparse = bag.weighted_grads(np.array(weights))["t"]
+        dense = bag.per_example_pairs().dense_per_example(10)
+        expected = np.einsum("brd,b->rd", dense, weights)
+        np.testing.assert_allclose(sparse.to_dense(10), expected)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=1, max_value=5),
+        st.integers(min_value=2, max_value=12),
+        st.integers(min_value=0, max_value=999),
+    )
+    def test_weighted_grad_property(self, batch, lookups, rows, seed):
+        rng = np.random.default_rng(seed + 1)
+        indices = rng.integers(0, rows, size=(batch, lookups))
+        bag = make_bag(rows=rows, dim=3, seed=seed)
+        bag.forward(indices)
+        delta = rng.normal(size=(batch, 3))
+        bag.backward(delta)
+        weights = rng.random(batch)
+        sparse = bag.weighted_grads(weights)["t"]
+        dense = bag.per_example_pairs().dense_per_example(rows)
+        expected = np.einsum("brd,b->rd", dense, weights)
+        np.testing.assert_allclose(
+            sparse.to_dense(rows), expected, atol=1e-12
+        )
+
+    def test_grad_only_touches_accessed_rows(self):
+        bag, _ = run_bag([[3, 7]])
+        sparse = bag.batch_grads()["t"]
+        assert set(sparse.rows.tolist()) == {3, 7}
+
+    def test_views_require_cache(self):
+        bag = make_bag()
+        with pytest.raises(RuntimeError):
+            bag.batch_grads()
+        bag.forward(np.array([[1]]))
+        with pytest.raises(RuntimeError):
+            bag.ghost_norm_sq()
+
+    def test_backward_returns_none(self):
+        bag = make_bag()
+        bag.forward(np.array([[1]]))
+        assert bag.backward(np.zeros((1, 4))) is None

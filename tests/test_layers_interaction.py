@@ -1,0 +1,89 @@
+"""Tests for the DLRM dot-product feature interaction."""
+
+import numpy as np
+import pytest
+
+from repro.nn import FeatureInteraction
+
+from conftest import numeric_gradient
+
+
+def make_inputs(batch=3, num_tables=2, dim=4, seed=0):
+    rng = np.random.default_rng(seed)
+    dense_vec = rng.normal(size=(batch, dim))
+    embeddings = [rng.normal(size=(batch, dim)) for _ in range(num_tables)]
+    return dense_vec, embeddings
+
+
+class TestForward:
+    def test_output_dim(self):
+        layer = FeatureInteraction(num_features=3)
+        assert layer.num_pairs == 3
+        assert layer.output_dim(4) == 7
+
+    def test_passes_dense_vector_through(self):
+        layer = FeatureInteraction(3)
+        dense_vec, embeddings = make_inputs()
+        out = layer.forward(dense_vec, embeddings)
+        np.testing.assert_allclose(out[:, :4], dense_vec)
+
+    def test_pairwise_dots_match_manual(self):
+        layer = FeatureInteraction(3)
+        dense_vec, embeddings = make_inputs()
+        out = layer.forward(dense_vec, embeddings)
+        vectors = [dense_vec] + embeddings
+        for b in range(3):
+            expected = [
+                float(vectors[i][b] @ vectors[j][b])
+                for i in range(3) for j in range(i + 1, 3)
+            ]
+            np.testing.assert_allclose(out[b, 4:], expected)
+
+    def test_rejects_wrong_feature_count(self):
+        layer = FeatureInteraction(4)
+        dense_vec, embeddings = make_inputs(num_tables=2)
+        with pytest.raises(ValueError):
+            layer.forward(dense_vec, embeddings)
+
+    def test_backward_requires_forward(self):
+        layer = FeatureInteraction(2)
+        with pytest.raises(RuntimeError):
+            layer.backward(np.zeros((1, 5)))
+
+
+class TestBackward:
+    def test_dense_grad_numeric(self):
+        layer = FeatureInteraction(3)
+        dense_vec, embeddings = make_inputs(seed=1)
+        upstream = np.random.default_rng(2).normal(size=(3, layer.output_dim(4)))
+
+        def loss_of_dense(dense_val):
+            return float((layer.forward(dense_val, embeddings) * upstream).sum())
+
+        layer.forward(dense_vec, embeddings)
+        analytic_dense, _ = layer.backward(upstream)
+        numeric = numeric_gradient(loss_of_dense, dense_vec.copy())
+        np.testing.assert_allclose(analytic_dense, numeric, atol=1e-6)
+
+    def test_embedding_grads_numeric(self):
+        layer = FeatureInteraction(3)
+        dense_vec, embeddings = make_inputs(seed=3)
+        upstream = np.random.default_rng(4).normal(size=(3, layer.output_dim(4)))
+        layer.forward(dense_vec, embeddings)
+        _, analytic_embs = layer.backward(upstream)
+        for t in range(2):
+            def loss_of_emb(emb_val, t=t):
+                trial = list(embeddings)
+                trial[t] = emb_val
+                return float((layer.forward(dense_vec, trial) * upstream).sum())
+
+            numeric = numeric_gradient(loss_of_emb, embeddings[t].copy())
+            np.testing.assert_allclose(analytic_embs[t], numeric, atol=1e-6)
+
+    def test_zero_upstream_gives_zero_grads(self):
+        layer = FeatureInteraction(2)
+        dense_vec, embeddings = make_inputs(num_tables=1)
+        layer.forward(dense_vec, embeddings)
+        d_dense, d_embs = layer.backward(np.zeros((3, layer.output_dim(4))))
+        assert np.all(d_dense == 0.0)
+        assert np.all(d_embs[0] == 0.0)

@@ -1,0 +1,65 @@
+"""Tests for the HistoryTable (Algorithm 1's bookkeeping structure)."""
+
+import numpy as np
+import pytest
+
+from repro.lazydp import HistoryTable
+
+
+class TestHistoryTable:
+    def test_initial_state_is_iteration_zero(self):
+        table = HistoryTable(8)
+        np.testing.assert_array_equal(table.delays(np.arange(8), 0), 0)
+        np.testing.assert_array_equal(table.delays(np.arange(8), 5), 5)
+
+    def test_delays_after_update(self):
+        table = HistoryTable(8)
+        table.mark_updated(np.array([2, 5]), iteration=3)
+        delays = table.delays(np.array([2, 5, 7]), iteration=7)
+        np.testing.assert_array_equal(delays, [4, 4, 7])
+
+    def test_delay_formula_matches_algorithm1(self):
+        """delays[idx] = iter - HistoryTable[idx] (line 14)."""
+        table = HistoryTable(4)
+        table.mark_updated(np.array([1]), 2)
+        assert table.delays(np.array([1]), 9)[0] == 7
+
+    def test_rejects_time_travel(self):
+        table = HistoryTable(4)
+        table.mark_updated(np.array([0]), 5)
+        with pytest.raises(ValueError):
+            table.delays(np.array([0]), 3)
+
+    def test_pending_rows(self):
+        table = HistoryTable(6)
+        table.mark_updated(np.array([0, 3]), 4)
+        np.testing.assert_array_equal(table.pending_rows(4), [1, 2, 4, 5])
+        assert table.pending_rows(0).size == 0
+
+    def test_pending_rows_after_full_update(self):
+        table = HistoryTable(6)
+        table.mark_updated(np.arange(6), 9)
+        assert table.pending_rows(9).size == 0
+        assert table.pending_rows(10).size == 6
+
+    def test_nbytes_is_four_per_row(self):
+        """Section 7.2: 4 bytes per embedding vector."""
+        assert HistoryTable(1000).nbytes == 4000
+        assert HistoryTable.BYTES_PER_ENTRY == 4
+
+    def test_rejects_empty_table(self):
+        with pytest.raises(ValueError):
+            HistoryTable(0)
+
+    def test_snapshot_is_a_copy(self):
+        table = HistoryTable(4)
+        snap = table.snapshot()
+        table.mark_updated(np.array([0]), 1)
+        assert snap[0] == 0
+
+    def test_last_updated(self):
+        table = HistoryTable(4)
+        table.mark_updated(np.array([2]), 7)
+        np.testing.assert_array_equal(
+            table.last_updated(np.array([1, 2])), [0, 7]
+        )

@@ -1,0 +1,181 @@
+"""Tests for the LazyDP trainer, engine plumbing and the make_private API."""
+
+import numpy as np
+import pytest
+
+from repro import configs, make_private
+from repro.data import DataLoader, SyntheticClickDataset
+from repro.lazydp import LazyNoiseEngine
+from repro.nn import DLRM
+from repro.rng import NoiseStream
+from repro.train import DPConfig
+
+from conftest import train_algorithm
+
+
+@pytest.fixture
+def config():
+    return configs.tiny_dlrm(num_tables=2, rows=64, dim=8, lookups=2)
+
+
+class TestLazyDPTrainer:
+    def test_name_reflects_ans_flag(self, config):
+        _, result_ans, _ = train_algorithm("lazydp", config, num_batches=2)
+        _, result_plain, _ = train_algorithm(
+            "lazydp_no_ans", config, num_batches=2
+        )
+        assert result_ans.algorithm == "lazydp"
+        assert result_plain.algorithm == "lazydp_no_ans"
+
+    def test_history_fully_caught_up_after_fit(self, config):
+        _, _, trainer = train_algorithm("lazydp", config, num_batches=6)
+        for history in trainer.engine.histories:
+            assert history.pending_rows(6).size == 0
+
+    def test_engine_rejects_training_after_flush(self, config):
+        _, _, trainer = train_algorithm("lazydp", config, num_batches=3)
+        assert trainer.engine.flushed_through == 3
+        with pytest.raises(RuntimeError):
+            trainer.engine.catchup_for_next_access(
+                0, np.array([1]), 4, 8, 0.1
+            )
+
+    def test_overhead_stages_timed(self, config):
+        _, _, trainer = train_algorithm("lazydp", config, num_batches=3)
+        stages = trainer.timer.as_dict()
+        for stage in ("lazydp_dedup", "lazydp_history_read",
+                      "lazydp_history_update"):
+            assert stages[stage] > 0
+        assert trainer.timer.lazydp_overhead_total() > 0
+
+    def test_sparse_updates_only(self, config):
+        """Mid-run (pre-flush), untouched rows must hold their init value —
+        that is precisely the deferred work."""
+        dp = DPConfig()
+        model = DLRM(config, seed=7)
+        reference = DLRM(config, seed=7)
+        from repro.bench.experiments import make_trainer
+        trainer = make_trainer("lazydp", model, dp, noise_seed=99)
+        dataset = SyntheticClickDataset(config, seed=3)
+        loader = DataLoader(dataset, batch_size=4, num_batches=2, seed=5)
+        trainer.expected_batch_size = 4
+        from repro.data import LookaheadLoader
+        for index, batch, next_batch in LookaheadLoader(loader):
+            trainer.train_step(index + 1, batch, next_batch)
+        for t, bag in enumerate(model.embeddings):
+            unchanged = np.all(
+                bag.table.data == reference.embeddings[t].table.data, axis=1
+            )
+            assert unchanged.sum() > bag.num_rows // 2
+
+    def test_flush_chunking(self, config):
+        """Flush with a tiny chunk size must agree with one-shot flush."""
+        dp = DPConfig()
+
+        def run(chunk):
+            model = DLRM(config, seed=7)
+            from repro.bench.experiments import make_trainer
+            trainer = make_trainer("lazydp_no_ans", model, dp, noise_seed=99)
+            trainer.engine.flush_chunk_rows = chunk
+            dataset = SyntheticClickDataset(config, seed=3)
+            loader = DataLoader(dataset, batch_size=8, num_batches=4, seed=5)
+            trainer.fit(loader)
+            return model
+
+        model_small = run(chunk=7)
+        model_large = run(chunk=1 << 16)
+        for name, param in model_small.parameters().items():
+            np.testing.assert_allclose(
+                param.data, model_large.parameters()[name].data, atol=1e-12
+            )
+
+    def test_loss_finite_and_learns(self, config):
+        _, result, _ = train_algorithm(
+            "lazydp", config, batch_size=64, num_batches=25,
+            dp=DPConfig(noise_multiplier=0.2, max_grad_norm=5.0,
+                        learning_rate=0.05),
+        )
+        assert np.all(np.isfinite(result.mean_losses))
+        assert np.mean(result.mean_losses[-5:]) < np.mean(result.mean_losses[:5])
+
+    def test_zero_iterations(self, config):
+        model = DLRM(config, seed=7)
+        dataset = SyntheticClickDataset(config, seed=3)
+        loader = DataLoader(dataset, batch_size=8, num_batches=1, seed=5)
+        from repro.bench.experiments import make_trainer
+        trainer = make_trainer("lazydp", model, DPConfig(), noise_seed=99)
+        result = trainer.fit(loader)
+        assert result.iterations == 1
+
+
+class TestLazyNoiseEngine:
+    def test_history_bytes(self, config):
+        model = DLRM(config, seed=0)
+        engine = LazyNoiseEngine(model, NoiseStream(1))
+        assert engine.history_bytes() == sum(config.table_rows) * 4
+
+    def test_catchup_advances_history(self, config):
+        model = DLRM(config, seed=0)
+        engine = LazyNoiseEngine(model, NoiseStream(1))
+        rows = np.array([3, 9])
+        returned_rows, delays, noise = engine.catchup_for_next_access(
+            0, rows, iteration=4, dim=8, std=0.1
+        )
+        np.testing.assert_array_equal(returned_rows, rows)
+        np.testing.assert_array_equal(delays, [4, 4])
+        assert noise.shape == (2, 8)
+        np.testing.assert_array_equal(
+            engine.histories[0].last_updated(rows), [4, 4]
+        )
+
+    def test_flush_returns_pending_count(self, config):
+        model = DLRM(config, seed=0)
+        engine = LazyNoiseEngine(model, NoiseStream(1))
+        engine.catchup_for_next_access(0, np.array([0, 1]), 3, 8, 0.1)
+        caught = engine.flush(3, learning_rate=0.1, std=0.1)
+        total_rows = sum(config.table_rows)
+        assert caught == total_rows - 2
+
+
+class TestMakePrivateAPI:
+    def test_quickstart_path(self, config):
+        """The paper's Figure 9a usage pattern end-to-end."""
+        model = DLRM(config, seed=0)
+        dataset = SyntheticClickDataset(config, seed=1)
+        loader = DataLoader(dataset, batch_size=32, num_batches=5, seed=2)
+        session = make_private(
+            model, loader, noise_multiplier=1.1, max_gradient_norm=1.0
+        )
+        result = session.fit()
+        assert result.iterations == 5
+        assert session.epsilon() > 0
+        assert session.epsilon(delta=1e-7) > session.epsilon(delta=1e-3)
+
+    def test_epsilon_before_training_raises(self, config):
+        model = DLRM(config, seed=0)
+        dataset = SyntheticClickDataset(config, seed=1)
+        loader = DataLoader(dataset, batch_size=8, num_batches=2)
+        session = make_private(model, loader)
+        with pytest.raises(RuntimeError):
+            session.epsilon()
+
+    def test_ans_ablation_flag(self, config):
+        model = DLRM(config, seed=0)
+        dataset = SyntheticClickDataset(config, seed=1)
+        loader = DataLoader(dataset, batch_size=8, num_batches=2)
+        session = make_private(model, loader, use_ans=False)
+        assert session.trainer.use_ans is False
+        assert session.trainer.engine.use_ans is False
+
+    def test_hyperparameters_forwarded(self, config):
+        model = DLRM(config, seed=0)
+        dataset = SyntheticClickDataset(config, seed=1)
+        loader = DataLoader(dataset, batch_size=8, num_batches=2)
+        session = make_private(
+            model, loader, noise_multiplier=2.5, max_gradient_norm=0.3,
+            learning_rate=0.01, delta=1e-6,
+        )
+        assert session.trainer.config.noise_multiplier == 2.5
+        assert session.trainer.config.max_grad_norm == 0.3
+        assert session.trainer.config.learning_rate == 0.01
+        assert session.trainer.config.delta == 1e-6

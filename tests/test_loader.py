@@ -1,0 +1,138 @@
+"""Tests for the data loader, Poisson sampling and the lookahead queue."""
+
+import numpy as np
+import pytest
+
+from repro import configs
+from repro.data import DataLoader, InputQueue, LookaheadLoader, SyntheticClickDataset
+
+
+@pytest.fixture
+def dataset():
+    config = configs.tiny_dlrm(num_tables=2, rows=64, dim=8, lookups=2)
+    return SyntheticClickDataset(config, seed=0, num_examples=1024)
+
+
+class TestFixedSampling:
+    def test_batch_count_and_size(self, dataset):
+        loader = DataLoader(dataset, batch_size=32, num_batches=5)
+        batches = list(loader)
+        assert len(batches) == 5
+        assert all(b.size == 32 for b in batches)
+
+    def test_deterministic(self, dataset):
+        a = DataLoader(dataset, 16, 3, seed=9)
+        b = DataLoader(dataset, 16, 3, seed=9)
+        for batch_a, batch_b in zip(a, b):
+            np.testing.assert_array_equal(batch_a.sparse, batch_b.sparse)
+
+    def test_seed_changes_selection(self, dataset):
+        ids_a = DataLoader(dataset, 16, 1, seed=1).example_ids_for(0)
+        ids_b = DataLoader(dataset, 16, 1, seed=2).example_ids_for(0)
+        assert not np.array_equal(np.sort(ids_a), np.sort(ids_b))
+
+    def test_no_replacement_within_batch(self, dataset):
+        ids = DataLoader(dataset, 64, 1, seed=3).example_ids_for(0)
+        assert len(np.unique(ids)) == 64
+
+    def test_iterations_differ(self, dataset):
+        loader = DataLoader(dataset, 16, 2, seed=4)
+        assert not np.array_equal(
+            np.sort(loader.example_ids_for(0)), np.sort(loader.example_ids_for(1))
+        )
+
+    def test_rejects_oversized_batch(self, dataset):
+        with pytest.raises(ValueError):
+            DataLoader(dataset, batch_size=4096, num_batches=1)
+
+    def test_rejects_bad_mode(self, dataset):
+        with pytest.raises(ValueError):
+            DataLoader(dataset, 16, 1, sampling="bernoulli")
+
+    def test_len(self, dataset):
+        assert len(DataLoader(dataset, 16, 7)) == 7
+
+
+class TestPoissonSampling:
+    def test_sample_rate(self, dataset):
+        loader = DataLoader(dataset, batch_size=128, num_batches=1,
+                            sampling="poisson")
+        assert loader.sample_rate == pytest.approx(128 / 1024)
+
+    def test_batch_size_fluctuates_around_rate(self, dataset):
+        loader = DataLoader(dataset, batch_size=128, num_batches=50,
+                            sampling="poisson", seed=7)
+        sizes = [batch.size for batch in loader]
+        assert np.mean(sizes) == pytest.approx(128, rel=0.15)
+        assert len(set(sizes)) > 1  # actually varies
+
+    def test_never_empty(self, dataset):
+        loader = DataLoader(dataset, batch_size=1, num_batches=30,
+                            sampling="poisson", seed=8)
+        assert all(batch.size >= 1 for batch in loader)
+
+
+class TestInputQueue:
+    def test_push_pop_head_tail(self):
+        queue = InputQueue()
+        queue.push("a")
+        queue.push("b")
+        assert queue.head() == "a"
+        assert queue.tail() == "b"
+        assert queue.pop() == "a"
+        assert len(queue) == 1
+
+    def test_overflow(self):
+        queue = InputQueue()
+        queue.push(1)
+        queue.push(2)
+        with pytest.raises(RuntimeError):
+            queue.push(3)
+
+    def test_underflow(self):
+        with pytest.raises(RuntimeError):
+            InputQueue().pop()
+
+    def test_head_requires_entry(self):
+        with pytest.raises(RuntimeError):
+            InputQueue().head()
+
+    def test_tail_requires_lookahead(self):
+        queue = InputQueue()
+        queue.push(1)
+        with pytest.raises(RuntimeError):
+            queue.tail()
+
+    def test_minimum_size(self):
+        with pytest.raises(ValueError):
+            InputQueue(size=1)
+
+
+class TestLookaheadLoader:
+    def test_pairs_align_with_plain_iteration(self, dataset):
+        loader = DataLoader(dataset, 16, 4, seed=11)
+        plain = list(loader)
+        for index, current, upcoming in LookaheadLoader(loader):
+            np.testing.assert_array_equal(current.sparse, plain[index].sparse)
+            if index + 1 < len(plain):
+                np.testing.assert_array_equal(
+                    upcoming.sparse, plain[index + 1].sparse
+                )
+
+    def test_last_iteration_has_no_lookahead(self, dataset):
+        loader = DataLoader(dataset, 16, 3, seed=12)
+        entries = list(LookaheadLoader(loader))
+        assert len(entries) == 3
+        assert entries[-1][2] is None
+        assert all(entry[2] is not None for entry in entries[:-1])
+
+    def test_single_batch_loader(self, dataset):
+        loader = DataLoader(dataset, 16, 1, seed=13)
+        entries = list(LookaheadLoader(loader))
+        assert len(entries) == 1
+        assert entries[0][2] is None
+
+    def test_iteration_indices(self, dataset):
+        loader = DataLoader(dataset, 16, 5, seed=14)
+        indices = [index for index, _, _ in LookaheadLoader(loader)]
+        assert indices == [0, 1, 2, 3, 4]

@@ -1,0 +1,42 @@
+"""Tests for the Gaussian mechanism noise conventions."""
+
+import numpy as np
+import pytest
+
+from repro.privacy import aggregated_noise_std, gradient_noise_std
+
+
+class TestGradientNoiseStd:
+    def test_formula(self):
+        assert gradient_noise_std(1.1, 2.0, 4) == pytest.approx(1.1 * 2.0 / 4)
+
+    def test_zero_multiplier_allowed(self):
+        assert gradient_noise_std(0.0, 1.0, 8) == 0.0
+
+    def test_rejects_negative_multiplier(self):
+        with pytest.raises(ValueError):
+            gradient_noise_std(-1.0, 1.0, 8)
+
+    def test_rejects_nonpositive_norm(self):
+        with pytest.raises(ValueError):
+            gradient_noise_std(1.0, 0.0, 8)
+
+    def test_rejects_bad_batch(self):
+        with pytest.raises(ValueError):
+            gradient_noise_std(1.0, 1.0, 0)
+
+    def test_scales_inversely_with_batch(self):
+        assert gradient_noise_std(1.0, 1.0, 2048) == pytest.approx(
+            gradient_noise_std(1.0, 1.0, 1024) / 2
+        )
+
+
+class TestAggregatedNoiseStd:
+    def test_sqrt_scaling(self):
+        base = gradient_noise_std(1.1, 1.0, 16)
+        stds = aggregated_noise_std(1.1, 1.0, 16, np.array([0, 1, 4, 9]))
+        np.testing.assert_allclose(stds, base * np.array([0.0, 1.0, 2.0, 3.0]))
+
+    def test_rejects_negative_delays(self):
+        with pytest.raises(ValueError):
+            aggregated_noise_std(1.0, 1.0, 4, np.array([-1]))

@@ -1,0 +1,159 @@
+"""Tests for the evaluation metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import configs
+from repro.data import SyntheticClickDataset
+from repro.nn import DLRM
+from repro.train.metrics import (
+    calibration_bins,
+    evaluate_model,
+    expected_calibration_error,
+    log_loss,
+    roc_auc,
+)
+
+
+class TestROCAUC:
+    def test_perfect_ranking(self):
+        labels = np.array([0, 0, 1, 1], dtype=float)
+        scores = np.array([0.1, 0.2, 0.8, 0.9])
+        assert roc_auc(labels, scores) == 1.0
+
+    def test_inverted_ranking(self):
+        labels = np.array([0, 0, 1, 1], dtype=float)
+        scores = np.array([0.9, 0.8, 0.2, 0.1])
+        assert roc_auc(labels, scores) == 0.0
+
+    def test_random_scores_near_half(self):
+        rng = np.random.default_rng(0)
+        labels = rng.integers(0, 2, size=5000).astype(float)
+        scores = rng.random(5000)
+        assert roc_auc(labels, scores) == pytest.approx(0.5, abs=0.03)
+
+    def test_known_value_by_hand(self):
+        # positives at scores 0.8, 0.4; negatives at 0.6, 0.2.
+        # Pairs won: (0.8>0.6),(0.8>0.2),(0.4<0.6 lose),(0.4>0.2) -> 3/4.
+        labels = np.array([1, 0, 1, 0], dtype=float)
+        scores = np.array([0.8, 0.6, 0.4, 0.2])
+        assert roc_auc(labels, scores) == pytest.approx(0.75)
+
+    def test_tie_handling(self):
+        # One positive ties one negative: that pair counts 0.5.
+        labels = np.array([1, 0], dtype=float)
+        scores = np.array([0.5, 0.5])
+        assert roc_auc(labels, scores) == pytest.approx(0.5)
+
+    def test_all_tied_scores(self):
+        labels = np.array([1, 0, 1, 0], dtype=float)
+        scores = np.full(4, 0.3)
+        assert roc_auc(labels, scores) == pytest.approx(0.5)
+
+    def test_requires_both_classes(self):
+        with pytest.raises(ValueError):
+            roc_auc(np.ones(4), np.random.rand(4))
+
+    def test_rejects_non_binary(self):
+        with pytest.raises(ValueError):
+            roc_auc(np.array([0.0, 0.5]), np.array([0.1, 0.2]))
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=2, max_value=60),
+           st.integers(min_value=0, max_value=1000))
+    def test_matches_naive_pair_counting(self, n, seed):
+        rng = np.random.default_rng(seed)
+        labels = rng.integers(0, 2, size=n).astype(float)
+        if labels.min() == labels.max():
+            labels[0] = 1.0 - labels[0]
+        scores = rng.integers(0, 5, size=n) / 4.0  # force ties
+        pos = scores[labels == 1.0]
+        neg = scores[labels == 0.0]
+        wins = (pos[:, None] > neg[None, :]).sum()
+        ties = (pos[:, None] == neg[None, :]).sum()
+        naive = (wins + 0.5 * ties) / (pos.size * neg.size)
+        assert roc_auc(labels, scores) == pytest.approx(naive)
+
+    def test_invariant_to_monotone_transform(self):
+        rng = np.random.default_rng(3)
+        labels = rng.integers(0, 2, size=200).astype(float)
+        labels[0], labels[1] = 0.0, 1.0
+        scores = rng.random(200)
+        assert roc_auc(labels, scores) == pytest.approx(
+            roc_auc(labels, np.exp(3 * scores))
+        )
+
+
+class TestLogLoss:
+    def test_perfect_predictions(self):
+        assert log_loss(np.array([1.0, 0.0]),
+                        np.array([1.0, 0.0])) < 1e-10
+
+    def test_uninformative_is_ln2(self):
+        labels = np.array([1.0, 0.0, 1.0, 0.0])
+        assert log_loss(labels, np.full(4, 0.5)) == pytest.approx(np.log(2))
+
+    def test_clipping_keeps_finite(self):
+        assert np.isfinite(log_loss(np.array([1.0]), np.array([0.0])))
+
+    def test_rejects_misaligned(self):
+        with pytest.raises(ValueError):
+            log_loss(np.zeros(3), np.zeros(2))
+
+
+class TestCalibration:
+    def test_perfectly_calibrated(self):
+        rng = np.random.default_rng(1)
+        probabilities = rng.random(20000)
+        labels = (rng.random(20000) < probabilities).astype(float)
+        assert expected_calibration_error(labels, probabilities) < 0.03
+
+    def test_badly_calibrated(self):
+        labels = np.zeros(1000)
+        probabilities = np.full(1000, 0.9)
+        assert expected_calibration_error(labels, probabilities) > 0.8
+
+    def test_bins_partition_all_examples(self):
+        rng = np.random.default_rng(2)
+        probabilities = rng.random(500)
+        labels = rng.integers(0, 2, size=500).astype(float)
+        bins = calibration_bins(labels, probabilities, num_bins=7)
+        assert sum(b.count for b in bins) == 500
+
+    def test_rejects_zero_bins(self):
+        with pytest.raises(ValueError):
+            calibration_bins(np.zeros(2), np.zeros(2), num_bins=0)
+
+
+class TestEvaluateModel:
+    def test_end_to_end(self):
+        config = configs.tiny_dlrm(num_tables=2, rows=64, dim=8, lookups=2)
+        model = DLRM(config, seed=0)
+        dataset = SyntheticClickDataset(config, seed=1)
+        batches = [dataset.batch(np.arange(i * 64, (i + 1) * 64))
+                   for i in range(4)]
+        metrics = evaluate_model(model, batches)
+        assert 0.0 <= metrics["auc"] <= 1.0
+        assert metrics["log_loss"] > 0
+        assert metrics["examples"] == 256
+
+    def test_trained_model_beats_untrained(self):
+        """Training must improve held-out AUC on the learnable signal."""
+        from conftest import train_algorithm
+        from repro.train import DPConfig
+
+        config = configs.tiny_dlrm(num_tables=2, rows=64, dim=8, lookups=1)
+        dataset = SyntheticClickDataset(config, seed=3, num_examples=1 << 12)
+        held_out = [dataset.batch(np.arange(2048, 2048 + 512))]
+
+        untrained = DLRM(config, seed=7)
+        before = evaluate_model(untrained, held_out)["auc"]
+
+        trained, _, _ = train_algorithm(
+            "sgd", config, batch_size=128, num_batches=40,
+            dp=DPConfig(learning_rate=0.1),
+        )
+        after = evaluate_model(trained, held_out)["auc"]
+        assert after > before + 0.05

@@ -1,0 +1,196 @@
+"""Tests for the coordinate-keyed NoiseStream.
+
+The stream's defining property — values are pure functions of their
+coordinates — is what turns the paper's equivalence argument into exact
+assertions, so these tests are strict about independence across every axis.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy import stats
+
+from repro.rng import NoiseStream
+
+
+@pytest.fixture
+def stream():
+    return NoiseStream(seed=1234)
+
+
+class TestRowNoise:
+    def test_shape(self, stream):
+        noise = stream.row_noise(0, np.arange(5), iteration=1, dim=7)
+        assert noise.shape == (5, 7)
+
+    def test_deterministic(self, stream):
+        rows = np.array([3, 17, 42])
+        a = stream.row_noise(1, rows, iteration=4, dim=8)
+        b = stream.row_noise(1, rows, iteration=4, dim=8)
+        assert np.array_equal(a, b)
+
+    def test_independent_of_batch_composition(self, stream):
+        """Row 17's noise must not depend on which rows accompany it."""
+        alone = stream.row_noise(0, np.array([17]), iteration=2, dim=8)
+        grouped = stream.row_noise(0, np.array([3, 17, 99]), iteration=2, dim=8)
+        assert np.array_equal(alone[0], grouped[1])
+
+    def test_varies_with_iteration(self, stream):
+        rows = np.array([5])
+        a = stream.row_noise(0, rows, iteration=1, dim=8)
+        b = stream.row_noise(0, rows, iteration=2, dim=8)
+        assert not np.array_equal(a, b)
+
+    def test_varies_with_table(self, stream):
+        rows = np.array([5])
+        a = stream.row_noise(0, rows, iteration=1, dim=8)
+        b = stream.row_noise(1, rows, iteration=1, dim=8)
+        assert not np.array_equal(a, b)
+
+    def test_varies_with_row(self, stream):
+        noise = stream.row_noise(0, np.array([1, 2]), iteration=1, dim=8)
+        assert not np.array_equal(noise[0], noise[1])
+
+    def test_varies_with_seed(self):
+        rows = np.array([5])
+        a = NoiseStream(1).row_noise(0, rows, 1, 8)
+        b = NoiseStream(2).row_noise(0, rows, 1, 8)
+        assert not np.array_equal(a, b)
+
+    def test_std_scaling(self, stream):
+        unit = stream.row_noise(0, np.array([9]), 3, 16, std=1.0)
+        scaled = stream.row_noise(0, np.array([9]), 3, 16, std=2.5)
+        np.testing.assert_allclose(scaled, 2.5 * unit)
+
+    def test_dim_prefix_property(self, stream):
+        """Asking for fewer lanes returns a prefix of the wider request."""
+        wide = stream.row_noise(0, np.array([4]), 1, 16)
+        narrow = stream.row_noise(0, np.array([4]), 1, 8)
+        assert np.array_equal(wide[:, :8], narrow)
+
+    def test_non_multiple_of_four_dim(self, stream):
+        noise = stream.row_noise(0, np.arange(3), 1, dim=5)
+        assert noise.shape == (3, 5)
+
+    def test_empty_rows(self, stream):
+        noise = stream.row_noise(0, np.array([], dtype=np.int64), 1, 8)
+        assert noise.shape == (0, 8)
+
+    def test_rejects_bad_dim(self, stream):
+        with pytest.raises(ValueError):
+            stream.row_noise(0, np.arange(2), 1, dim=0)
+
+    def test_rejects_2d_rows(self, stream):
+        with pytest.raises(ValueError):
+            stream.row_noise(0, np.zeros((2, 2), dtype=np.int64), 1, 8)
+
+    def test_large_row_indices(self, stream):
+        """Rows beyond 2^32 exercise the high counter word."""
+        rows = np.array([2**33, 2**33 + 1], dtype=np.uint64)
+        noise = stream.row_noise(0, rows, 1, 4)
+        assert not np.array_equal(noise[0], noise[1])
+
+    def test_gaussian_statistics(self, stream):
+        noise = stream.row_noise(0, np.arange(2000), 1, 64)
+        flat = noise.ravel()
+        assert abs(flat.mean()) < 0.01
+        assert abs(flat.std() - 1.0) < 0.01
+        _, p_value = stats.kstest(flat[:20000], "norm")
+        assert p_value > 0.001
+
+
+class TestRowNoiseSum:
+    def test_equals_manual_sum(self, stream):
+        rows = np.array([1, 5, 9])
+        total = stream.row_noise_sum(2, rows, 3, 6, dim=8, std=0.7)
+        manual = sum(
+            stream.row_noise(2, rows, it, 8, std=0.7) for it in range(3, 7)
+        )
+        np.testing.assert_allclose(total, manual)
+
+    def test_empty_range_is_zero(self, stream):
+        total = stream.row_noise_sum(0, np.array([1]), 5, 4, dim=8)
+        assert np.all(total == 0.0)
+
+    def test_single_iteration_range(self, stream):
+        rows = np.array([2])
+        total = stream.row_noise_sum(0, rows, 4, 4, dim=8)
+        single = stream.row_noise(0, rows, 4, 8)
+        np.testing.assert_allclose(total, single)
+
+
+class TestAggregatedRowNoise:
+    def test_zero_delay_gives_zero(self, stream):
+        noise = stream.aggregated_row_noise(
+            0, np.array([1, 2]), np.array([0, 3]), iteration=5, dim=8
+        )
+        assert np.all(noise[0] == 0.0)
+        assert not np.all(noise[1] == 0.0)
+
+    def test_variance_scales_with_delay(self, stream):
+        """Theorem 5.1: aggregated draw has variance delay * std^2."""
+        rows = np.arange(4000)
+        for delay in (1, 4, 16):
+            noise = stream.aggregated_row_noise(
+                0, rows, np.full(rows.shape, delay), iteration=1, dim=16,
+                std=1.0,
+            )
+            observed = noise.ravel().std()
+            assert observed == pytest.approx(np.sqrt(delay), rel=0.02)
+
+    def test_independent_of_row_noise_domain(self, stream):
+        """ANS draws must never collide with per-iteration draws."""
+        rows = np.array([7])
+        ans = stream.aggregated_row_noise(
+            0, rows, np.array([1]), iteration=3, dim=8
+        )
+        per_iter = stream.row_noise(0, rows, 3, 8)
+        assert not np.allclose(ans, per_iter)
+
+    def test_rejects_negative_delays(self, stream):
+        with pytest.raises(ValueError):
+            stream.aggregated_row_noise(
+                0, np.array([1]), np.array([-1]), 1, 8
+            )
+
+    def test_rejects_misaligned_delays(self, stream):
+        with pytest.raises(ValueError):
+            stream.aggregated_row_noise(
+                0, np.array([1, 2]), np.array([1]), 1, 8
+            )
+
+    @settings(max_examples=20)
+    @given(st.integers(min_value=1, max_value=50))
+    def test_deterministic_for_any_delay(self, delay):
+        stream = NoiseStream(7)
+        rows = np.array([11])
+        delays = np.array([delay])
+        a = stream.aggregated_row_noise(1, rows, delays, 9, 4)
+        b = stream.aggregated_row_noise(1, rows, delays, 9, 4)
+        assert np.array_equal(a, b)
+
+
+class TestDenseAndInit:
+    def test_dense_noise_shape(self, stream):
+        noise = stream.dense_noise(3, iteration=2, shape=(4, 5), std=0.1)
+        assert noise.shape == (4, 5)
+
+    def test_dense_noise_varies_with_param(self, stream):
+        a = stream.dense_noise(1, 1, (8,))
+        b = stream.dense_noise(2, 1, (8,))
+        assert not np.array_equal(a, b)
+
+    def test_dense_noise_varies_with_iteration(self, stream):
+        a = stream.dense_noise(1, 1, (8,))
+        b = stream.dense_noise(1, 2, (8,))
+        assert not np.array_equal(a, b)
+
+    def test_init_values_deterministic(self, stream):
+        a = stream.init_values(0, (3, 3), std=0.5)
+        b = NoiseStream(1234).init_values(0, (3, 3), std=0.5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_init_values_std(self, stream):
+        values = stream.init_values(5, (300, 300), std=0.02)
+        assert values.std() == pytest.approx(0.02, rel=0.02)

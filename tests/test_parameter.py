@@ -1,0 +1,79 @@
+"""Tests for parameter and gradient containers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Parameter, PerExamplePairs, SparseRowGrad
+
+
+class TestParameter:
+    def test_attributes(self):
+        param = Parameter("name", np.zeros((3, 4)), 7, is_embedding=True)
+        assert param.shape == (3, 4)
+        assert param.size == 12
+        assert param.param_id == 7
+        assert param.is_embedding
+
+
+class TestSparseRowGrad:
+    def test_to_dense(self):
+        grad = SparseRowGrad(np.array([1, 3]), np.ones((2, 2)))
+        dense = grad.to_dense(5)
+        assert dense.shape == (5, 2)
+        assert np.all(dense[[0, 2, 4]] == 0.0)
+        assert np.all(dense[[1, 3]] == 1.0)
+
+    def test_scaled(self):
+        grad = SparseRowGrad(np.array([0]), np.full((1, 3), 2.0))
+        np.testing.assert_allclose(grad.scaled(0.5).values, 1.0)
+
+    def test_dim(self):
+        assert SparseRowGrad(np.array([0]), np.zeros((1, 9))).dim == 9
+
+    def test_rejects_misaligned(self):
+        with pytest.raises(ValueError):
+            SparseRowGrad(np.array([0, 1]), np.zeros((1, 3)))
+
+    def test_rejects_wrong_ndim(self):
+        with pytest.raises(ValueError):
+            SparseRowGrad(np.array([[0]]), np.zeros((1, 3)))
+
+
+class TestPerExamplePairs:
+    def _pairs(self):
+        # example 0 hits row 2 twice; example 1 hits rows 0 and 2 once each.
+        deltas = np.array([[1.0, 0.0], [0.0, 2.0]])
+        return PerExamplePairs(
+            example_ids=np.array([0, 1, 1]),
+            rows=np.array([2, 0, 2]),
+            mults=np.array([2.0, 1.0, 1.0]),
+            deltas=deltas,
+            batch_size=2,
+        )
+
+    def test_norm_sq(self):
+        pairs = self._pairs()
+        # Example 0: (2*||d0||)^2 = 4*1 = 4. Example 1: (1+1)*||d1||^2 = 2*4 = 8.
+        np.testing.assert_allclose(pairs.norm_sq_per_example(), [4.0, 8.0])
+
+    def test_weighted_row_grad(self):
+        pairs = self._pairs()
+        grad = pairs.weighted_row_grad(np.array([1.0, 0.5]))
+        dense = grad.to_dense(3)
+        # Row 2: 2*d0*1.0 + 1*d1*0.5 ; row 0: 1*d1*0.5.
+        np.testing.assert_allclose(dense[2], [2.0, 1.0])
+        np.testing.assert_allclose(dense[0], [0.0, 1.0])
+        np.testing.assert_allclose(dense[1], [0.0, 0.0])
+
+    def test_dense_per_example(self):
+        pairs = self._pairs()
+        dense = pairs.dense_per_example(3)
+        assert dense.shape == (2, 3, 2)
+        np.testing.assert_allclose(dense[0, 2], [2.0, 0.0])
+        np.testing.assert_allclose(dense[1, 0], [0.0, 2.0])
+        np.testing.assert_allclose(dense[1, 2], [0.0, 2.0])
+
+    def test_zero_weights_give_zero_grad(self):
+        pairs = self._pairs()
+        grad = pairs.weighted_row_grad(np.zeros(2))
+        assert np.all(grad.values == 0.0)

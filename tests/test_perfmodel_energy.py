@@ -1,0 +1,79 @@
+"""Tests for the phase-power energy model (Figure 12)."""
+
+import pytest
+
+from repro import configs
+from repro.perfmodel import (
+    average_power_watts,
+    iteration_breakdown,
+    iteration_energy_joules,
+    paper_system,
+    stage_power_watts,
+)
+
+
+@pytest.fixture
+def hw():
+    return paper_system()
+
+
+@pytest.fixture
+def config():
+    return configs.mlperf_dlrm()
+
+
+class TestEnergyModel:
+    def test_energy_positive(self, config, hw):
+        for algorithm in ("sgd", "lazydp", "dpsgd_f"):
+            breakdown = iteration_breakdown(algorithm, config, 2048, hw=hw)
+            assert iteration_energy_joules(breakdown, hw) > 0
+
+    def test_average_power_bounded_by_states(self, config, hw):
+        floor = hw.power.cpu_idle + hw.power.gpu_idle
+        ceiling = hw.power.cpu_avx + hw.power.gpu_active
+        for algorithm in ("sgd", "lazydp", "dpsgd_f"):
+            breakdown = iteration_breakdown(algorithm, config, 2048, hw=hw)
+            power = average_power_watts(breakdown, hw)
+            assert floor <= power <= ceiling
+
+    def test_dpsgd_draws_more_average_power_than_sgd(self, config, hw):
+        """The AVX-pinned noise phase amplifies energy beyond the time
+        ratio (Figure 12: 353x energy vs 259x time)."""
+        sgd = iteration_breakdown("sgd", config, 2048, hw=hw)
+        dpsgd = iteration_breakdown("dpsgd_f", config, 2048, hw=hw)
+        assert average_power_watts(dpsgd, hw) > average_power_watts(sgd, hw)
+
+    def test_energy_ratio_exceeds_time_ratio(self, config, hw):
+        sgd = iteration_breakdown("sgd", config, 2048, hw=hw)
+        dpsgd = iteration_breakdown("dpsgd_f", config, 2048, hw=hw)
+        time_ratio = dpsgd.total / sgd.total
+        energy_ratio = (
+            iteration_energy_joules(dpsgd, hw) / iteration_energy_joules(sgd, hw)
+        )
+        assert energy_ratio > time_ratio
+
+    def test_lazydp_energy_saving_in_paper_ballpark(self, config, hw):
+        """Figure 12: ~155x average energy saving."""
+        lazy = iteration_breakdown("lazydp", config, 2048, hw=hw)
+        dpsgd = iteration_breakdown("dpsgd_f", config, 2048, hw=hw)
+        saving = (
+            iteration_energy_joules(dpsgd, hw) / iteration_energy_joules(lazy, hw)
+        )
+        assert 100 < saving < 250
+
+    def test_oom_energy_is_infinite(self, hw):
+        breakdown = iteration_breakdown(
+            "dpsgd_f", configs.mlperf_dlrm(192 * 10**9), 2048, hw=hw
+        )
+        assert iteration_energy_joules(breakdown, hw) == float("inf")
+
+    def test_every_stage_has_a_power_state(self, config, hw):
+        for algorithm in ("sgd", "eana", "lazydp", "dpsgd_b"):
+            breakdown = iteration_breakdown(algorithm, config, 2048, hw=hw)
+            for stage in breakdown.stages:
+                assert stage_power_watts(stage, hw) > 0
+
+    def test_noise_phase_uses_avx_power(self, hw):
+        assert stage_power_watts("noise_sampling", hw) == (
+            hw.power.cpu_avx + hw.power.gpu_idle
+        )

@@ -1,0 +1,68 @@
+"""Tests for the memory-capacity model (Figure 13a, Section 7.2)."""
+
+import pytest
+
+from repro import configs
+from repro.perfmodel import (
+    fits_in_host_memory,
+    history_table_bytes,
+    input_queue_bytes,
+    lazydp_metadata_fraction,
+    paper_system,
+    required_host_bytes,
+    table_bytes,
+)
+
+
+@pytest.fixture
+def hw():
+    return paper_system()
+
+
+@pytest.fixture
+def config():
+    return configs.mlperf_dlrm()
+
+
+class TestSection72Overheads:
+    def test_input_queue_is_213kb(self, config):
+        """batch x tables x lookups x 4B = 2048*26*1*4 = 212992 B."""
+        assert input_queue_bytes(2048, config) == 2048 * 26 * 4
+
+    def test_history_table_is_751mb(self, config):
+        """total rows x 4B ~ 750 MB for the 96 GB model."""
+        assert history_table_bytes(config) == pytest.approx(751e6, rel=0.01)
+
+    def test_metadata_under_one_percent(self, config):
+        """Paper: HistoryTable < 1% of total model size."""
+        assert lazydp_metadata_fraction(config, 2048) < 0.01
+
+    def test_rmc_metadata_under_3_percent(self):
+        """Section 7.3: <3.1% across RMC models."""
+        for factory in (configs.rmc1, configs.rmc2, configs.rmc3):
+            assert lazydp_metadata_fraction(factory(), 2048) < 0.031
+
+
+class TestOOM:
+    def test_dpsgd_fits_at_96gb(self, config, hw):
+        assert fits_in_host_memory("dpsgd_f", config, 2048, hw)
+
+    def test_dpsgd_oom_at_192gb(self, hw):
+        config = configs.mlperf_dlrm(192 * 10**9)
+        assert not fits_in_host_memory("dpsgd_f", config, 2048, hw)
+
+    def test_sparse_algorithms_fit_at_192gb(self, hw):
+        config = configs.mlperf_dlrm(192 * 10**9)
+        for algorithm in ("sgd", "lazydp", "lazydp_no_ans", "eana"):
+            assert fits_in_host_memory(algorithm, config, 2048, hw)
+
+    def test_dense_needs_roughly_twice_the_model(self, config):
+        dense = required_host_bytes("dpsgd_f", config, 2048)
+        sparse = required_host_bytes("sgd", config, 2048)
+        assert dense > 2 * table_bytes(config)
+        assert sparse < 1.1 * table_bytes(config)
+
+    def test_lazydp_requirement_between(self, config):
+        lazy = required_host_bytes("lazydp", config, 2048)
+        assert table_bytes(config) < lazy < 1.1 * table_bytes(config)
+        assert lazy > required_host_bytes("sgd", config, 2048)

@@ -1,0 +1,94 @@
+"""Tests for the per-operation cost primitives."""
+
+import pytest
+
+from repro import configs
+from repro.perfmodel import paper_system
+from repro.perfmodel import ops
+
+
+@pytest.fixture
+def hw():
+    return paper_system()
+
+
+@pytest.fixture
+def config():
+    return configs.mlperf_dlrm()
+
+
+class TestPrimitives:
+    def test_stream_linear_in_bytes(self, hw):
+        assert ops.cpu_stream_seconds(2e9, hw) == pytest.approx(
+            2 * ops.cpu_stream_seconds(1e9, hw)
+        )
+
+    def test_avx_linear_in_flops(self, hw):
+        assert ops.cpu_avx_seconds(2e12, hw) == pytest.approx(
+            2 * ops.cpu_avx_seconds(1e12, hw)
+        )
+
+    def test_noise_sampling_101_ops_per_element(self, hw):
+        one_element = ops.noise_sampling_seconds(1, hw)
+        assert one_element == pytest.approx(
+            101 / (0.81 * 265e9), rel=1e-6
+        )
+
+    def test_noise_sampling_96gb_is_about_11s(self, hw):
+        """The anchor the whole reproduction hangs on: 24e9 elements of
+        Box-Muller at 215 GFLOPS is ~11.3 seconds."""
+        elements = 96e9 / 4
+        assert ops.noise_sampling_seconds(elements, hw) == pytest.approx(
+            11.3, rel=0.02
+        )
+
+    def test_noisy_update_bandwidth_bound(self, hw):
+        elements = 96e9 / 4
+        expected = 3 * 96e9 / (0.855 * 68e9)
+        assert ops.noisy_grad_update_seconds(elements, hw) == pytest.approx(
+            expected
+        )
+
+    def test_random_touch_latency_floor(self, hw):
+        """Small rows pay the access latency, not the streaming time."""
+        per_row = ops.random_row_touch_seconds(1, 128, 1.0, hw)
+        assert per_row == pytest.approx(hw.cpu.row_access_latency)
+
+    def test_random_touch_streaming_ceiling(self, hw):
+        """Huge rows are bandwidth-limited."""
+        dim = 1 << 16
+        per_row = ops.random_row_touch_seconds(1, dim, 1.0, hw)
+        assert per_row == pytest.approx(
+            dim * 4 / hw.cpu.effective_bandwidth
+        )
+
+
+class TestModelCosts:
+    def test_gather_scales_with_pooling(self, hw):
+        one = ops.embedding_gather_seconds(
+            2048, configs.mlperf_dlrm(lookups_per_table=1), hw
+        )
+        thirty = ops.embedding_gather_seconds(
+            2048, configs.mlperf_dlrm(lookups_per_table=30), hw
+        )
+        assert thirty > 10 * one
+
+    def test_mlp_multiplies_positive(self, config, hw):
+        assert ops.mlp_multiplies(config) > 1e6
+        assert ops.mlp_forward_seconds(2048, config, hw) > 0
+
+    def test_backward_twice_forward(self, config, hw):
+        fwd = ops.mlp_forward_seconds(2048, config, hw)
+        assert ops.mlp_backward_seconds(2048, config, hw) == pytest.approx(
+            2 * fwd
+        )
+
+    def test_per_example_traffic_scales_with_batch(self, config, hw):
+        small = ops.per_example_grad_traffic_seconds(1024, config, hw)
+        large = ops.per_example_grad_traffic_seconds(4096, config, hw)
+        assert large == pytest.approx(4 * small)
+
+    def test_pcie_transfer(self, config, hw):
+        seconds = ops.embeddings_pcie_seconds(2048, config, hw)
+        expected = 2048 * 26 * 128 * 4 / 16e9
+        assert seconds == pytest.approx(expected)

@@ -1,0 +1,79 @@
+"""Tests for the AVX roofline model (Figure 6)."""
+
+import numpy as np
+import pytest
+
+from repro.perfmodel import (
+    effective_avx_gflops,
+    noise_sampling_throughput,
+    noisy_update_throughput,
+    paper_system,
+    ridge_point,
+    sweep,
+)
+
+
+@pytest.fixture
+def hw():
+    return paper_system()
+
+
+class TestRoofline:
+    def test_zero_ops_zero_throughput(self, hw):
+        assert effective_avx_gflops(0, hw) == 0.0
+
+    def test_monotone_nondecreasing(self, hw):
+        values = [effective_avx_gflops(n, hw) for n in range(1, 125)]
+        assert all(b >= a for a, b in zip(values, values[1:]))
+
+    def test_memory_bound_region_linear(self, hw):
+        """Below the ridge, doubling N doubles throughput."""
+        low = effective_avx_gflops(2, hw)
+        double = effective_avx_gflops(4, hw)
+        assert double == pytest.approx(2 * low)
+
+    def test_compute_bound_plateau(self, hw):
+        """Beyond the ridge, throughput is flat at 81% of peak."""
+        plateau = hw.cpu.effective_gflops
+        assert effective_avx_gflops(101, hw) == pytest.approx(plateau)
+        assert effective_avx_gflops(124, hw) == pytest.approx(plateau)
+
+    def test_noise_sampling_point_matches_paper(self, hw):
+        """N=101 must land at ~215 GFLOPS (81% of 265)."""
+        assert noise_sampling_throughput(hw) == pytest.approx(215.0, rel=0.01)
+
+    def test_noisy_update_point_is_memory_bound(self, hw):
+        """N=2: throughput = 2 ops * 85.5% of 68 GB/s / 8 B = 14.5 GFLOPS."""
+        expected = 2 * 0.855 * 68e9 / 8 / 1e9
+        assert noisy_update_throughput(hw) == pytest.approx(expected)
+
+    def test_ridge_point_location(self, hw):
+        """Crossover where N * BW/bytes == compute ceiling."""
+        ridge = ridge_point(hw)
+        assert 20 < ridge < 40
+        below = effective_avx_gflops(ridge * 0.9, hw)
+        assert below < hw.cpu.effective_gflops
+
+    def test_sweep_shape(self, hw):
+        n_values, gflops = sweep(hw)
+        assert n_values.shape == gflops.shape
+        assert n_values[0] == 0
+        assert gflops[-1] == pytest.approx(hw.cpu.effective_gflops)
+
+    def test_sweep_custom_points(self, hw):
+        n_values, gflops = sweep(hw, n_values=[2, 101])
+        assert gflops[0] == pytest.approx(noisy_update_throughput(hw))
+        assert gflops[1] == pytest.approx(noise_sampling_throughput(hw))
+
+
+class TestPaperSystem:
+    def test_hardware_constants(self, hw):
+        assert hw.cpu.dram_bandwidth == pytest.approx(68e9)
+        assert hw.gpu.hbm_bandwidth == pytest.approx(900e9)
+        assert hw.pcie_bandwidth == pytest.approx(16e9)
+        assert hw.cpu.dram_capacity == 256 * 10**9
+        assert hw.gpu.hbm_capacity == 32 * 10**9
+
+    def test_efficiency_fractions_match_section43(self, hw):
+        assert hw.cpu.compute_efficiency == pytest.approx(0.81)
+        assert hw.cpu.stream_efficiency == pytest.approx(0.855)

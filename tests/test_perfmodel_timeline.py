@@ -1,0 +1,154 @@
+"""Tests for the per-iteration timeline model — the paper's shapes."""
+
+import pytest
+
+from repro import configs
+from repro.data import SkewSpec
+from repro.perfmodel import (
+    ALGORITHMS,
+    iteration_breakdown,
+    end_to_end_seconds,
+    paper_system,
+)
+
+
+@pytest.fixture
+def config():
+    return configs.mlperf_dlrm()
+
+
+class TestBreakdownStructure:
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_every_algorithm_produces_stages(self, algorithm, config):
+        breakdown = iteration_breakdown(algorithm, config, 2048)
+        assert breakdown.total > 0
+        assert breakdown.stage("fwd") > 0
+        assert not breakdown.oom
+
+    def test_unknown_algorithm_rejected(self, config):
+        with pytest.raises(ValueError):
+            iteration_breakdown("adam", config, 2048)
+
+    def test_grouped_sums_to_total(self, config):
+        breakdown = iteration_breakdown("dpsgd_f", config, 2048)
+        grouped = breakdown.grouped()
+        assert sum(grouped.values()) == pytest.approx(breakdown.total)
+
+    def test_sgd_has_no_noise_stage(self, config):
+        breakdown = iteration_breakdown("sgd", config, 2048)
+        assert breakdown.stage("noise_sampling") == 0.0
+
+    def test_lazydp_has_overhead_stages(self, config):
+        breakdown = iteration_breakdown("lazydp", config, 2048)
+        assert breakdown.lazydp_overhead_total() > 0
+        assert breakdown.stage("lazydp_dedup") > 0
+
+
+class TestPaperShapes:
+    def test_sgd_constant_in_table_size(self):
+        times = [
+            end_to_end_seconds("sgd", configs.mlperf_dlrm(size), 2048)
+            for size in (24e9, 96e9, 192e9)
+        ]
+        assert max(times) / min(times) < 1.05
+
+    def test_lazydp_constant_in_table_size(self):
+        times = [
+            end_to_end_seconds("lazydp", configs.mlperf_dlrm(size), 2048)
+            for size in (24e9, 96e9, 192e9)
+        ]
+        assert max(times) / min(times) < 1.05
+
+    def test_dpsgd_linear_in_table_size(self):
+        small = end_to_end_seconds("dpsgd_f", configs.mlperf_dlrm(24e9), 2048)
+        large = end_to_end_seconds("dpsgd_f", configs.mlperf_dlrm(96e9), 2048)
+        assert large / small == pytest.approx(4.0, rel=0.1)
+
+    def test_dpsgd_oom_at_192gb(self):
+        """Figure 13a: eager DP-SGD cannot hold table + dense gradient."""
+        breakdown = iteration_breakdown(
+            "dpsgd_f", configs.mlperf_dlrm(192 * 10**9), 2048
+        )
+        assert breakdown.oom
+        assert end_to_end_seconds(
+            "dpsgd_f", configs.mlperf_dlrm(192 * 10**9), 2048
+        ) == float("inf")
+
+    def test_lazydp_survives_192gb(self):
+        breakdown = iteration_breakdown(
+            "lazydp", configs.mlperf_dlrm(192 * 10**9), 2048
+        )
+        assert not breakdown.oom
+
+    def test_headline_speedup_in_paper_range(self, config):
+        """Section 7.1: 85x-155x across batches, 119x average."""
+        for batch in (1024, 2048, 4096):
+            lazy = end_to_end_seconds("lazydp", config, batch)
+            eager = end_to_end_seconds("dpsgd_f", config, batch)
+            assert 70 < eager / lazy < 200
+
+    def test_no_ans_sits_between(self, config):
+        """Figure 10 ordering: lazydp << lazydp_no_ans < dpsgd_f."""
+        lazy = end_to_end_seconds("lazydp", config, 2048)
+        no_ans = end_to_end_seconds("lazydp_no_ans", config, 2048)
+        eager = end_to_end_seconds("dpsgd_f", config, 2048)
+        assert lazy < no_ans < eager
+        assert no_ans / lazy > 20
+
+    def test_eana_faster_than_lazydp(self, config):
+        """Figure 14: LazyDP pays 27-37% over EANA for real privacy."""
+        eana = end_to_end_seconds("eana", config, 2048)
+        lazy = end_to_end_seconds("lazydp", config, 2048)
+        assert 1.05 < lazy / eana < 1.6
+
+    def test_variant_ordering_small_table(self):
+        """Figure 3 at 96MB: B slowest, F fastest."""
+        config = configs.mlperf_dlrm(96 * 10**6)
+        b = end_to_end_seconds("dpsgd_b", config, 2048)
+        r = end_to_end_seconds("dpsgd_r", config, 2048)
+        f = end_to_end_seconds("dpsgd_f", config, 2048)
+        assert b > r > f
+
+    def test_variants_converge_large_table(self, config):
+        """Figure 3 at 96GB: <3% spread."""
+        b = end_to_end_seconds("dpsgd_b", config, 2048)
+        f = end_to_end_seconds("dpsgd_f", config, 2048)
+        assert b / f < 1.05
+
+    def test_pooling_increases_sgd_and_lazydp(self):
+        for algorithm in ("sgd", "lazydp"):
+            one = end_to_end_seconds(
+                algorithm, configs.mlperf_dlrm(lookups_per_table=1), 2048
+            )
+            thirty = end_to_end_seconds(
+                algorithm, configs.mlperf_dlrm(lookups_per_table=30), 2048
+            )
+            assert thirty > 4 * one
+
+    def test_pooling_barely_moves_dpsgd(self):
+        one = end_to_end_seconds(
+            "dpsgd_f", configs.mlperf_dlrm(lookups_per_table=1), 2048
+        )
+        thirty = end_to_end_seconds(
+            "dpsgd_f", configs.mlperf_dlrm(lookups_per_table=30), 2048
+        )
+        assert thirty / one < 1.05
+
+    def test_skew_reduces_lazydp_cost(self, config):
+        uniform = end_to_end_seconds("lazydp", config, 2048)
+        skewed = end_to_end_seconds(
+            "lazydp", config, 2048,
+            skew=SkewSpec(kind="zipf", exponent=1.2),
+        )
+        assert skewed < uniform
+
+    def test_batch_scales_sgd(self, config):
+        small = end_to_end_seconds("sgd", config, 1024)
+        large = end_to_end_seconds("sgd", config, 4096)
+        assert 1.5 < large / small < 4.0
+
+    def test_lazydp_overhead_fraction_near_paper(self, config):
+        """Figure 11: ~15% of LazyDP's end-to-end time."""
+        breakdown = iteration_breakdown("lazydp", config, 2048)
+        fraction = breakdown.lazydp_overhead_total() / breakdown.total
+        assert 0.08 < fraction < 0.25

@@ -1,0 +1,138 @@
+"""Property-based equivalence: LazyDP == DP-SGD on *random* geometries.
+
+The handwritten equivalence tests pin one configuration; these let
+hypothesis pick the model geometry, batch size, iteration count, pooling
+factor and seeds — if any corner of the configuration space broke the
+lazy-schedule argument (tiny tables, pooling larger than the table,
+single-iteration runs, batch bigger than unique rows, ...), this is where
+it would surface.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.configs import DLRMConfig
+from repro.bench.experiments import make_trainer
+from repro.data import DataLoader, LookaheadLoader, SyntheticClickDataset
+from repro.nn import DLRM
+from repro.train import DPConfig
+
+from conftest import max_param_diff
+
+
+geometries = st.fixed_dictionaries({
+    "num_tables": st.integers(min_value=1, max_value=4),
+    "rows": st.integers(min_value=4, max_value=96),
+    "dim": st.sampled_from([2, 4, 8]),
+    "lookups": st.integers(min_value=1, max_value=6),
+    "batch": st.integers(min_value=1, max_value=24),
+    "iterations": st.integers(min_value=1, max_value=7),
+    "seed": st.integers(min_value=0, max_value=10_000),
+})
+
+
+def build_config(params) -> DLRMConfig:
+    return DLRMConfig(
+        name="prop",
+        dense_features=3,
+        bottom_mlp=(4, params["dim"]),
+        embedding_dim=params["dim"],
+        table_rows=(params["rows"],) * params["num_tables"],
+        lookups_per_table=params["lookups"],
+        top_mlp=(4, 1),
+    )
+
+
+def train(algorithm, params, dp=None):
+    config = build_config(params)
+    model = DLRM(config, seed=params["seed"] + 1)
+    dataset = SyntheticClickDataset(
+        config, seed=params["seed"] + 2, num_examples=512
+    )
+    loader = DataLoader(
+        dataset, batch_size=min(params["batch"], 512),
+        num_batches=params["iterations"], seed=params["seed"] + 3,
+    )
+    trainer = make_trainer(
+        algorithm, model, dp or DPConfig(), noise_seed=params["seed"] + 4
+    )
+    trainer.fit(loader)
+    return model, trainer
+
+
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(geometries)
+def test_lazydp_exactly_matches_eager_dpsgd(params):
+    """The central theorem, quantified over geometry."""
+    eager, _ = train("dpsgd_f", params)
+    lazy, _ = train("lazydp_no_ans", params)
+    assert max_param_diff(eager, lazy) < 1e-9
+
+
+@settings(max_examples=12, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(geometries)
+def test_variant_family_agrees(params):
+    """B == F for arbitrary geometry (R == B is covered elsewhere)."""
+    model_b, _ = train("dpsgd_b", params)
+    model_f, _ = train("dpsgd_f", params)
+    assert max_param_diff(model_b, model_f) < 1e-9
+
+
+@settings(max_examples=12, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(geometries)
+def test_history_fully_flushed(params):
+    """After fit(), no row owes noise, for any geometry."""
+    _, trainer = train("lazydp", params)
+    for history in trainer.engine.histories:
+        assert history.pending_rows(params["iterations"]).size == 0
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(geometries, st.floats(min_value=0.0, max_value=3.0))
+def test_equivalence_across_noise_levels(params, noise_multiplier):
+    """Equivalence cannot depend on sigma (including sigma = 0)."""
+    dp = DPConfig(noise_multiplier=noise_multiplier, max_grad_norm=1.0,
+                  learning_rate=0.05)
+    eager, _ = train("dpsgd_f", params, dp)
+    lazy, _ = train("lazydp_no_ans", params, dp)
+    assert max_param_diff(eager, lazy) < 1e-9
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(geometries)
+def test_visible_rows_current_at_access(params):
+    """Invariant form: every gathered row agrees with eager at gather time."""
+    config = build_config(params)
+    dp = DPConfig()
+    eager_model = DLRM(config, seed=params["seed"] + 1)
+    lazy_model = DLRM(config, seed=params["seed"] + 1)
+    eager = make_trainer("dpsgd_f", eager_model, dp,
+                         noise_seed=params["seed"] + 4)
+    lazy = make_trainer("lazydp_no_ans", lazy_model, dp,
+                        noise_seed=params["seed"] + 4)
+    dataset = SyntheticClickDataset(
+        config, seed=params["seed"] + 2, num_examples=512
+    )
+    loader = DataLoader(
+        dataset, batch_size=min(params["batch"], 512),
+        num_batches=params["iterations"], seed=params["seed"] + 3,
+    )
+    eager.expected_batch_size = loader.batch_size
+    lazy.expected_batch_size = loader.batch_size
+    for index, batch, upcoming in LookaheadLoader(loader):
+        for table in range(config.num_tables):
+            rows = batch.accessed_rows(table)
+            np.testing.assert_allclose(
+                lazy_model.embeddings[table].table.data[rows],
+                eager_model.embeddings[table].table.data[rows],
+                atol=1e-9,
+            )
+        eager.train_step(index + 1, batch, upcoming)
+        lazy.train_step(index + 1, batch, upcoming)

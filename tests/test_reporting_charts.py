@@ -1,0 +1,69 @@
+"""Tests for the ASCII chart renderers."""
+
+import pytest
+
+from repro.bench import bar_chart, figure10, series_chart
+
+
+class TestBarChart:
+    def test_basic_rendering(self):
+        chart = bar_chart(["a", "bb"], [1.0, 2.0], width=10)
+        lines = chart.splitlines()
+        assert len(lines) == 2
+        assert lines[1].count("#") == 10          # peak fills the width
+        assert lines[0].count("#") == 5
+
+    def test_title(self):
+        chart = bar_chart(["x"], [1.0], title="My chart")
+        assert chart.splitlines()[0] == "My chart"
+
+    def test_oom_marker(self):
+        chart = bar_chart(["ok", "oom"], [1.0, float("inf")])
+        assert "OOM" in chart
+
+    def test_none_marker(self):
+        chart = bar_chart(["ok", "gap"], [1.0, None])
+        assert "(missing)" in chart
+
+    def test_log_scale_compresses_range(self):
+        chart = bar_chart(["small", "big"], [1.0, 260.0], width=40,
+                          log_scale=True)
+        lines = chart.splitlines()
+        small_bar = lines[0].count("#")
+        big_bar = lines[1].count("#")
+        assert big_bar == 40
+        assert small_bar >= 1
+        # Linear would give small ~0.15% of width; log keeps it visible.
+        assert small_bar < big_bar
+
+    def test_label_alignment(self):
+        chart = bar_chart(["a", "long-label"], [1.0, 2.0])
+        lines = chart.splitlines()
+        assert lines[0].index("|") == lines[1].index("|")
+
+    def test_rejects_misaligned(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+
+    def test_rejects_all_infinite(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [float("inf")])
+
+    def test_rejects_tiny_width(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0], width=2)
+
+
+class TestSeriesChart:
+    def test_flattens_series(self):
+        chart = series_chart(
+            ("x", "y"), {"s1": (1.0, 2.0), "s2": (3.0, 4.0)}
+        )
+        assert "s1@x" in chart
+        assert "s2@y" in chart
+
+    def test_figure_chart_integration(self):
+        result = figure10()
+        chart = result.chart()
+        assert "lazydp@2048" in chart
+        assert "dpsgd_f@4096" in chart

@@ -1,0 +1,85 @@
+"""Tests for the beyond-paper scaling projections."""
+
+import pytest
+
+from repro.perfmodel import paper_system
+from repro.perfmodel.scaling import (
+    PROJECTION_MODEL_BYTES,
+    break_even_model_bytes,
+    oom_capacity_bytes,
+    project_scaling,
+)
+
+
+class TestProjection:
+    def test_speedup_grows_with_scale(self):
+        """The paper's closing claim: the gap widens as tables grow.
+
+        At 2 TB even the 4 TB future host cannot run eager DP-SGD (it
+        needs twice the model size), so the last point has no finite
+        speedup — DP-SGD is not merely slower there, it is impossible.
+        """
+        points = project_scaling()
+        speedups = [
+            p.speedup_vs_dpsgd for p in points
+            if p.algorithm == "lazydp" and p.speedup_vs_dpsgd is not None
+        ]
+        assert len(speedups) == len(PROJECTION_MODEL_BYTES) - 1
+        assert all(b > a for a, b in zip(speedups, speedups[1:]))
+        final_eager = [p for p in points
+                       if p.algorithm == "dpsgd_f"][-1]
+        assert final_eager.oom
+
+    def test_tb_scale_speedup_is_enormous(self):
+        points = project_scaling()
+        tb_point = next(
+            p for p in points
+            if p.algorithm == "lazydp" and p.model_bytes == 10**12
+        )
+        assert tb_point.speedup_vs_dpsgd > 500
+
+    def test_lazydp_time_flat(self):
+        points = project_scaling()
+        lazy_times = [
+            p.seconds_per_iteration for p in points if p.algorithm == "lazydp"
+        ]
+        assert max(lazy_times) / min(lazy_times) < 1.05
+
+    def test_paper_capacity_reproduces_oom_wall(self):
+        hw = paper_system()
+        points = project_scaling(
+            host_capacity_bytes=hw.cpu.dram_capacity,
+            sizes=(96 * 10**9, 384 * 10**9),
+        )
+        eager = {p.model_bytes: p for p in points if p.algorithm == "dpsgd_f"}
+        assert not eager[96 * 10**9].oom
+        assert eager[384 * 10**9].oom
+
+
+class TestOOMCapacity:
+    def test_dpsgd_wall_between_96_and_192gb(self):
+        """Figure 13a: fits at 96 GB, OOM at 192 GB on the 256 GB host."""
+        wall = oom_capacity_bytes("dpsgd_f")
+        assert 96e9 < wall < 192e9
+
+    def test_lazydp_headroom(self):
+        """LazyDP trains models nearly as large as host DRAM itself."""
+        lazy_wall = oom_capacity_bytes("lazydp")
+        eager_wall = oom_capacity_bytes("dpsgd_f")
+        assert lazy_wall > 1.8 * eager_wall
+        assert lazy_wall > 230e9
+
+    def test_sgd_headroom_matches_lazydp_scale(self):
+        sgd_wall = oom_capacity_bytes("sgd")
+        lazy_wall = oom_capacity_bytes("lazydp")
+        # LazyDP's metadata (<1%) barely dents the trainable capacity.
+        assert lazy_wall > 0.95 * sgd_wall
+
+
+class TestBreakEven:
+    def test_break_even_far_below_production_scale(self):
+        """Eager DP-SGD only wins for tables ~3 orders of magnitude
+        smaller than the paper's default 96 GB."""
+        crossover = break_even_model_bytes()
+        assert crossover < 2e9       # under 2 GB of tables
+        assert crossover > 1e6       # but the crossover does exist

@@ -1,0 +1,70 @@
+"""The reproduction scoreboard, asserted.
+
+If any future change to the performance model, configs or calibration
+pushes a reproduced figure outside its declared tolerance of the paper's
+value, these tests fail with the exact offending data points.
+"""
+
+import pytest
+
+from repro.bench.scoreboard import (
+    TOLERANCES,
+    evaluate_scoreboard,
+    failures,
+)
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return evaluate_scoreboard()
+
+
+class TestScoreboard:
+    def test_every_tracked_point_within_tolerance(self, rows):
+        failed = failures(rows)
+        message = "\n".join(
+            f"{row.figure}/{row.series}@{row.label}: paper {row.paper} "
+            f"vs reproduced {row.reproduced:.3g} "
+            f"(err {row.relative_error:.1%} > tol {row.tolerance:.0%})"
+            for row in failed
+        )
+        assert not failed, f"scoreboard regressions:\n{message}"
+
+    def test_scoreboard_covers_every_figure_series(self, rows):
+        covered = {(row.figure, row.series) for row in rows}
+        expected = {
+            key for key, tolerance in TOLERANCES.items()
+            if tolerance is not None
+        }
+        assert covered == expected
+
+    def test_nontrivial_point_count(self, rows):
+        """The scoreboard tracks a substantial number of data points."""
+        assert len(rows) >= 60
+
+    def test_oom_points_matched(self, rows):
+        oom_rows = [
+            row for row in rows
+            if row.paper == float("inf") or row.reproduced == float("inf")
+        ]
+        assert oom_rows, "the 192 GB OOM point must be tracked"
+        assert all(row.passed for row in oom_rows)
+
+    def test_headline_points_tight(self, rows):
+        """The flagship numbers sit well inside their tolerance bands."""
+        headline = [
+            row for row in rows
+            if row.figure == "figure10" and row.series == "dpsgd_f"
+        ]
+        assert headline
+        for row in headline:
+            assert row.relative_error < 0.05
+
+    def test_median_error_is_small(self, rows):
+        """Aggregate quality: half the tracked points within ~10%."""
+        errors = sorted(
+            row.relative_error for row in rows
+            if row.paper != float("inf")
+        )
+        median = errors[len(errors) // 2]
+        assert median < 0.10

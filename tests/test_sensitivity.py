@@ -1,0 +1,88 @@
+"""Tests for calibration sensitivity and the naive-history ablation."""
+
+import numpy as np
+import pytest
+
+from repro.lazydp.history import HistoryTable, NaiveCounterHistory
+from repro.perfmodel.sensitivity import (
+    CALIBRATED_FIELDS,
+    conclusions_hold,
+    headline_speedup,
+    perturbed_calibration,
+    sensitivity_sweep,
+)
+
+
+class TestSensitivity:
+    def test_baseline_speedup_near_paper(self):
+        assert 90 < headline_speedup() < 170
+
+    def test_every_calibrated_field_listed(self):
+        # Guard: adding a constant to SoftwareCalibration automatically
+        # subjects it to the sweep.
+        assert "framework_fixed_s" in CALIBRATED_FIELDS
+        assert "ans_off_steady_state_factor" in CALIBRATED_FIELDS
+        assert len(CALIBRATED_FIELDS) >= 10
+
+    def test_perturbation_changes_one_field(self):
+        calibration = perturbed_calibration("framework_fixed_s", 2.0)
+        from repro.perfmodel import DEFAULT_CALIBRATION
+        assert calibration.framework_fixed_s == pytest.approx(
+            2.0 * DEFAULT_CALIBRATION.framework_fixed_s
+        )
+        assert calibration.sgd_per_example_s == (
+            DEFAULT_CALIBRATION.sgd_per_example_s
+        )
+
+    def test_rejects_unknown_field(self):
+        with pytest.raises(ValueError):
+            perturbed_calibration("not_a_field", 1.1)
+
+    def test_rejects_bad_factor(self):
+        with pytest.raises(ValueError):
+            perturbed_calibration("framework_fixed_s", 0.0)
+
+    def test_conclusions_survive_50pct_perturbations(self):
+        """The headline result is roofline-driven, not calibration-driven."""
+        rows = sensitivity_sweep(factors=(0.5, 1.5))
+        assert conclusions_hold(rows, minimum_speedup=30.0)
+
+    def test_sweep_shape(self):
+        rows = sensitivity_sweep(factors=(0.75,))
+        assert rows[0][0] == "baseline"
+        assert len(rows) == 1 + len(CALIBRATED_FIELDS)
+
+
+class TestNaiveCounterHistory:
+    def test_semantics_match_history_table(self):
+        """Same delays/pending as HistoryTable over a random schedule."""
+        rng = np.random.default_rng(0)
+        smart = HistoryTable(32)
+        naive = NaiveCounterHistory(32)
+        for iteration in range(1, 9):
+            naive.advance_iteration()
+            rows = np.unique(rng.integers(0, 32, size=5))
+            np.testing.assert_array_equal(
+                smart.delays(rows, iteration),
+                naive.delays(rows, iteration),
+            )
+            smart.mark_updated(rows, iteration)
+            naive.mark_updated(rows, iteration)
+            np.testing.assert_array_equal(
+                smart.pending_rows(iteration),
+                naive.pending_rows(iteration),
+            )
+
+    def test_requires_advancing(self):
+        naive = NaiveCounterHistory(8)
+        with pytest.raises(ValueError):
+            naive.delays(np.array([0]), 1)
+        naive.advance_iteration()
+        naive.delays(np.array([0]), 1)  # now fine
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            NaiveCounterHistory(0)
+
+    def test_footprint_matches(self):
+        assert NaiveCounterHistory(100).nbytes == HistoryTable(100).nbytes

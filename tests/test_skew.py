@@ -1,0 +1,157 @@
+"""Tests for Zipf skew calibration and unique-row expectations."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    PAPER_SKEW_TOP_FRACTIONS,
+    SkewSpec,
+    calibrate_zipf_exponent,
+    mass_of_top_fraction,
+    paper_skew_spec,
+    zipf_weights,
+)
+from repro.data.skew import expected_unique_rows
+
+
+class TestZipfWeights:
+    def test_descending(self):
+        weights = zipf_weights(100, 1.0)
+        assert np.all(np.diff(weights) < 0)
+
+    def test_exponent_zero_uniform(self):
+        weights = zipf_weights(50, 0.0)
+        assert np.all(weights == 1.0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            zipf_weights(0, 1.0)
+
+
+class TestMassOfTopFraction:
+    def test_monotone_in_exponent(self):
+        masses = [mass_of_top_fraction(s, 10000, 0.1) for s in (0.1, 0.5, 1.0, 2.0)]
+        assert all(a < b for a, b in zip(masses, masses[1:]))
+
+    def test_uniform_limit(self):
+        assert mass_of_top_fraction(1e-9, 10000, 0.25) == pytest.approx(0.25, abs=1e-3)
+
+    def test_full_fraction_is_total(self):
+        assert mass_of_top_fraction(1.2, 500, 1.0) == pytest.approx(1.0)
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            mass_of_top_fraction(1.0, 100, 0.0)
+
+
+class TestCalibration:
+    @pytest.mark.parametrize("level", ["low", "medium", "high"])
+    def test_hits_paper_operating_points(self, level):
+        """90% of mass on 36% / 10% / 0.6% of rows (Section 7.3)."""
+        rows = 100000
+        spec = paper_skew_spec(level, rows)
+        assert spec.kind == "zipf"
+        achieved = mass_of_top_fraction(
+            spec.exponent, rows, PAPER_SKEW_TOP_FRACTIONS[level]
+        )
+        assert achieved == pytest.approx(0.90, abs=0.002)
+
+    def test_skew_ordering(self):
+        rows = 50000
+        exponents = [
+            paper_skew_spec(level, rows).exponent
+            for level in ("low", "medium", "high")
+        ]
+        assert exponents[0] < exponents[1] < exponents[2]
+
+    def test_random_level_is_uniform(self):
+        assert paper_skew_spec("random", 1000).kind == "uniform"
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError):
+            paper_skew_spec("extreme", 1000)
+
+    def test_calibrate_direct(self):
+        exponent = calibrate_zipf_exponent(10000, 0.2, target_mass=0.8)
+        assert mass_of_top_fraction(exponent, 10000, 0.2) == pytest.approx(
+            0.8, abs=1e-3
+        )
+
+    def test_impossible_target_rejected(self):
+        # Uniform access already gives 50% mass to the top 50%.
+        with pytest.raises(ValueError):
+            calibrate_zipf_exponent(1000, 0.5, target_mass=0.3)
+
+
+class TestSkewSpec:
+    def test_uniform_default(self):
+        assert SkewSpec().kind == "uniform"
+
+    def test_zipf_requires_exponent(self):
+        with pytest.raises(ValueError):
+            SkewSpec(kind="zipf", exponent=0.0)
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            SkewSpec(kind="pareto")
+
+
+class TestExpectedUniqueRows:
+    def test_zero_draws(self):
+        assert expected_unique_rows(100, 0) == 0.0
+
+    def test_single_draw(self):
+        assert expected_unique_rows(100, 1) == pytest.approx(1.0)
+
+    def test_bounded_by_rows_and_draws(self):
+        value = expected_unique_rows(50, 200)
+        assert value <= 50.0
+        assert expected_unique_rows(1000000, 200) <= 200.0
+
+    def test_uniform_closed_form(self):
+        rows, draws = 1000, 500
+        expected = rows * (1 - (1 - 1 / rows) ** draws)
+        assert expected_unique_rows(rows, draws) == pytest.approx(expected)
+
+    def test_matches_empirical_uniform(self):
+        rows, draws = 500, 800
+        rng = np.random.default_rng(0)
+        empirical = np.mean([
+            np.unique(rng.integers(0, rows, size=draws)).size
+            for _ in range(200)
+        ])
+        assert expected_unique_rows(rows, draws) == pytest.approx(
+            empirical, rel=0.02
+        )
+
+    def test_matches_empirical_zipf(self):
+        rows, draws = 400, 600
+        spec = SkewSpec(kind="zipf", exponent=1.1)
+        weights = zipf_weights(rows, spec.exponent)
+        probabilities = weights / weights.sum()
+        rng = np.random.default_rng(1)
+        empirical = np.mean([
+            np.unique(rng.choice(rows, size=draws, p=probabilities)).size
+            for _ in range(200)
+        ])
+        assert expected_unique_rows(rows, draws, spec) == pytest.approx(
+            empirical, rel=0.03
+        )
+
+    def test_skew_reduces_unique_footprint(self):
+        rows, draws = 10000, 5000
+        uniform = expected_unique_rows(rows, draws)
+        skewed = expected_unique_rows(
+            rows, draws, SkewSpec(kind="zipf", exponent=1.5)
+        )
+        assert skewed < uniform
+
+    def test_huge_table_no_precision_loss(self):
+        """For rows >> draws every draw is distinct."""
+        assert expected_unique_rows(7_200_000, 2048) == pytest.approx(
+            2048, rel=1e-3
+        )
+
+    def test_rejects_negative_draws(self):
+        with pytest.raises(ValueError):
+            expected_unique_rows(10, -1)

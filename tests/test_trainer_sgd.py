@@ -1,0 +1,65 @@
+"""Tests for the non-private SGD baseline."""
+
+import numpy as np
+import pytest
+
+from repro import configs
+from repro.nn import DLRM
+
+from conftest import train_algorithm
+
+
+@pytest.fixture
+def config():
+    return configs.tiny_dlrm(num_tables=3, rows=64, dim=8, lookups=2)
+
+
+class TestSGD:
+    def test_loss_decreases(self, config):
+        _, result, _ = train_algorithm(
+            "sgd", config, batch_size=64, num_batches=30,
+        )
+        first = np.mean(result.mean_losses[:5])
+        last = np.mean(result.mean_losses[-5:])
+        assert last < first
+
+    def test_sparse_update_only_touches_accessed_rows(self, config):
+        model, _, trainer = train_algorithm(
+            "sgd", config, batch_size=8, num_batches=1
+        )
+        reference = DLRM(config, seed=7)  # same init
+        for t, bag in enumerate(model.embeddings):
+            initial = reference.embeddings[t].table.data
+            final = bag.table.data
+            changed = ~np.all(final == initial, axis=1)
+            # Far fewer rows changed than exist: sparse update.
+            assert changed.sum() <= 8 * config.lookups_per_table
+
+    def test_no_privacy_accounting(self, config):
+        _, result, trainer = train_algorithm("sgd", config, num_batches=2)
+        assert trainer.accountant is None
+        assert result.epsilon is None
+
+    def test_stage_timers_populated(self, config):
+        _, _, trainer = train_algorithm("sgd", config, num_batches=2)
+        stages = trainer.timer.as_dict()
+        assert stages["fwd"] > 0
+        assert stages["bwd_per_batch"] > 0
+        assert stages["noisy_grad_update"] > 0
+        assert "noise_sampling" not in stages
+
+    def test_result_metadata(self, config):
+        _, result, _ = train_algorithm("sgd", config, num_batches=4)
+        assert result.algorithm == "sgd"
+        assert result.iterations == 4
+        assert len(result.mean_losses) == 4
+        assert result.wall_time > 0
+        assert result.final_loss == result.mean_losses[-1]
+
+    def test_deterministic_training(self, config):
+        model_a, _, _ = train_algorithm("sgd", config, num_batches=3)
+        model_b, _, _ = train_algorithm("sgd", config, num_batches=3)
+        for name, param in model_a.parameters().items():
+            np.testing.assert_array_equal(
+                param.data, model_b.parameters()[name].data
+            )
