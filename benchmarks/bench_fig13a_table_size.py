@@ -7,6 +7,13 @@ regenerates the 24-192 GB sweep with the 192 GB OOM.
 
 from repro import configs
 from repro.bench.experiments import figure13a
+from repro.bench.reporting import format_table
+from repro.perfmodel import (
+    fits_when_sharded,
+    min_shards_to_fit,
+    per_shard_table_bytes,
+    sharded_update_breakdown,
+)
 
 from conftest import SteppableRun, emit_report
 
@@ -19,6 +26,44 @@ def test_fig13a_report_model_scale(benchmark):
     assert series[1] / series[0] > 1.5          # scales with capacity
     lazy = result.reproduced["lazydp"]
     assert max(lazy[:3]) / min(lazy[:3]) < 1.1  # flat
+
+
+def test_fig13a_sharded_projection(benchmark):
+    """Beyond Figure 13(a): sharding extends the size axis past one host.
+
+    Flat LazyDP already survives the figure's 192 GB point; the sharded
+    engine's memory model shows where the *next* capacity wall sits and
+    how many shards (hosts) restore headroom, plus the per-shard
+    model-update critical path at those sizes.
+    """
+    def project():
+        rows = []
+        for gigabytes in (96, 192, 384, 768):
+            config = configs.mlperf_dlrm(gigabytes * 10**9,
+                                         name=f"mlperf-{gigabytes}GB")
+            shards = min_shards_to_fit(config, 2048)
+            breakdown = sharded_update_breakdown(config, 2048, shards or 1)
+            rows.append([
+                f"{gigabytes} GB",
+                "yes" if fits_when_sharded(config, 2048, 1) else "OOM",
+                shards,
+                f"{per_shard_table_bytes(config, shards or 1) / 1e9:.0f} GB",
+                f"{breakdown.critical_path_seconds * 1e3:.1f} ms",
+            ])
+        return rows
+
+    rows = benchmark.pedantic(project, rounds=1, iterations=1)
+    emit_report("fig13a_sharded_projection", format_table(
+        ["model", "fits one host", "min shards", "per-shard slice",
+         "update critical path"],
+        rows,
+        title="Sharded LazyDP capacity projection (batch 2048)",
+    ))
+    by_size = {row[0]: row for row in rows}
+    assert by_size["192 GB"][1] == "yes"     # flat LazyDP survives 192 GB
+    assert by_size["384 GB"][1] == "OOM"     # ...but not 384 GB
+    assert by_size["384 GB"][2] >= 2         # sharding restores headroom
+    assert by_size["768 GB"][2] >= by_size["384 GB"][2]
 
 
 def test_fig13a_dpsgd_scales_measured(benchmark):

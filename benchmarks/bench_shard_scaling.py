@@ -1,0 +1,183 @@
+"""Shard-scaling benchmark: the parallel model update, measured and modelled.
+
+Measured mode trains the real numpy :class:`ShardedLazyDPTrainer` at a
+scaled-down geometry across shard counts and executors, reporting
+per-shard model-update timing and verifying the released model stays
+bitwise identical to the flat trainer.  Model mode projects the same
+sweep at paper scale with :mod:`repro.perfmodel.shardmodel`.
+
+Runs two ways:
+
+* under pytest-benchmark alongside the other figure benchmarks
+  (``pytest benchmarks/bench_shard_scaling.py``);
+* as a plain script — ``python benchmarks/bench_shard_scaling.py
+  [--smoke]`` — for CI smoke coverage without the benchmark harness.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+from repro import configs
+from repro.bench.reporting import format_table
+from repro.data import DataLoader, SyntheticClickDataset
+from repro.nn import DLRM
+from repro.perfmodel import shard_scaling_series
+from repro.shard import ShardedLazyDPTrainer
+from repro.lazydp import LazyDPTrainer
+from repro.train import DPConfig
+
+SHARD_COUNTS = (1, 2, 4)
+EXECUTORS = ("serial", "threads")
+
+
+def _train(config, *, num_shards=None, executor="serial", batch=64,
+           iterations=6, seed=11):
+    """Train flat (num_shards=None) or sharded; return (model, trainer, s)."""
+    model = DLRM(config, seed=seed)
+    dataset = SyntheticClickDataset(config, seed=seed + 1)
+    loader = DataLoader(dataset, batch_size=batch, num_batches=iterations,
+                        seed=seed + 2)
+    if num_shards is None:
+        trainer = LazyDPTrainer(model, DPConfig(), noise_seed=seed + 3)
+    else:
+        trainer = ShardedLazyDPTrainer(
+            model, DPConfig(), noise_seed=seed + 3,
+            num_shards=num_shards, executor=executor,
+        )
+    start = time.perf_counter()
+    trainer.fit(loader)
+    elapsed = time.perf_counter() - start
+    if num_shards is not None:
+        trainer.close()
+    return model, trainer, elapsed
+
+
+def measured_sweep(rows=4000, batch=64, iterations=6,
+                   shard_counts=SHARD_COUNTS, executors=EXECUTORS):
+    """Per-shard model-update timing across shard counts and executors.
+
+    Returns (table_rows, max_diff): one report row per (executor,
+    num_shards) with per-shard update seconds, and the worst parameter
+    difference against the flat reference (must be exactly 0.0).
+    """
+    config = configs.small_dlrm(rows=rows)
+    flat_model, flat_trainer, _ = _train(config, batch=batch,
+                                         iterations=iterations)
+    reference = {
+        name: param.data.copy()
+        for name, param in flat_model.parameters().items()
+    }
+
+    table_rows = []
+    max_diff = 0.0
+    for executor in executors:
+        for num_shards in shard_counts:
+            model, trainer, elapsed = _train(
+                config, num_shards=num_shards, executor=executor,
+                batch=batch, iterations=iterations,
+            )
+            config_diff = max(
+                float(np.max(np.abs(param.data - reference[name])))
+                for name, param in model.parameters().items()
+            )
+            max_diff = max(max_diff, config_diff)
+            per_shard = trainer.shard_update_seconds()
+            update_wall = trainer.timer.total(
+                "shard_routing", "shard_model_update", "terminal_flush"
+            )
+            table_rows.append([
+                executor, num_shards,
+                f"{update_wall * 1e3:.1f}",
+                " / ".join(f"{seconds * 1e3:.1f}" for seconds in per_shard),
+                f"{elapsed:.2f}",
+                "exact" if config_diff == 0.0 else f"{config_diff:.2e}",
+            ])
+    return table_rows, max_diff
+
+
+def model_sweep(batch=2048, shard_counts=(1, 2, 4, 8, 16)):
+    """Paper-scale projection of the update across shard counts."""
+    config = configs.mlperf_dlrm()
+    series = shard_scaling_series(config, batch, shard_counts)
+    return [
+        [num_shards, f"{critical * 1e3:.1f}", f"{serial * 1e3:.1f}",
+         f"{serial / critical:.2f}x"]
+        for num_shards, (critical, serial) in series.items()
+    ]
+
+
+def run_report(smoke: bool = False) -> int:
+    shard_counts = (1, 2) if smoke else SHARD_COUNTS
+    iterations = 3 if smoke else 6
+    rows = 2000 if smoke else 4000
+    table_rows, max_diff = measured_sweep(
+        rows=rows, iterations=iterations, shard_counts=shard_counts
+    )
+    print(format_table(
+        ["executor", "shards", "update wall ms", "per-shard ms",
+         "total s", "vs flat"],
+        table_rows,
+        title=f"Sharded model update, measured ({rows} rows/table)",
+    ))
+    print()
+    print(format_table(
+        ["shards", "critical path ms", "serial ms", "speedup"],
+        model_sweep(),
+        title="Sharded model update, modelled (96 GB, batch 2048)",
+    ))
+    if max_diff != 0.0:
+        print(f"ERROR: sharded model diverged from flat by {max_diff}",
+              file=sys.stderr)
+        return 1
+    print("\nequivalence: sharded == flat (bitwise) for every row above")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# pytest-benchmark entry points
+# ---------------------------------------------------------------------------
+
+def test_shard_scaling_measured(benchmark):
+    from conftest import emit_report
+
+    table_rows, max_diff = benchmark.pedantic(
+        measured_sweep, kwargs={"rows": 2000, "iterations": 4},
+        rounds=1, iterations=1,
+    )
+    emit_report("shard_scaling_measured", format_table(
+        ["executor", "shards", "update wall ms", "per-shard ms",
+         "total s", "vs flat"],
+        table_rows,
+        title="Sharded model update, measured (2000 rows/table)",
+    ))
+    assert max_diff == 0.0
+    # Both executors reported, every shard count present.
+    executors = {row[0] for row in table_rows}
+    assert executors == set(EXECUTORS)
+
+
+def test_shard_scaling_model(benchmark):
+    from conftest import emit_report
+
+    rows = benchmark.pedantic(model_sweep, rounds=1, iterations=1)
+    emit_report("shard_scaling_model", format_table(
+        ["shards", "critical path ms", "serial ms", "speedup"],
+        rows,
+        title="Sharded model update, modelled (96 GB, batch 2048)",
+    ))
+    # Parallel speedup over the serial executor must grow with shards.
+    speedups = [float(row[3].rstrip("x")) for row in rows]
+    assert speedups == sorted(speedups)
+    assert speedups[-1] > 2.0
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="small fast sweep for CI")
+    raise SystemExit(run_report(smoke=parser.parse_args().smoke))

@@ -42,6 +42,17 @@ def main() -> None:
     print(f"LazyDP bookkeeping overhead: {overhead * 1e3:.1f} ms total "
           f"({overhead / result.wall_time:.1%} of wall time)")
 
+    # At production scale the embedding engine shards: partition each
+    # table (repro.shard, or `--num-shards/--partition/--executor` on
+    # `python -m repro train`) and the lazy update runs per shard in
+    # parallel — bitwise identical released parameters, verified in
+    # tests/test_shard_equivalence.py.
+    #
+    #   from repro.shard import ShardedLazyDPTrainer
+    #   trainer = ShardedLazyDPTrainer(model, dp_config, num_shards=4,
+    #                                  partition="frequency",
+    #                                  executor="threads")
+
 
 if __name__ == "__main__":
     main()

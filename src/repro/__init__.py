@@ -31,6 +31,7 @@ from .data import Batch, DataLoader, SyntheticClickDataset
 from .lazydp import LazyDPTrainer, PrivateTrainingSession, make_private
 from .nn import DLRM
 from .privacy import RDPAccountant
+from .shard import ShardedLazyDPTrainer
 from .train import (
     DPConfig,
     DPSGDBTrainer,
@@ -50,6 +51,7 @@ __all__ = [
     "DataLoader",
     "SyntheticClickDataset",
     "LazyDPTrainer",
+    "ShardedLazyDPTrainer",
     "PrivateTrainingSession",
     "make_private",
     "DLRM",

@@ -53,12 +53,24 @@ TRAINER_CLASSES = {
 
 
 def make_trainer(algorithm: str, model: DLRM, dp: DPConfig,
-                 noise_seed: int = 1234):
-    """Instantiate any of the seven algorithms by name."""
+                 noise_seed: int = 1234, **shard_kwargs):
+    """Instantiate any of the algorithms by name.
+
+    ``sharded_lazydp`` / ``sharded_lazydp_no_ans`` accept the extra
+    keyword arguments of :class:`repro.shard.ShardedLazyDPTrainer`
+    (``num_shards``, ``partition``, ``executor``, ``plan``, ...).
+    """
     if algorithm == "lazydp":
         return LazyDPTrainer(model, dp, noise_seed=noise_seed, use_ans=True)
     if algorithm == "lazydp_no_ans":
         return LazyDPTrainer(model, dp, noise_seed=noise_seed, use_ans=False)
+    if algorithm in ("sharded_lazydp", "sharded_lazydp_no_ans"):
+        from ..shard import ShardedLazyDPTrainer
+
+        return ShardedLazyDPTrainer(
+            model, dp, noise_seed=noise_seed,
+            use_ans=(algorithm == "sharded_lazydp"), **shard_kwargs,
+        )
     if algorithm in TRAINER_CLASSES:
         return TRAINER_CLASSES[algorithm](model, dp, noise_seed=noise_seed)
     raise ValueError(f"unknown algorithm: {algorithm}")

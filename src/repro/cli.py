@@ -47,6 +47,19 @@ def _add_train_parser(subparsers) -> None:
     parser.add_argument("--skew", choices=("random", "low", "medium", "high"),
                         default="random")
     parser.add_argument("--seed", type=int, default=0)
+    shard = parser.add_argument_group(
+        "sharding", "partitioned embedding engine (lazydp algorithms only)"
+    )
+    shard.add_argument("--num-shards", type=int, default=1,
+                       help="partition each table into this many shards")
+    shard.add_argument("--partition", choices=configs.SHARD_PARTITIONS,
+                       default="row_range",
+                       help="row->shard assignment strategy")
+    shard.add_argument("--executor", choices=configs.SHARD_EXECUTORS,
+                       default="serial",
+                       help="per-shard model-update schedule")
+    shard.add_argument("--max-workers", type=int, default=None,
+                       help="thread-pool size (default: one per shard)")
 
 
 def _run_train(args) -> int:
@@ -63,8 +76,29 @@ def _run_train(args) -> int:
         learning_rate=args.learning_rate,
         delta=args.delta,
     )
-    trainer = make_trainer(args.algorithm, model, dp,
-                           noise_seed=args.seed + 3)
+    try:
+        shard_config = configs.ShardConfig(
+            num_shards=args.num_shards, partition=args.partition,
+            executor=args.executor, max_workers=args.max_workers,
+        )
+    except ValueError as error:
+        print(f"invalid sharding options: {error}", file=sys.stderr)
+        return 2
+    if shard_config.is_sharded:
+        if args.algorithm not in ("lazydp", "lazydp_no_ans"):
+            print("--num-shards > 1 requires a lazydp algorithm",
+                  file=sys.stderr)
+            return 2
+        algorithm = ("sharded_lazydp" if args.algorithm == "lazydp"
+                     else "sharded_lazydp_no_ans")
+        # The trace skew also feeds the frequency partitioner, so a
+        # skewed run gets mass-balanced shards rather than equal-row cuts.
+        trainer = make_trainer(algorithm, model, dp,
+                               noise_seed=args.seed + 3, skew=skew,
+                               **shard_config.trainer_kwargs())
+    else:
+        trainer = make_trainer(args.algorithm, model, dp,
+                               noise_seed=args.seed + 3)
     result = trainer.fit(loader)
     per_iteration = result.wall_time / max(result.iterations, 1)
     print(f"algorithm        : {result.algorithm}")
@@ -83,6 +117,17 @@ def _run_train(args) -> int:
         ["stage", "seconds"], [[s, t] for s, t in stage_rows],
         title="stage breakdown",
     ))
+    if shard_config.is_sharded:
+        shard_rows = [
+            [s, trainer.plan.table(0).shard_size(s), f"{seconds:.4f}"]
+            for s, seconds in enumerate(trainer.shard_update_seconds())
+        ]
+        print(format_table(
+            ["shard", "rows (table 0)", "update seconds"], shard_rows,
+            title=f"per-shard model update ({shard_config.partition}, "
+                  f"{shard_config.executor})",
+        ))
+        trainer.close()
     return 0
 
 

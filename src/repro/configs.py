@@ -115,6 +115,59 @@ class DLRMConfig:
         return replace(self, table_rows=rows, name=name or f"{self.name}-x{factor:g}")
 
 
+#: Partition strategies understood by ``repro.shard`` (kept here so config
+#: validation does not import the shard package).
+SHARD_PARTITIONS = ("row_range", "frequency", "hash")
+
+#: Executor backends for the sharded model update.
+SHARD_EXECUTORS = ("serial", "threads")
+
+
+@dataclass(frozen=True)
+class ShardConfig:
+    """How the embedding engine is sharded (``repro.shard``).
+
+    ``num_shards = 1`` is the flat configuration; anything higher
+    partitions every table with ``partition`` and runs the lazy model
+    update per shard on ``executor``.  ``max_workers`` caps the thread
+    pool (default: one worker per shard).
+    """
+
+    num_shards: int = 1
+    partition: str = "row_range"
+    executor: str = "serial"
+    max_workers: int | None = None
+
+    def __post_init__(self):
+        if self.num_shards < 1:
+            raise ValueError("num_shards must be positive")
+        if self.partition not in SHARD_PARTITIONS:
+            raise ValueError(
+                f"unknown partition strategy: {self.partition!r} "
+                f"(choose from {SHARD_PARTITIONS})"
+            )
+        if self.executor not in SHARD_EXECUTORS:
+            raise ValueError(
+                f"unknown executor backend: {self.executor!r} "
+                f"(choose from {SHARD_EXECUTORS})"
+            )
+        if self.max_workers is not None and self.max_workers < 1:
+            raise ValueError("max_workers must be positive when set")
+
+    @property
+    def is_sharded(self) -> bool:
+        return self.num_shards > 1
+
+    def trainer_kwargs(self) -> dict:
+        """Keyword arguments for ``ShardedLazyDPTrainer``."""
+        return {
+            "num_shards": self.num_shards,
+            "partition": self.partition,
+            "executor": self.executor,
+            "max_workers": self.max_workers,
+        }
+
+
 def rows_for_model_bytes(model_bytes: int, num_tables: int = PAPER_NUM_TABLES,
                          dim: int = PAPER_EMBEDDING_DIM,
                          bytes_per_param: int = FP32_BYTES) -> int:

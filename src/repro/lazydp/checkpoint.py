@@ -91,7 +91,7 @@ def load_checkpoint(path, trainer: LazyDPTrainer) -> int:
                     f"history table {index} size mismatch: checkpoint "
                     f"{stored.shape[0]} vs model {history.num_rows}"
                 )
-            history._last_updated[...] = stored
+            history.load_snapshot(stored)
     return iteration
 
 

@@ -66,6 +66,13 @@ class HistoryTable:
         """Copy of the raw table (tests and diagnostics)."""
         return self._last_updated.copy()
 
+    def load_snapshot(self, snapshot: np.ndarray) -> None:
+        """Restore the table from a :meth:`snapshot` (checkpoint resume)."""
+        snapshot = np.asarray(snapshot, dtype=np.int32)
+        if snapshot.shape != self._last_updated.shape:
+            raise ValueError("snapshot size does not match table")
+        self._last_updated[...] = snapshot
+
 
 class NaiveCounterHistory:
     """The design Algorithm 1 *rejects*: a per-row pending-update counter.

@@ -34,12 +34,16 @@ class LazyDPTrainer(DPSGDFTrainer):
     def __init__(self, model, config: DPConfig, noise_seed: int = 1234,
                  use_ans: bool = True):
         super().__init__(model, config, noise_seed)
-        self.engine = LazyNoiseEngine(model, self.noise_stream, use_ans=use_ans)
+        self.engine = self._build_engine(model, use_ans)
         self.use_ans = use_ans
         if not use_ans:
             self.name = "lazydp_no_ans"
         self._next_batch = None
         self._last_noise_std: float | None = None
+
+    def _build_engine(self, model, use_ans: bool):
+        """Engine factory hook; the sharded trainer overrides it."""
+        return LazyNoiseEngine(model, self.noise_stream, use_ans=use_ans)
 
     def train_step(self, iteration: int, batch, next_batch) -> float:
         self._next_batch = next_batch
@@ -79,13 +83,24 @@ class LazyDPTrainer(DPSGDFTrainer):
         with self.timer.time("noisy_grad_update"):
             bag.table.data[rows] -= lr * values
 
+    def _flush_noise_std(self) -> float:
+        """Per-iteration noise std for the terminal flush.
+
+        Normally the std observed on the last training step; when no step
+        ran (finalize-before-step, e.g. resuming just to release a model)
+        fall back to the configured std at the expected batch size,
+        guarding against ``expected_batch_size`` being unset or zero.
+        """
+        if self._last_noise_std is not None:
+            return self._last_noise_std
+        denominator = max(int(self.expected_batch_size or 0), 1)
+        return self.config.noise_std(denominator)
+
     def finalize(self, final_iteration: int) -> None:
         """Flush all deferred noise so the released model matches DP-SGD."""
         if final_iteration == 0:
             return
-        noise_std = self._last_noise_std
-        if noise_std is None:
-            noise_std = self.config.noise_std(self.expected_batch_size or 1)
+        noise_std = self._flush_noise_std()
         # The flush is a one-time end-of-training cost (it makes the
         # *released* model match DP-SGD), so it gets its own stage rather
         # than polluting the per-iteration noise-sampling numbers.

@@ -1,0 +1,71 @@
+"""Sharded embedding engine: partitioned tables, per-shard lazy noise
+state, and a parallel model-update executor.
+
+The flat :class:`repro.lazydp.trainer.LazyDPTrainer` holds every
+embedding table as one array and walks the lazy update serially; at the
+paper's 100s-of-GB scale a production system partitions each table into
+shards and updates them in parallel.  This package supplies that layer:
+
+* :mod:`plan <repro.shard.plan>` — :class:`PartitionPlan` + planners
+  (``row_range`` / ``frequency`` / ``hash``), frequency-balanced from
+  observed trace statistics.
+* :mod:`router <repro.shard.router>` — :class:`ShardRouter` scattering a
+  batch's per-table indices into shard-local index arrays and gathering
+  results back.
+* :mod:`tables <repro.shard.tables>` — :class:`ShardedEmbeddingBag`
+  (per-shard ``Parameter`` slabs) and :class:`ShardedHistoryTable`
+  (per-shard delay bookkeeping), both flat-API compatible.
+* :mod:`executor <repro.shard.executor>` — serial and thread-pool shard
+  executors.
+* :mod:`trainer <repro.shard.trainer>` — :class:`ShardedLazyDPTrainer`,
+  verified bitwise-equivalent to the flat trainer for every shard count,
+  partition strategy and executor backend.
+"""
+
+from .executor import (
+    EXECUTOR_BACKENDS,
+    SerialExecutor,
+    ShardExecutor,
+    ThreadPoolShardExecutor,
+    make_executor,
+)
+from .plan import (
+    PARTITION_STRATEGIES,
+    PartitionPlan,
+    TablePartition,
+    access_weights_from_skew,
+    access_weights_from_trace,
+    build_partition_plan,
+    partition_frequency,
+    partition_hash,
+    partition_row_range,
+    plan_from_loader,
+)
+from .router import RoutedIndices, ShardRouter
+from .tables import ShardedEmbeddingBag, ShardedHistoryTable, ShardSlab
+from .trainer import ShardedLazyDPTrainer, ShardedLazyNoiseEngine
+
+__all__ = [
+    "EXECUTOR_BACKENDS",
+    "SerialExecutor",
+    "ShardExecutor",
+    "ThreadPoolShardExecutor",
+    "make_executor",
+    "PARTITION_STRATEGIES",
+    "PartitionPlan",
+    "TablePartition",
+    "access_weights_from_skew",
+    "access_weights_from_trace",
+    "build_partition_plan",
+    "partition_frequency",
+    "partition_hash",
+    "partition_row_range",
+    "plan_from_loader",
+    "RoutedIndices",
+    "ShardRouter",
+    "ShardedEmbeddingBag",
+    "ShardedHistoryTable",
+    "ShardSlab",
+    "ShardedLazyDPTrainer",
+    "ShardedLazyNoiseEngine",
+]

@@ -1,0 +1,320 @@
+"""Partitioning embedding tables into shards.
+
+A :class:`PartitionPlan` assigns every row of every embedding table to
+exactly one of ``num_shards`` shards.  Three strategies are provided:
+
+* ``"row_range"`` — contiguous equal-row ranges.  The default: shard
+  boundaries are cache-friendly, per-shard parameter slabs are zero-copy
+  views of the flat table, and with the paper's uniform trace every shard
+  sees the same expected load.
+* ``"frequency"`` — contiguous ranges whose *cut points* are chosen so
+  each shard carries an equal share of the observed (or modelled) access
+  mass.  With skewed traces (paper Figure 13d) equal-row ranges would
+  leave the shard owning the hot head doing nearly all the catch-up work;
+  frequency cuts rebalance it while keeping ranges contiguous.
+* ``"hash"`` — rows are scattered by a splitmix64 hash.  Statistically
+  balances any skew without needing a trace, at the cost of
+  non-contiguous shards (per-shard updates become gather/scatter).
+
+Row-to-shard assignment is deterministic given (strategy, num_shards,
+weights), so two processes building the same plan agree on ownership —
+the property a future multi-node deployment needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..configs import DLRMConfig, SHARD_PARTITIONS
+from ..data.skew import SkewSpec, zipf_weights
+from ..rng.philox import splitmix64
+
+#: Single source of truth lives in configs (CLI choices + ShardConfig
+#: validation read it there); re-exported under the planner's name.
+PARTITION_STRATEGIES = SHARD_PARTITIONS
+
+#: Salt for the hash strategy, fixed so plans are reproducible.
+_HASH_SALT = np.uint64(0x5A5DC0DE)
+
+
+@dataclass(frozen=True)
+class TablePartition:
+    """One table's row -> shard assignment.
+
+    ``shard_rows[s]`` holds the sorted global row ids owned by shard
+    ``s``; ``shard_of``/``local_of`` are dense per-row lookup arrays used
+    by the router (``local_of[r]`` is ``r``'s index within its owning
+    shard's row list).  ``contiguous`` marks range partitions, for which
+    per-shard parameter slabs can be plain slice views.
+    """
+
+    table_index: int
+    num_rows: int
+    shard_rows: tuple            # tuple of np.ndarray, one per shard
+    shard_of: np.ndarray         # (num_rows,) int32
+    local_of: np.ndarray         # (num_rows,) int64
+    contiguous: bool
+    weights_balanced: float = 1.0  # max shard mass / mean shard mass
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.shard_rows)
+
+    def shard_size(self, shard: int) -> int:
+        return int(self.shard_rows[shard].size)
+
+    def validate(self) -> None:
+        """Every row owned exactly once, lookups consistent (tests)."""
+        seen = np.concatenate([rows for rows in self.shard_rows]) \
+            if self.shard_rows else np.empty(0, dtype=np.int64)
+        if np.unique(seen).size != self.num_rows or seen.size != self.num_rows:
+            raise AssertionError("rows must partition the table exactly")
+        for s, rows in enumerate(self.shard_rows):
+            if np.any(self.shard_of[rows] != s):
+                raise AssertionError("shard_of inconsistent with shard_rows")
+            if np.any(self.local_of[rows] != np.arange(rows.size)):
+                raise AssertionError("local_of inconsistent with shard_rows")
+
+
+@dataclass(frozen=True)
+class PartitionPlan:
+    """Row -> shard assignment for every embedding table of a model."""
+
+    num_shards: int
+    strategy: str
+    tables: tuple = field(default_factory=tuple)   # TablePartition per table
+
+    @property
+    def num_tables(self) -> int:
+        return len(self.tables)
+
+    def table(self, index: int) -> TablePartition:
+        return self.tables[index]
+
+    def max_shard_rows(self) -> int:
+        """Rows of the heaviest shard across tables (per-shard capacity)."""
+        return max(
+            max((rows.size for rows in part.shard_rows), default=0)
+            for part in self.tables
+        )
+
+    def describe(self) -> str:
+        lines = [f"PartitionPlan: {self.num_shards} shards, "
+                 f"strategy={self.strategy}"]
+        for part in self.tables:
+            sizes = [rows.size for rows in part.shard_rows]
+            lines.append(
+                f"  table {part.table_index}: {part.num_rows} rows -> "
+                f"{sizes} (imbalance {part.weights_balanced:.2f}x)"
+            )
+        return "\n".join(lines)
+
+
+def _partition_from_shard_of(table_index: int, shard_of: np.ndarray,
+                             num_shards: int, contiguous: bool,
+                             weights: np.ndarray | None) -> TablePartition:
+    num_rows = shard_of.shape[0]
+    local_of = np.zeros(num_rows, dtype=np.int64)
+    shard_rows = []
+    for s in range(num_shards):
+        rows = np.nonzero(shard_of == s)[0].astype(np.int64)
+        local_of[rows] = np.arange(rows.size, dtype=np.int64)
+        shard_rows.append(rows)
+    imbalance = 1.0
+    if weights is not None and weights.sum() > 0:
+        masses = np.array([float(weights[rows].sum()) for rows in shard_rows])
+        mean = masses.mean()
+        if mean > 0:
+            imbalance = float(masses.max() / mean)
+    return TablePartition(
+        table_index=table_index,
+        num_rows=num_rows,
+        shard_rows=tuple(shard_rows),
+        shard_of=shard_of.astype(np.int32),
+        local_of=local_of,
+        contiguous=contiguous,
+        weights_balanced=imbalance,
+    )
+
+
+def partition_row_range(table_index: int, num_rows: int,
+                        num_shards: int) -> TablePartition:
+    """Contiguous equal-row ranges (the first ``num_rows % num_shards``
+    shards get one extra row, numpy ``array_split`` style)."""
+    bounds = np.linspace(0, num_rows, num_shards + 1).round().astype(np.int64)
+    shard_of = np.zeros(num_rows, dtype=np.int32)
+    for s in range(num_shards):
+        shard_of[bounds[s]:bounds[s + 1]] = s
+    uniform = np.ones(num_rows, dtype=np.float64)
+    return _partition_from_shard_of(
+        table_index, shard_of, num_shards, contiguous=True, weights=uniform
+    )
+
+
+def partition_frequency(table_index: int, weights: np.ndarray,
+                        num_shards: int) -> TablePartition:
+    """Contiguous ranges cut at equal access-mass quantiles.
+
+    ``weights[r]`` is row ``r``'s observed (or modelled) access frequency;
+    cut points are placed so every shard carries roughly ``total / S`` of
+    the mass.  Rows that were never accessed still belong to some shard —
+    they cost nothing per iteration and only matter at the terminal flush.
+    """
+    weights = np.asarray(weights, dtype=np.float64)
+    if np.any(weights < 0):
+        raise ValueError("access weights must be non-negative")
+    num_rows = weights.shape[0]
+    total = weights.sum()
+    if total <= 0:
+        return partition_row_range(table_index, num_rows, num_shards)
+    cumulative = np.cumsum(weights)
+    # Adaptive greedy min-max cuts: each shard targets an equal share of
+    # the *remaining* mass, so a hot head row is isolated into its own
+    # shard and the tail is rebalanced across the rest (a fixed-quantile
+    # cut would instead leave the following shards empty).  Every shard
+    # keeps at least one row while rows remain.
+    bounds = [0]
+    consumed = 0.0
+    for s in range(num_shards - 1):
+        start = bounds[-1]
+        remaining_shards = num_shards - s
+        target = consumed + (total - consumed) / remaining_shards
+        cut = int(np.searchsorted(cumulative, target, side="left"))
+        # Include the boundary row when that lands closer to the target.
+        if cut < num_rows and (cut < start + 1 or
+                               (cumulative[cut] - target)
+                               <= (target - cumulative[cut - 1])):
+            cut += 1
+        cut = max(cut, start + 1)                      # non-empty shard
+        cut = min(cut, num_rows - (remaining_shards - 1))  # leave rows over
+        bounds.append(cut)
+        consumed = cumulative[cut - 1]
+    bounds.append(num_rows)
+    bounds = np.maximum.accumulate(np.asarray(bounds, dtype=np.int64))
+    shard_of = np.zeros(num_rows, dtype=np.int32)
+    for s in range(num_shards):
+        shard_of[bounds[s]:bounds[s + 1]] = s
+    return _partition_from_shard_of(
+        table_index, shard_of, num_shards, contiguous=True, weights=weights
+    )
+
+
+def partition_hash(table_index: int, num_rows: int,
+                   num_shards: int) -> TablePartition:
+    """Scatter rows across shards by a splitmix64 hash of the row id."""
+    rows = np.arange(num_rows, dtype=np.uint64)
+    hashed = splitmix64(rows ^ (_HASH_SALT + np.uint64(table_index)))
+    shard_of = (hashed % np.uint64(num_shards)).astype(np.int32)
+    uniform = np.ones(num_rows, dtype=np.float64)
+    return _partition_from_shard_of(
+        table_index, shard_of, num_shards, contiguous=False, weights=uniform
+    )
+
+
+def access_weights_from_trace(per_iteration_rows: list,
+                              num_rows: int) -> np.ndarray:
+    """Per-row access counts from a raw lookup trace.
+
+    ``per_iteration_rows`` is the output of
+    :func:`repro.data.tracestats.collect_trace`; duplicates count — the
+    catch-up cost a shard pays tracks access *mass*, not footprint.
+    """
+    counts = np.zeros(num_rows, dtype=np.float64)
+    for rows in per_iteration_rows:
+        np.add.at(counts, np.asarray(rows, dtype=np.int64), 1.0)
+    return counts
+
+
+def access_weights_from_skew(num_rows: int,
+                             skew: SkewSpec | None) -> np.ndarray:
+    """Modelled per-row access weights when no trace is available.
+
+    Uniform traces weigh every row equally; Zipf traces use the calibrated
+    popularity curve of :mod:`repro.data.skew` (rows are popularity-ranked
+    in the synthetic generator, so rank == row id).
+    """
+    if skew is None or skew.kind == "uniform":
+        return np.ones(num_rows, dtype=np.float64)
+    return zipf_weights(num_rows, skew.exponent)
+
+
+def build_partition_plan(config: DLRMConfig, num_shards: int,
+                         strategy: str = "row_range",
+                         weights_per_table: list | None = None,
+                         skew: SkewSpec | None = None) -> PartitionPlan:
+    """A :class:`PartitionPlan` for every table of ``config``.
+
+    ``weights_per_table`` (one array per table, e.g. from
+    :func:`access_weights_from_trace`) feeds the ``"frequency"`` strategy;
+    without it, ``skew`` supplies modelled weights via
+    :func:`access_weights_from_skew`.
+    """
+    if num_shards < 1:
+        raise ValueError("num_shards must be positive")
+    if strategy not in PARTITION_STRATEGIES:
+        raise ValueError(
+            f"unknown partition strategy: {strategy!r} "
+            f"(choose from {PARTITION_STRATEGIES})"
+        )
+    tables = []
+    for t, num_rows in enumerate(config.table_rows):
+        shards = min(num_shards, num_rows)
+        if strategy == "row_range":
+            part = partition_row_range(t, num_rows, shards)
+        elif strategy == "hash":
+            part = partition_hash(t, num_rows, shards)
+        else:
+            if weights_per_table is not None:
+                weights = np.asarray(weights_per_table[t], dtype=np.float64)
+                if weights.shape[0] != num_rows:
+                    raise ValueError(
+                        f"table {t}: weights cover {weights.shape[0]} rows, "
+                        f"table has {num_rows}"
+                    )
+            else:
+                weights = access_weights_from_skew(num_rows, skew)
+            part = partition_frequency(t, weights, shards)
+        if shards < num_shards:
+            # Pad with empty shards so every table exposes the same shard
+            # count to the router and executor.
+            empty = tuple(
+                np.empty(0, dtype=np.int64)
+                for _ in range(num_shards - shards)
+            )
+            part = TablePartition(
+                table_index=part.table_index,
+                num_rows=part.num_rows,
+                shard_rows=part.shard_rows + empty,
+                shard_of=part.shard_of,
+                local_of=part.local_of,
+                contiguous=part.contiguous,
+                weights_balanced=part.weights_balanced,
+            )
+        tables.append(part)
+    return PartitionPlan(
+        num_shards=num_shards, strategy=strategy, tables=tuple(tables)
+    )
+
+
+def plan_from_loader(config: DLRMConfig, num_shards: int, loader,
+                     strategy: str = "frequency") -> PartitionPlan:
+    """Build a plan balanced by the access frequencies a loader produces.
+
+    Walks the loader once per table via
+    :func:`repro.data.tracestats.collect_trace`.  Intended for offline
+    planning — the trace pass costs one epoch of index generation, no
+    model work.
+    """
+    from ..data.tracestats import collect_trace
+
+    weights = [
+        access_weights_from_trace(
+            collect_trace(loader, t), config.table_rows[t]
+        )
+        for t in range(config.num_tables)
+    ]
+    return build_partition_plan(
+        config, num_shards, strategy=strategy, weights_per_table=weights
+    )

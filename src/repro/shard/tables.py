@@ -1,0 +1,240 @@
+"""Sharded views of embedding tables and their lazy-noise bookkeeping.
+
+``ShardedEmbeddingBag`` keeps the flat table (global row order) as the
+storage of record — forward/backward and every gradient view are
+inherited from :class:`repro.nn.layers.EmbeddingBag` unchanged, exactly
+as the paper leaves forward/backward untouched.  What it adds is the
+*model-update* structure: per-shard :class:`ShardSlab` windows (zero-copy
+slice-view ``Parameter`` slabs for contiguous partitions, index windows
+for hash partitions) so every noisy write stays shard-local.
+
+``ShardedHistoryTable`` holds one :class:`HistoryTable` per shard,
+indexed by shard-local row ids, while also implementing the flat
+table's API (``delays`` / ``mark_updated`` / ``pending_rows`` /
+``snapshot`` over global ids) so checkpointing and private-model export
+work on sharded trainers without change.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..lazydp.history import HistoryTable
+from ..nn.layers import EmbeddingBag
+from ..nn.parameter import Parameter
+from .plan import TablePartition
+
+
+class ShardSlab:
+    """One shard's window onto an embedding table's parameter storage.
+
+    For contiguous partitions the slab owns a real ``Parameter`` whose
+    data is a zero-copy slice view of the flat table — reading or writing
+    the slab touches exactly the shard's rows and nothing else.  For hash
+    partitions the shard's rows are scattered, so the slab routes reads
+    and writes through its global row list instead.
+    """
+
+    def __init__(self, table: Parameter, partition: TablePartition,
+                 shard_index: int):
+        self.table = table
+        self.shard_index = int(shard_index)
+        self.rows = partition.shard_rows[shard_index]
+        self.param: Parameter | None = None
+        self._start = 0
+        if partition.contiguous and self.rows.size:
+            start, stop = int(self.rows[0]), int(self.rows[-1]) + 1
+            self._start = start
+            self.param = Parameter(
+                f"{table.name}.shard_{shard_index}",
+                table.data[start:stop],
+                param_id=table.param_id,
+                is_embedding=True,
+            )
+
+    @property
+    def num_rows(self) -> int:
+        return int(self.rows.size)
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.rows.size * self.table.data.shape[1]
+                   * self.table.data.itemsize)
+
+    def read_rows(self, global_rows: np.ndarray) -> np.ndarray:
+        """Values of shard-owned rows, addressed by global id."""
+        if self.param is not None:
+            return self.param.data[global_rows - self._start]
+        return self.table.data[global_rows]
+
+    def write_rows(self, global_rows: np.ndarray, values: np.ndarray,
+                   learning_rate: float) -> None:
+        """``row -= lr * value`` for shard-owned rows (global ids).
+
+        Bitwise identical to the flat table's update: a contiguous slab
+        is a view of the same memory, and the fancy-indexed fallback
+        addresses the same elements.
+        """
+        if global_rows.size == 0:
+            return
+        if self.param is not None:
+            self.param.data[global_rows - self._start] -= \
+                learning_rate * values
+        else:
+            self.table.data[global_rows] -= learning_rate * values
+
+    def materialize(self) -> np.ndarray:
+        """Copy of the shard's rows in shard-local order (diagnostics)."""
+        if self.param is not None:
+            return self.param.data.copy()
+        return self.table.data[self.rows].copy()
+
+
+class ShardedEmbeddingBag(EmbeddingBag):
+    """An :class:`EmbeddingBag` carrying a partition and per-shard slabs.
+
+    Forward, backward and all four gradient views are inherited — the
+    flat table in global row order remains the storage of record, so
+    every existing consumer (checkpointing, export, audit) keeps
+    working.  The sharded trainer uses ``slabs`` for its shard-local
+    model update.
+    """
+
+    def __init__(self, table: Parameter, partition: TablePartition):
+        super().__init__(table)
+        if partition.num_rows != self.num_rows:
+            raise ValueError(
+                f"partition covers {partition.num_rows} rows, table "
+                f"{table.name} has {self.num_rows}"
+            )
+        self.partition = partition
+        self.slabs = [
+            ShardSlab(table, partition, s)
+            for s in range(partition.num_shards)
+        ]
+
+    @classmethod
+    def adopt(cls, bag: EmbeddingBag,
+              partition: TablePartition) -> "ShardedEmbeddingBag":
+        """Wrap an existing bag's table (shared storage, no copy)."""
+        return cls(bag.table, partition)
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.slabs)
+
+    def shard_rows(self, shard: int) -> np.ndarray:
+        return self.partition.shard_rows[shard]
+
+
+class ShardedHistoryTable:
+    """Per-shard HistoryTables with a flat-compatible facade.
+
+    Shard-local methods (``shard_delays`` / ``shard_mark_updated`` /
+    ``shard_pending_rows``) take shard-local row ids and touch only that
+    shard's array — the hot path of the parallel executor.  The flat API
+    (global row ids) mirrors :class:`repro.lazydp.history.HistoryTable`
+    so release/export and checkpoint code is oblivious to sharding.
+    """
+
+    BYTES_PER_ENTRY = HistoryTable.BYTES_PER_ENTRY
+
+    def __init__(self, partition: TablePartition):
+        self.partition = partition
+        self.shards = [
+            HistoryTable(rows.size) if rows.size else None
+            for rows in partition.shard_rows
+        ]
+
+    @property
+    def num_rows(self) -> int:
+        return self.partition.num_rows
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.shards)
+
+    @property
+    def nbytes(self) -> int:
+        return int(sum(s.nbytes for s in self.shards if s is not None))
+
+    # -- shard-local API (used by the parallel model update) --------------
+    def shard(self, shard: int) -> HistoryTable | None:
+        return self.shards[shard]
+
+    def shard_delays(self, shard: int, local_rows: np.ndarray,
+                     iteration: int) -> np.ndarray:
+        if local_rows.size == 0:
+            return np.zeros(0, dtype=np.int64)
+        return self.shards[shard].delays(local_rows, iteration)
+
+    def shard_mark_updated(self, shard: int, local_rows: np.ndarray,
+                           iteration: int) -> None:
+        if local_rows.size:
+            self.shards[shard].mark_updated(local_rows, iteration)
+
+    def shard_pending_rows(self, shard: int, iteration: int) -> np.ndarray:
+        """Shard-local ids of rows still owed noise (used by the flush)."""
+        if self.shards[shard] is None:
+            return np.zeros(0, dtype=np.int64)
+        return self.shards[shard].pending_rows(iteration)
+
+    # -- flat-compatible API (global row ids) ------------------------------
+    def _route(self, rows: np.ndarray) -> tuple:
+        rows = np.asarray(rows, dtype=np.int64)
+        return (self.partition.shard_of[rows],
+                self.partition.local_of[rows], rows)
+
+    def last_updated(self, rows: np.ndarray) -> np.ndarray:
+        owners, locals_, rows = self._route(rows)
+        out = np.zeros(rows.size, dtype=np.int32)
+        for s in range(self.num_shards):
+            mask = owners == s
+            if mask.any():
+                out[mask] = self.shards[s].last_updated(locals_[mask])
+        return out
+
+    def delays(self, rows: np.ndarray, iteration: int) -> np.ndarray:
+        rows = np.asarray(rows, dtype=np.int64)
+        delays = np.int64(iteration) - self.last_updated(rows).astype(np.int64)
+        if np.any(delays < 0):
+            raise ValueError(
+                "HistoryTable is ahead of the requested iteration; "
+                "rows must not be caught up twice in one iteration"
+            )
+        return delays
+
+    def mark_updated(self, rows: np.ndarray, iteration: int) -> None:
+        owners, locals_, rows = self._route(rows)
+        for s in range(self.num_shards):
+            mask = owners == s
+            if mask.any():
+                self.shards[s].mark_updated(locals_[mask], iteration)
+
+    def pending_rows(self, iteration: int) -> np.ndarray:
+        """Global ids of all rows still owed noise (sorted)."""
+        pending = [
+            self.partition.shard_rows[s][self.shard_pending_rows(s, iteration)]
+            for s in range(self.num_shards)
+        ]
+        pending = [p for p in pending if p.size]
+        if not pending:
+            return np.zeros(0, dtype=np.int64)
+        return np.sort(np.concatenate(pending))
+
+    def snapshot(self) -> np.ndarray:
+        """Global-order copy of the raw table (checkpointing, tests)."""
+        out = np.zeros(self.num_rows, dtype=np.int32)
+        for s, table in enumerate(self.shards):
+            if table is not None:
+                out[self.partition.shard_rows[s]] = table.snapshot()
+        return out
+
+    def load_snapshot(self, snapshot: np.ndarray) -> None:
+        """Restore from a global-order snapshot (checkpoint resume)."""
+        snapshot = np.asarray(snapshot, dtype=np.int32)
+        if snapshot.shape[0] != self.num_rows:
+            raise ValueError("snapshot size does not match table")
+        for s, table in enumerate(self.shards):
+            if table is not None:
+                table.load_snapshot(snapshot[self.partition.shard_rows[s]])

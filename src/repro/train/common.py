@@ -12,6 +12,9 @@ output maps one-to-one onto Figures 3, 5, 10 and 11:
 * ``noisy_grad_update``      - applying updates to weights (memory-bound)
 * ``lazydp_dedup`` / ``lazydp_history_read`` / ``lazydp_history_update``
                              - the pure LazyDP overheads of Figure 11
+* ``shard_routing`` / ``shard_model_update``
+                             - sharded-engine index routing and the
+                               (wall-clock) parallel per-shard update
 * ``else``                   - everything not attributed above
 """
 
@@ -38,6 +41,8 @@ MODEL_UPDATE_STAGES = (
     "lazydp_dedup",
     "lazydp_history_read",
     "lazydp_history_update",
+    "shard_routing",
+    "shard_model_update",
 )
 
 LAZYDP_OVERHEAD_STAGES = (

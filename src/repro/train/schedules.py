@@ -201,9 +201,7 @@ class ScheduledLazyDPTrainer(LazyDPTrainer):
     def finalize(self, final_iteration: int) -> None:
         if final_iteration == 0:
             return
-        noise_std = self._last_noise_std
-        if noise_std is None:
-            noise_std = self.config.noise_std(self.expected_batch_size or 1)
+        noise_std = self._flush_noise_std()
         with self.timer.time("terminal_flush"):
             for table_index, bag in enumerate(self.model.embeddings):
                 history = self.engine.histories[table_index]

@@ -1,4 +1,10 @@
-"""Shared fixtures and helpers for the test suite."""
+"""Shared fixtures for the test suite.
+
+Reusable helpers (``max_param_diff``, ``train_algorithm``, ...) live in
+:mod:`repro.testing` so they are importable without relying on pytest's
+conftest path insertion; the names are re-exported here for any
+straggling ``from conftest import ...`` usage.
+"""
 
 from __future__ import annotations
 
@@ -6,9 +12,14 @@ import numpy as np
 import pytest
 
 from repro import configs
-from repro.bench.experiments import make_trainer
-from repro.data import DataLoader, SyntheticClickDataset
+from repro.data import SyntheticClickDataset
 from repro.nn import DLRM
+from repro.testing import (  # noqa: F401  (re-exported for legacy imports)
+    make_loader,
+    max_param_diff,
+    numeric_gradient,
+    train_algorithm,
+)
 from repro.train import DPConfig
 
 
@@ -32,62 +43,3 @@ def dp_config():
 def tiny_batch(tiny_config):
     dataset = SyntheticClickDataset(tiny_config, seed=3)
     return dataset.batch(np.arange(16))
-
-
-def make_loader(config, batch_size=16, num_batches=8, seed=5,
-                sampling="fixed", skew=None, data_seed=3,
-                num_examples=1 << 12):
-    dataset = SyntheticClickDataset(
-        config, seed=data_seed, skew=skew, num_examples=num_examples
-    )
-    return DataLoader(dataset, batch_size=batch_size,
-                      num_batches=num_batches, sampling=sampling, seed=seed)
-
-
-def train_algorithm(algorithm, config, *, batch_size=16, num_batches=8,
-                    model_seed=7, noise_seed=99, dp=None, sampling="fixed",
-                    skew=None, **loader_kwargs):
-    """Train one algorithm from a fixed initial state; return (model, result).
-
-    Every call with the same seeds sees the same model init, the same
-    trace, and the same noise stream — the setup all equivalence tests
-    build on.
-    """
-    dp = dp or DPConfig(noise_multiplier=1.1, max_grad_norm=1.0,
-                        learning_rate=0.05)
-    model = DLRM(config, seed=model_seed)
-    loader = make_loader(config, batch_size=batch_size,
-                         num_batches=num_batches, sampling=sampling,
-                         skew=skew, **loader_kwargs)
-    trainer = make_trainer(algorithm, model, dp, noise_seed=noise_seed)
-    result = trainer.fit(loader)
-    return model, result, trainer
-
-
-def max_param_diff(model_a, model_b):
-    """Largest absolute difference across all parameters of two models."""
-    params_a = model_a.parameters()
-    params_b = model_b.parameters()
-    assert params_a.keys() == params_b.keys()
-    worst = 0.0
-    for name in params_a:
-        diff = np.max(np.abs(params_a[name].data - params_b[name].data))
-        worst = max(worst, float(diff))
-    return worst
-
-
-def numeric_gradient(func, x, eps=1e-6):
-    """Central-difference gradient of a scalar function of array ``x``."""
-    x = np.asarray(x, dtype=np.float64)
-    grad = np.zeros_like(x)
-    flat_x = x.ravel()
-    flat_grad = grad.ravel()
-    for i in range(flat_x.size):
-        original = flat_x[i]
-        flat_x[i] = original + eps
-        upper = func(x)
-        flat_x[i] = original - eps
-        lower = func(x)
-        flat_x[i] = original
-        flat_grad[i] = (upper - lower) / (2.0 * eps)
-    return grad

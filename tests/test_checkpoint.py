@@ -14,7 +14,7 @@ from repro.lazydp.checkpoint import (
 from repro.nn import DLRM
 from repro.train import DPConfig
 
-from conftest import max_param_diff
+from repro.testing import max_param_diff
 
 
 @pytest.fixture

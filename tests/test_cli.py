@@ -30,6 +30,27 @@ class TestTrainCommand:
         ])
         assert code == 0
 
+    def test_sharded_training(self, capsys):
+        code = main([
+            "train", "--algorithm", "lazydp", "--rows", "512",
+            "--batch", "32", "--iterations", "3",
+            "--num-shards", "3", "--partition", "frequency",
+            "--executor", "threads",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sharded_lazydp" in out
+        assert "per-shard model update" in out
+        assert "shard_model_update" in out
+
+    def test_sharding_requires_lazydp(self, capsys):
+        code = main([
+            "train", "--algorithm", "dpsgd_f", "--rows", "256",
+            "--batch", "16", "--iterations", "2", "--num-shards", "2",
+        ])
+        assert code == 2
+        assert "lazydp" in capsys.readouterr().err
+
     def test_rejects_unknown_algorithm(self):
         with pytest.raises(SystemExit):
             main(["train", "--algorithm", "adam"])

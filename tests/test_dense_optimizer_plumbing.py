@@ -15,7 +15,7 @@ from repro.data import DataLoader, SyntheticClickDataset
 from repro.nn import DLRM
 from repro.train import DenseMomentum, DenseSGD, DPConfig
 
-from conftest import max_param_diff
+from repro.testing import max_param_diff
 
 
 @pytest.fixture

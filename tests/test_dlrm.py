@@ -7,7 +7,7 @@ from repro import configs
 from repro.data import SyntheticClickDataset
 from repro.nn import DLRM
 
-from conftest import numeric_gradient
+from repro.testing import numeric_gradient
 
 
 @pytest.fixture

@@ -7,7 +7,7 @@ from repro import configs
 from repro.nn import DLRM
 from repro.train import DPConfig
 
-from conftest import max_param_diff, train_algorithm
+from repro.testing import max_param_diff, train_algorithm
 
 
 @pytest.fixture

@@ -8,7 +8,7 @@ from repro.data import SyntheticClickDataset, DataLoader
 from repro.nn import DLRM
 from repro.privacy import audit_untouched_rows
 
-from conftest import train_algorithm
+from repro.testing import train_algorithm
 
 
 @pytest.fixture

@@ -9,7 +9,7 @@ from repro.nn import DLRM
 from repro.perfmodel import ALGORITHMS
 from repro.train import DPConfig
 
-from conftest import max_param_diff, train_algorithm
+from repro.testing import max_param_diff, train_algorithm
 
 
 @pytest.fixture

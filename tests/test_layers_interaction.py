@@ -5,7 +5,7 @@ import pytest
 
 from repro.nn import FeatureInteraction
 
-from conftest import numeric_gradient
+from repro.testing import numeric_gradient
 
 
 def make_inputs(batch=3, num_tables=2, dim=4, seed=0):

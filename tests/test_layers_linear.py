@@ -9,7 +9,7 @@ from repro.nn import Linear, MLP, Parameter, relu
 from repro.nn.init import ParameterFactory
 from repro.rng import NoiseStream
 
-from conftest import numeric_gradient
+from repro.testing import numeric_gradient
 
 
 def make_linear(out_features=3, in_features=4, seed=0):

@@ -19,7 +19,7 @@ from repro.data import DataLoader, LookaheadLoader, SkewSpec, SyntheticClickData
 from repro.nn import DLRM
 from repro.train import DPConfig
 
-from conftest import max_param_diff, train_algorithm
+from repro.testing import max_param_diff, train_algorithm
 
 TOLERANCE = 1e-9
 

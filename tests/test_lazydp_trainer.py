@@ -10,7 +10,7 @@ from repro.nn import DLRM
 from repro.rng import NoiseStream
 from repro.train import DPConfig
 
-from conftest import train_algorithm
+from repro.testing import train_algorithm
 
 
 @pytest.fixture
@@ -88,6 +88,32 @@ class TestLazyDPTrainer:
             np.testing.assert_allclose(
                 param.data, model_large.parameters()[name].data, atol=1e-12
             )
+
+    def test_finalize_before_any_step(self, config):
+        """finalize() with no training step must flush with a sane std.
+
+        Regression test: the fallback used to read ``expected_batch_size``
+        without guarding against it being unset (None) or zero.
+        """
+        from repro.lazydp import LazyDPTrainer
+
+        for expected in (None, 0, 16):
+            model = DLRM(config, seed=7)
+            trainer = LazyDPTrainer(model, DPConfig(), noise_seed=99)
+            trainer.expected_batch_size = expected
+            denominator = max(int(expected or 0), 1)
+            assert trainer._flush_noise_std() == pytest.approx(
+                DPConfig().noise_std(denominator)
+            )
+            trainer.finalize(3)  # must not raise
+            assert trainer.engine.flushed_through == 3
+            for history in trainer.engine.histories:
+                assert history.pending_rows(3).size == 0
+
+    def test_flush_std_prefers_last_observed(self, config):
+        _, _, trainer = train_algorithm("lazydp", config, num_batches=2)
+        assert trainer._last_noise_std is not None
+        assert trainer._flush_noise_std() == trainer._last_noise_std
 
     def test_loss_finite_and_learns(self, config):
         _, result, _ = train_algorithm(

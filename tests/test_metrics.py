@@ -141,7 +141,7 @@ class TestEvaluateModel:
 
     def test_trained_model_beats_untrained(self):
         """Training must improve held-out AUC on the learnable signal."""
-        from conftest import train_algorithm
+        from repro.testing import train_algorithm
         from repro.train import DPConfig
 
         config = configs.tiny_dlrm(num_tables=2, rows=64, dim=8, lookups=1)

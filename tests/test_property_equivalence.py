@@ -19,7 +19,7 @@ from repro.data import DataLoader, LookaheadLoader, SyntheticClickDataset
 from repro.nn import DLRM
 from repro.train import DPConfig
 
-from conftest import max_param_diff
+from repro.testing import max_param_diff
 
 
 geometries = st.fixed_dictionaries({

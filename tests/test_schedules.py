@@ -22,7 +22,7 @@ from repro.train.schedules import (
     StepDecayLR,
 )
 
-from conftest import max_param_diff
+from repro.testing import max_param_diff
 
 
 @pytest.fixture
@@ -118,7 +118,7 @@ class TestScheduledEquivalence:
 
     def test_constant_schedule_matches_plain_trainers(self, config):
         """ConstantLR(lr) must reproduce the unscheduled implementation."""
-        from conftest import train_algorithm
+        from repro.testing import train_algorithm
 
         plain, _, _ = train_algorithm("dpsgd_f", config, num_batches=8)
         scheduled, _, _ = run_scheduled(
@@ -127,7 +127,7 @@ class TestScheduledEquivalence:
         assert max_param_diff(plain, scheduled) < 1e-12
 
     def test_constant_lazy_matches_plain_lazy(self, config):
-        from conftest import train_algorithm
+        from repro.testing import train_algorithm
 
         plain, _, _ = train_algorithm("lazydp_no_ans", config, num_batches=8)
         scheduled, _, _ = run_scheduled(
@@ -164,7 +164,7 @@ class TestScheduledEquivalence:
         )
         # Plain LazyDP with a naive constant-lr config at the final rate —
         # the "obvious wrong implementation".
-        from conftest import train_algorithm
+        from repro.testing import train_algorithm
         wrong, _, _ = train_algorithm(
             "lazydp_no_ans", config, num_batches=8,
             dp=DPConfig(noise_multiplier=1.1, max_grad_norm=1.0,

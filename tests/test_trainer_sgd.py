@@ -6,7 +6,7 @@ import pytest
 from repro import configs
 from repro.nn import DLRM
 
-from conftest import train_algorithm
+from repro.testing import train_algorithm
 
 
 @pytest.fixture
