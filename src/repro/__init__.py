@@ -30,6 +30,7 @@ from .configs import DLRMConfig
 from .data import Batch, DataLoader, SyntheticClickDataset
 from .lazydp import LazyDPTrainer, PrivateTrainingSession, make_private
 from .nn import DLRM
+from .pipeline import PipelinedLazyDPTrainer, PipelinedShardedLazyDPTrainer
 from .privacy import RDPAccountant
 from .shard import ShardedLazyDPTrainer
 from .train import (
@@ -52,6 +53,8 @@ __all__ = [
     "SyntheticClickDataset",
     "LazyDPTrainer",
     "ShardedLazyDPTrainer",
+    "PipelinedLazyDPTrainer",
+    "PipelinedShardedLazyDPTrainer",
     "PrivateTrainingSession",
     "make_private",
     "DLRM",

@@ -53,12 +53,15 @@ TRAINER_CLASSES = {
 
 
 def make_trainer(algorithm: str, model: DLRM, dp: DPConfig,
-                 noise_seed: int = 1234, **shard_kwargs):
+                 noise_seed: int = 1234, **trainer_kwargs):
     """Instantiate any of the algorithms by name.
 
     ``sharded_lazydp`` / ``sharded_lazydp_no_ans`` accept the extra
     keyword arguments of :class:`repro.shard.ShardedLazyDPTrainer`
-    (``num_shards``, ``partition``, ``executor``, ``plan``, ...).
+    (``num_shards``, ``partition``, ``executor``, ``plan``, ...); the
+    ``pipelined_*`` algorithms additionally accept ``prefetch_depth``
+    (:class:`repro.pipeline.PipelinedLazyDPTrainer` /
+    :class:`repro.pipeline.PipelinedShardedLazyDPTrainer`).
     """
     if algorithm == "lazydp":
         return LazyDPTrainer(model, dp, noise_seed=noise_seed, use_ans=True)
@@ -69,7 +72,23 @@ def make_trainer(algorithm: str, model: DLRM, dp: DPConfig,
 
         return ShardedLazyDPTrainer(
             model, dp, noise_seed=noise_seed,
-            use_ans=(algorithm == "sharded_lazydp"), **shard_kwargs,
+            use_ans=(algorithm == "sharded_lazydp"), **trainer_kwargs,
+        )
+    if algorithm in ("pipelined_lazydp", "pipelined_lazydp_no_ans"):
+        from ..pipeline import PipelinedLazyDPTrainer
+
+        return PipelinedLazyDPTrainer(
+            model, dp, noise_seed=noise_seed,
+            use_ans=(algorithm == "pipelined_lazydp"), **trainer_kwargs,
+        )
+    if algorithm in ("pipelined_sharded_lazydp",
+                     "pipelined_sharded_lazydp_no_ans"):
+        from ..pipeline import PipelinedShardedLazyDPTrainer
+
+        return PipelinedShardedLazyDPTrainer(
+            model, dp, noise_seed=noise_seed,
+            use_ans=(algorithm == "pipelined_sharded_lazydp"),
+            **trainer_kwargs,
         )
     if algorithm in TRAINER_CLASSES:
         return TRAINER_CLASSES[algorithm](model, dp, noise_seed=noise_seed)

@@ -60,6 +60,15 @@ def _add_train_parser(subparsers) -> None:
                        help="per-shard model-update schedule")
     shard.add_argument("--max-workers", type=int, default=None,
                        help="thread-pool size (default: one per shard)")
+    pipeline = parser.add_argument_group(
+        "pipelining", "background noise prefetch (lazydp algorithms only)"
+    )
+    pipeline.add_argument("--pipeline", action="store_true",
+                          help="precompute catch-up noise on a background "
+                               "worker instead of the critical path")
+    pipeline.add_argument("--prefetch-depth", type=int, default=2,
+                          help="input-queue lookahead / staging-buffer "
+                               "depth (default: 2, double buffering)")
 
 
 def _run_train(args) -> int:
@@ -81,21 +90,31 @@ def _run_train(args) -> int:
             num_shards=args.num_shards, partition=args.partition,
             executor=args.executor, max_workers=args.max_workers,
         )
+        pipeline_config = configs.PipelineConfig(
+            enabled=args.pipeline, prefetch_depth=args.prefetch_depth,
+        )
     except ValueError as error:
-        print(f"invalid sharding options: {error}", file=sys.stderr)
+        print(f"invalid engine options: {error}", file=sys.stderr)
         return 2
-    if shard_config.is_sharded:
+    if shard_config.is_sharded or pipeline_config.enabled:
         if args.algorithm not in ("lazydp", "lazydp_no_ans"):
-            print("--num-shards > 1 requires a lazydp algorithm",
+            print("--num-shards > 1 / --pipeline require a lazydp algorithm",
                   file=sys.stderr)
             return 2
-        algorithm = ("sharded_lazydp" if args.algorithm == "lazydp"
-                     else "sharded_lazydp_no_ans")
-        # The trace skew also feeds the frequency partitioner, so a
-        # skewed run gets mass-balanced shards rather than equal-row cuts.
-        trainer = make_trainer(algorithm, model, dp,
-                               noise_seed=args.seed + 3, skew=skew,
-                               **shard_config.trainer_kwargs())
+        suffix = "" if args.algorithm == "lazydp" else "_no_ans"
+        trainer_kwargs = {}
+        if shard_config.is_sharded:
+            algorithm = ("pipelined_sharded_lazydp"
+                         if pipeline_config.enabled else "sharded_lazydp")
+            # The trace skew also feeds the frequency partitioner, so a
+            # skewed run gets mass-balanced shards, not equal-row cuts.
+            trainer_kwargs.update(shard_config.trainer_kwargs(), skew=skew)
+        else:
+            algorithm = "pipelined_lazydp"
+        if pipeline_config.enabled:
+            trainer_kwargs.update(pipeline_config.trainer_kwargs())
+        trainer = make_trainer(algorithm + suffix, model, dp,
+                               noise_seed=args.seed + 3, **trainer_kwargs)
     else:
         trainer = make_trainer(args.algorithm, model, dp,
                                noise_seed=args.seed + 3)
@@ -127,6 +146,21 @@ def _run_train(args) -> int:
             title=f"per-shard model update ({shard_config.partition}, "
                   f"{shard_config.executor})",
         ))
+    if pipeline_config.enabled:
+        stats = trainer.pipeline_stats()
+        print(format_table(
+            ["metric", "value"],
+            [
+                ["prefetch busy (s)", f"{stats['prefetch_busy_seconds']:.4f}"],
+                ["exposed wait (s)", f"{stats['exposed_wait_seconds']:.4f}"],
+                ["hidden (s)", f"{stats['hidden_seconds']:.4f}"],
+                ["hidden fraction", f"{stats['hidden_fraction']:.1%}"],
+                ["plans computed", stats["plans_computed"]],
+            ],
+            title=f"noise prefetch pipeline (depth "
+                  f"{pipeline_config.prefetch_depth})",
+        ))
+    if shard_config.is_sharded or pipeline_config.enabled:
         trainer.close()
     return 0
 

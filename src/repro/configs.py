@@ -168,6 +168,30 @@ class ShardConfig:
         }
 
 
+@dataclass(frozen=True)
+class PipelineConfig:
+    """How the training engine pipelines noise prefetch (``repro.pipeline``).
+
+    ``enabled = False`` is the serial configuration (catch-up noise
+    computed inline on the critical path).  When enabled, a background
+    worker precomputes catch-up noise ``prefetch_depth`` iterations
+    ahead into a double-buffered staging area; ``prefetch_depth`` also
+    sets the input queue's lookahead depth (the paper's Algorithm 1
+    queue is depth 1).
+    """
+
+    enabled: bool = False
+    prefetch_depth: int = 2
+
+    def __post_init__(self):
+        if self.prefetch_depth < 1:
+            raise ValueError("prefetch_depth must be at least 1")
+
+    def trainer_kwargs(self) -> dict:
+        """Keyword arguments for the pipelined trainers."""
+        return {"prefetch_depth": self.prefetch_depth}
+
+
 def rows_for_model_bytes(model_bytes: int, num_tables: int = PAPER_NUM_TABLES,
                          dim: int = PAPER_EMBEDDING_DIM,
                          bytes_per_param: int = FP32_BYTES) -> int:

@@ -9,10 +9,16 @@ Two samplers are provided:
   This is the sampling the RDP accountant assumes (paper Section 5.3 keeps
   Opacus' Poisson sampler).
 
-``InputQueue`` is the two-entry structure of Algorithm 1 (lines 3-5) and
-Figure 9(b): LazyDP prefetches exactly one mini-batch of lookahead so it
-knows which rows the *next* iteration will gather.  ``LookaheadLoader``
-packages a loader plus queue into ``(iteration, current, upcoming)`` tuples.
+``InputQueue`` is the structure of Algorithm 1 (lines 3-5) and
+Figure 9(b): LazyDP prefetches mini-batches of lookahead so it knows
+which rows upcoming iterations will gather.  The paper's queue holds
+exactly two entries (one batch of lookahead); ``LookaheadLoader``
+generalises that to ``depth`` batches — the pipelined trainer
+(``repro.pipeline``) uses the extra runway to precompute catch-up noise
+in the background — and packages a loader plus queue into
+``(iteration, current, upcoming)`` tuples.  The ``on_load`` hook fires
+as each batch enters the queue, handing its row set to any prefetch
+consumer before the batch is trained on.
 """
 
 from __future__ import annotations
@@ -77,11 +83,13 @@ class DataLoader:
 
 
 class InputQueue:
-    """The two-entry mini-batch queue of Algorithm 1 (lines 3-5).
+    """The mini-batch queue of Algorithm 1 (lines 3-5), generalised to depth k.
 
-    ``head`` is the batch being trained on; ``tail`` is the prefetched next
-    batch whose sparse indices identify the rows that need their deferred
-    noise applied *this* iteration.
+    ``head`` is the batch being trained on; ``peek(1)`` is the prefetched
+    next batch whose sparse indices identify the rows that need their
+    deferred noise applied *this* iteration.  The paper's structure is the
+    two-entry special case (``size=2``); deeper queues give the pipelined
+    trainer's noise-prefetch worker more runway (``repro.pipeline``).
     """
 
     def __init__(self, size: int = 2):
@@ -106,8 +114,19 @@ class InputQueue:
             raise RuntimeError("InputQueue is empty")
         return self._queue[0]
 
+    def peek(self, offset: int) -> Batch | None:
+        """The batch ``offset`` positions behind the head (0 == head)."""
+        if offset < 0:
+            raise ValueError("offset must be non-negative")
+        if offset >= len(self._queue):
+            raise RuntimeError(
+                f"InputQueue holds {len(self._queue)} entries, "
+                f"cannot peek offset {offset}"
+            )
+        return self._queue[offset]
+
     def tail(self) -> Batch | None:
-        """The next iteration's (prefetched) mini-batch."""
+        """The deepest prefetched mini-batch (the next batch when size=2)."""
         if len(self._queue) < 2:
             raise RuntimeError("InputQueue has no lookahead entry")
         return self._queue[-1]
@@ -117,31 +136,57 @@ class InputQueue:
 
 
 class LookaheadLoader:
-    """Iterate ``(iteration, current, upcoming)`` with one batch of lookahead.
+    """Iterate ``(iteration, current, upcoming)`` with ``depth`` batches of
+    lookahead.
 
-    ``upcoming`` is ``None`` on the final iteration — there is no next batch,
-    so LazyDP has nothing to catch up eagerly and relies on the terminal
-    flush instead.
+    ``upcoming`` is always the *immediately* next batch (what LazyDP's
+    catch-up needs) and is ``None`` on the final iteration — there is no
+    next batch, so LazyDP has nothing to catch up eagerly and relies on
+    the terminal flush instead.
+
+    ``depth`` controls how far ahead batches are loaded into the
+    :class:`InputQueue` (``depth=1`` is the paper's two-entry queue).
+    ``on_load`` — when given — is called as ``on_load(position, batch)``
+    the moment a batch is loaded, with ``position`` the 0-based loader
+    index, and once more as ``on_load(position, None)`` at end of stream.
+    The pipelined trainer's noise-prefetch worker hangs off this hook:
+    batch ``position`` arrives ``depth`` iterations before it is trained
+    on, which is the runway that hides noise catch-up behind useful work.
     """
 
-    def __init__(self, loader: DataLoader):
+    def __init__(self, loader: DataLoader, depth: int = 1, on_load=None):
+        if depth < 1:
+            raise ValueError("lookahead depth must be at least 1")
         self.loader = loader
+        self.depth = int(depth)
+        self.on_load = on_load
+
+    def _load_one(self, queue: InputQueue, iterator, position: int) -> int:
+        """Advance the loader once; returns the next position (or -1 when
+        the end-of-stream sentinel was pushed)."""
+        try:
+            batch = next(iterator)
+        except StopIteration:
+            batch = None
+        if self.on_load is not None:
+            self.on_load(position, batch)
+        queue.push(batch)
+        return -1 if batch is None else position + 1
 
     def __iter__(self):
-        queue = InputQueue(size=2)
+        queue = InputQueue(size=self.depth + 1)
         iterator = iter(self.loader)
-        try:
-            queue.push(next(iterator))  # bootstrap: load the first mini-batch
-        except StopIteration:
-            return
+        position = self._load_one(queue, iterator, 0)  # bootstrap
+        if queue.head() is None:
+            return  # empty loader: sentinel only, nothing to train on
         iteration = 0
         while True:
-            try:
-                queue.push(next(iterator))
-            except StopIteration:
-                queue.push(None)
+            # Keep the queue topped up to its full lookahead depth until
+            # the end-of-stream sentinel (None) has been enqueued.
+            while position >= 0 and len(queue) < queue.size:
+                position = self._load_one(queue, iterator, position)
             current = queue.head()
-            upcoming = queue.tail()
+            upcoming = queue.peek(1)
             yield iteration, current, upcoming
             queue.pop()
             if upcoming is None:

@@ -15,6 +15,21 @@ Those first three stages are the "pure LazyDP-introduced latency overhead"
 of Figure 11 (61% / 22% / 17% split).  ``finalize`` flushes all remaining
 deferred noise so the *released* model is distributed exactly as eager
 DP-SGD's — the property the threat model of Section 3 rests on.
+
+Stages 1-4 form the catch-up's **plan + sample** phase and stages 5-6 its
+**apply** phase; the code keeps them in separate methods
+(``_plan_catchup`` / ``_sample_catchup`` / ``_apply_staged_noise``) so
+subclasses can re-site the phases without reimplementing them:
+
+* :class:`repro.shard.trainer.ShardedLazyDPTrainer` runs all six stages
+  per *shard* through a pluggable executor;
+* :class:`repro.pipeline.trainer.PipelinedLazyDPTrainer` moves plan +
+  sample onto a background prefetch worker so only the apply phase stays
+  on the critical path.
+
+Both release bitwise-identical parameters to this serial trainer: the
+noise bits depend only on ``(seed, table, row, iteration)`` and the
+delays, never on where or when they are drawn.
 """
 
 from __future__ import annotations
@@ -23,6 +38,7 @@ import numpy as np
 
 from ..train.common import DPConfig, merge_sparse_updates
 from ..train.dpsgd import DPSGDFTrainer
+from .ans import CatchupPlan, plan_catchup
 from .optimizer import LazyNoiseEngine
 
 
@@ -49,39 +65,61 @@ class LazyDPTrainer(DPSGDFTrainer):
         self._next_batch = next_batch
         return super().train_step(iteration, batch, next_batch)
 
+    # -- the three phases of the lazy catch-up -----------------------------
+    def _plan_catchup(self, table_index: int, next_rows, iteration: int,
+                      timer) -> CatchupPlan:
+        """Plan phase (stages 2-3): read delays, advance the history.
+
+        Runs on whichever thread owns the HistoryTables — the trainer
+        thread here, the prefetch worker in the pipelined subclass.
+        """
+        return plan_catchup(
+            self.engine.histories[table_index], table_index, next_rows,
+            iteration, timer=timer,
+        )
+
+    def _sample_catchup(self, plan: CatchupPlan, dim: int,
+                        noise_std: float, timer) -> np.ndarray:
+        """Sample phase (stage 4): draw the plan's catch-up noise."""
+        with timer.time("noise_sampling"):
+            return self.engine.ans.sample(plan, dim, noise_std)
+
+    def _apply_staged_noise(self, bag, sparse_grad, noise_rows,
+                            noise_values) -> None:
+        """Apply phase (stages 5-6): merge with the clipped gradient and
+        perform the one sparse write.  Always on the trainer thread."""
+        lr = self.config.learning_rate
+        with self.timer.time("noisy_grad_generation"):
+            rows, values = merge_sparse_updates(
+                sparse_grad.rows, sparse_grad.values,
+                noise_rows, noise_values,
+            )
+        with self.timer.time("noisy_grad_update"):
+            bag.table.data[rows] -= lr * values
+
     # Override the dense noisy embedding update with the lazy sparse one.
     def _apply_embedding_dense_noisy_update(self, table_index: int, bag,
                                             sparse_grad, iteration: int,
                                             noise_std: float) -> None:
         self._last_noise_std = noise_std
-        lr = self.config.learning_rate
 
         if self._next_batch is not None:
             with self.timer.time("lazydp_dedup"):
                 next_rows = self._next_batch.accessed_rows(table_index)
-            with self.timer.time("lazydp_history_read"):
-                history = self.engine.histories[table_index]
-                delays = history.delays(next_rows, iteration)
-            with self.timer.time("lazydp_history_update"):
-                history.mark_updated(next_rows, iteration)
-            with self.timer.time("noise_sampling"):
-                noise_values = self.engine.ans.catchup_noise(
-                    table_index, next_rows, delays, iteration,
-                    bag.dim, noise_std,
-                )
+            plan = self._plan_catchup(
+                table_index, next_rows, iteration, self.timer
+            )
+            noise_values = self._sample_catchup(
+                plan, bag.dim, noise_std, self.timer
+            )
+            noise_rows = plan.rows
         else:
             # Final iteration: no lookahead exists; the terminal flush
             # performs every remaining catch-up.
-            next_rows = np.empty(0, dtype=np.int64)
+            noise_rows = np.empty(0, dtype=np.int64)
             noise_values = np.zeros((0, bag.dim), dtype=np.float64)
 
-        with self.timer.time("noisy_grad_generation"):
-            rows, values = merge_sparse_updates(
-                sparse_grad.rows, sparse_grad.values,
-                next_rows, noise_values,
-            )
-        with self.timer.time("noisy_grad_update"):
-            bag.table.data[rows] -= lr * values
+        self._apply_staged_noise(bag, sparse_grad, noise_rows, noise_values)
 
     def _flush_noise_std(self) -> float:
         """Per-iteration noise std for the terminal flush.

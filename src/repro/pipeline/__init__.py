@@ -1,0 +1,38 @@
+"""Pipelined training engine: background noise prefetch for LazyDP.
+
+The serial LazyDP trainer pays for every noise catch-up on the critical
+path.  This package restructures the hot path into an explicit
+**plan → prefetch → apply** pipeline that hides the catch-up behind
+forward/backward propagation and input gather:
+
+* :mod:`staging <repro.pipeline.staging>` — :class:`StagedNoise` and the
+  double-buffered :class:`StagingBuffer` handing precomputed noise from
+  the worker to the trainer (iteration-ordered, failure-transparent).
+* :mod:`prefetch <repro.pipeline.prefetch>` —
+  :class:`NoisePrefetchWorker`, the background thread consuming
+  upcoming-batch row sets from the deepened :class:`InputQueue
+  <repro.data.loader.InputQueue>` and computing catch-up plans + ANS
+  draws ahead of time.
+* :mod:`trainer <repro.pipeline.trainer>` —
+  :class:`PipelinedLazyDPTrainer` (flat tables) and
+  :class:`PipelinedShardedLazyDPTrainer` (per-shard prefetch through the
+  ``repro.shard`` executor), both verified bitwise-identical to their
+  serial counterparts.
+
+Configuration flows through :class:`repro.configs.PipelineConfig` and
+the CLI's ``--pipeline`` / ``--prefetch-depth``;
+``benchmarks/bench_pipeline_overlap.py`` measures how much catch-up time
+the overlap hides.
+"""
+
+from .prefetch import NoisePrefetchWorker
+from .staging import StagedNoise, StagingBuffer
+from .trainer import PipelinedLazyDPTrainer, PipelinedShardedLazyDPTrainer
+
+__all__ = [
+    "NoisePrefetchWorker",
+    "StagedNoise",
+    "StagingBuffer",
+    "PipelinedLazyDPTrainer",
+    "PipelinedShardedLazyDPTrainer",
+]

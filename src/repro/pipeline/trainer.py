@@ -1,0 +1,354 @@
+"""Pipelined LazyDP trainers: plan → prefetch → apply.
+
+The serial :class:`repro.lazydp.trainer.LazyDPTrainer` runs the whole
+noise catch-up (dedup, history read/advance, ANS draw) inline between
+backward propagation and the sparse write — on the critical path.  The
+paper's co-design observation (Section 5; FlashDP makes the same
+argument for LLM-scale DP-SGD) is that the catch-up for iteration ``i``
+depends only on the *next* batch's row set, which the input pipeline
+knows one full iteration earlier, so the work can overlap forward/
+backward propagation and input gather.
+
+The trainers here restructure the hot path accordingly:
+
+* a :class:`NoisePrefetchWorker <repro.pipeline.prefetch.
+  NoisePrefetchWorker>` consumes upcoming-batch row sets straight from
+  the :class:`InputQueue <repro.data.loader.InputQueue>` (via the
+  ``LookaheadLoader``'s ``on_load`` hook, with configurable depth),
+  runs the *plan* (history read/advance) and *sample* (ANS draw) phases
+  in the background, and stages the result in a double-buffered
+  :class:`StagingBuffer <repro.pipeline.staging.StagingBuffer>`;
+* ``train_step`` keeps only the *apply* phase — merge the staged noise
+  with the clipped gradient and perform the one sparse write — and
+  blocks (``pipeline_wait``) only when the worker has not finished yet.
+
+**Equivalence invariant.**  The released parameters are bitwise
+identical to the serial trainer's for fixed and Poisson sampling, ANS
+on/off, and any shard count: every noise value is a pure function of
+``(seed, table, row, iteration)`` and the row's delay, the worker
+computes plans strictly in iteration order against exclusively-owned
+HistoryTables, and the apply phase reuses the serial trainer's own
+merge/write methods.  Prefetching changes *when* noise is computed,
+never *what* is computed.  ``tests/test_pipeline_equivalence.py`` pins
+this, and ``benchmarks/bench_pipeline_overlap.py`` measures how much
+catch-up time the overlap hides.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.loader import DataLoader, LookaheadLoader
+from ..lazydp.trainer import LazyDPTrainer
+from ..shard.executor import EXECUTOR_BACKENDS, make_executor
+from ..shard.trainer import ShardedLazyDPTrainer
+from ..train.common import StageTimer
+from .prefetch import NoisePrefetchWorker
+from .staging import StagedNoise, StagingBuffer
+
+
+class _PipelineHost:
+    """Mixin owning the pipeline session: worker + buffer lifecycle.
+
+    Subclasses provide ``_prefetch_noise(iteration, batch)`` (runs on
+    the worker thread, returns a :class:`StagedNoise`) and consume
+    staged entries through ``_staged_for(iteration)`` on the trainer
+    thread.  Outside a ``fit`` call the pipeline is inactive and the
+    trainers fall back to their serial parents' inline path, so manual
+    ``train_step`` driving (benchmark harnesses) keeps working.
+    """
+
+    def _init_pipeline(self, prefetch_depth: int) -> None:
+        if prefetch_depth < 1:
+            raise ValueError("prefetch_depth must be at least 1")
+        self.prefetch_depth = int(prefetch_depth)
+        self._pipeline_running = False
+        self._pipeline_noise_std: float | None = None
+        self._buffer: StagingBuffer | None = None
+        self._worker: NoisePrefetchWorker | None = None
+        self._staged: StagedNoise | None = None
+        #: ``worker_timer``: stage breakdown of work done on the worker
+        #: thread (dedup, history read/update, noise sampling, shard
+        #: routing).  Reset per fit() so stats stay per-run.
+        self._reset_prefetch_timers()
+
+    # -- session lifecycle -------------------------------------------------
+    def _make_lookahead(self, loader: DataLoader) -> LookaheadLoader:
+        """Hook from ``TrainerBase.fit``: deepen the input queue and hang
+        the prefetch worker off its ``on_load`` hook."""
+        self._start_pipeline(loader)
+        return LookaheadLoader(
+            loader, depth=self.prefetch_depth, on_load=self._worker.submit
+        )
+
+    def _reset_prefetch_timers(self) -> None:
+        """Fresh worker-side timers, so ``pipeline_stats`` stays per-fit
+        (the buffer/worker counters it reads are per-fit too)."""
+        self.worker_timer = StageTimer()
+
+    def _start_pipeline(self, loader: DataLoader) -> None:
+        self._shutdown_pipeline()
+        self._reset_prefetch_timers()
+        # The catch-up std is the per-iteration noise std at the expected
+        # (lot-size) batch — constant across iterations even under
+        # Poisson sampling, so the worker can draw ahead of time.
+        self._pipeline_noise_std = self.config.noise_std(loader.batch_size)
+        self._buffer = StagingBuffer(capacity=self.prefetch_depth)
+        self._worker = NoisePrefetchWorker(self._prefetch_noise, self._buffer)
+        self._staged = None
+        self._pipeline_running = True
+        self._worker.start()
+
+    def _finish_pipeline(self) -> None:
+        """Graceful end-of-training: join the worker so the histories are
+        quiescent before the terminal flush reads them."""
+        if self._pipeline_running:
+            self._worker.join(timeout=60.0)
+            self._pipeline_running = False
+
+    def _shutdown_pipeline(self) -> None:
+        """Force shutdown (error paths and restarts).  Idempotent."""
+        if self._worker is not None and self._worker.is_alive:
+            self._worker.close()
+        self._pipeline_running = False
+
+    def fit(self, loader: DataLoader):
+        try:
+            return super().fit(loader)
+        finally:
+            self._shutdown_pipeline()
+
+    def finalize(self, final_iteration: int) -> None:
+        self._finish_pipeline()
+        super().finalize(final_iteration)
+
+    def close(self) -> None:
+        self._shutdown_pipeline()
+        parent_close = getattr(super(), "close", None)
+        if parent_close is not None:
+            parent_close()
+
+    # -- trainer-thread consumption ---------------------------------------
+    def _staged_for(self, iteration: int, noise_std: float) -> StagedNoise:
+        """The staged entry for ``iteration`` (pops once per iteration;
+        the wait, if any, is the exposed noise time)."""
+        if self._staged is None or self._staged.iteration != iteration:
+            if noise_std != self._pipeline_noise_std:
+                raise RuntimeError(
+                    "noise std drifted from the prefetched value "
+                    f"({noise_std} != {self._pipeline_noise_std}); "
+                    "staged noise would be wrong"
+                )
+            with self.timer.time("pipeline_wait"):
+                self._staged = self._buffer.pop(iteration)
+        return self._staged
+
+    # -- reporting ---------------------------------------------------------
+    def pipeline_stats(self) -> dict:
+        """Hidden-vs-exposed accounting for the last ``fit`` run.
+
+        ``prefetch_busy_seconds`` is background compute; the share of it
+        the trainer did *not* wait for (``hidden_seconds``) ran behind
+        forward/backward and input gather.
+        """
+        busy = self._worker.busy_seconds if self._worker else 0.0
+        wait = self._buffer.wait_seconds if self._buffer else 0.0
+        hidden = max(busy - wait, 0.0)
+        return {
+            "prefetch_busy_seconds": busy,
+            "exposed_wait_seconds": wait,
+            "hidden_seconds": hidden,
+            "hidden_fraction": (hidden / busy) if busy > 0.0 else 0.0,
+            "producer_stall_seconds":
+                self._buffer.stall_seconds if self._buffer else 0.0,
+            "plans_computed":
+                self._worker.plans_computed if self._worker else 0,
+            "worker_stage_seconds": self.worker_timer.as_dict(),
+        }
+
+
+class PipelinedLazyDPTrainer(_PipelineHost, LazyDPTrainer):
+    """LazyDP with background noise prefetch (flat tables).
+
+    ``prefetch_depth`` sets both the input-queue lookahead and the
+    staging-buffer capacity: depth 1 overlaps the catch-up with the
+    *current* step's forward/backward; depth ≥ 2 (double buffering, the
+    default) adds a full iteration of runway.
+    """
+
+    name = "pipelined_lazydp"
+
+    def __init__(self, model, config, noise_seed: int = 1234,
+                 use_ans: bool = True, prefetch_depth: int = 2):
+        super().__init__(model, config, noise_seed=noise_seed,
+                         use_ans=use_ans)
+        self.name = "pipelined_lazydp" if use_ans else "pipelined_lazydp_no_ans"
+        self._init_pipeline(prefetch_depth)
+
+    # Runs on the worker thread.
+    def _prefetch_noise(self, iteration: int, batch) -> StagedNoise:
+        std = self._pipeline_noise_std
+        tables = []
+        for table_index, bag in enumerate(self.model.embeddings):
+            with self.worker_timer.time("lazydp_dedup"):
+                next_rows = batch.accessed_rows(table_index)
+            plan = self._plan_catchup(
+                table_index, next_rows, iteration, self.worker_timer
+            )
+            values = self._sample_catchup(
+                plan, bag.dim, std, self.worker_timer
+            )
+            tables.append((plan.rows, values))
+        return StagedNoise(iteration, tables)
+
+    def _apply_embedding_dense_noisy_update(self, table_index: int, bag,
+                                            sparse_grad, iteration: int,
+                                            noise_std: float) -> None:
+        if not self._pipeline_running:
+            # Manual stepping outside fit(): serial inline path.
+            return super()._apply_embedding_dense_noisy_update(
+                table_index, bag, sparse_grad, iteration, noise_std
+            )
+        self._last_noise_std = noise_std
+        if self._next_batch is None:
+            # Final iteration: nothing was prefetched; the terminal
+            # flush performs every remaining catch-up.
+            noise_rows = np.empty(0, dtype=np.int64)
+            noise_values = np.zeros((0, bag.dim), dtype=np.float64)
+        else:
+            staged = self._staged_for(iteration, noise_std)
+            noise_rows, noise_values = staged.tables[table_index]
+        self._apply_staged_noise(bag, sparse_grad, noise_rows, noise_values)
+
+
+class PipelinedShardedLazyDPTrainer(_PipelineHost, ShardedLazyDPTrainer):
+    """Sharded LazyDP with background per-shard noise prefetch.
+
+    The worker fans the plan+sample phase out per shard on its own
+    executor (same backend as the trainer's apply executor), so shard
+    prefetch for iteration ``i+1`` overlaps the trainer's dense-layer
+    and apply work for iteration ``i``.  Thread-safety rests on strict
+    state partitioning: the worker owns HistoryTables and ANS counters,
+    the trainer thread owns parameter slabs, and the partition plan and
+    router are immutable.
+    """
+
+    name = "pipelined_sharded_lazydp"
+
+    def __init__(self, model, config, noise_seed: int = 1234,
+                 use_ans: bool = True, num_shards: int = 2,
+                 partition: str = "row_range", executor="serial",
+                 plan=None, max_workers: int | None = None, skew=None,
+                 prefetch_depth: int = 2):
+        super().__init__(model, config, noise_seed=noise_seed,
+                         use_ans=use_ans, num_shards=num_shards,
+                         partition=partition, executor=executor, plan=plan,
+                         max_workers=max_workers, skew=skew)
+        self.name = ("pipelined_sharded_lazydp" if use_ans
+                     else "pipelined_sharded_lazydp_no_ans")
+        self._init_pipeline(prefetch_depth)
+        # The worker gets its own executor (same backend) so its shard
+        # fan-out never queues behind the trainer's apply tasks.  An
+        # executor *instance* is mirrored through its backend name;
+        # unknown custom backends fall back to serial prefetch.
+        if isinstance(executor, str):
+            spec = executor
+        else:
+            spec = (executor.name if executor.name in EXECUTOR_BACKENDS
+                    else "serial")
+            max_workers = max_workers or getattr(
+                executor, "max_workers", None
+            )
+        self.prefetch_executor = make_executor(
+            spec, self.plan.num_shards, max_workers
+        )
+
+    def _reset_prefetch_timers(self) -> None:
+        super()._reset_prefetch_timers()
+        #: Per-shard stage timers for work done on the worker thread
+        #: (kept apart from ``shard_timers`` — the apply side — so the
+        #: two threads never write the same StageTimer concurrently).
+        self.prefetch_shard_timers = [
+            StageTimer() for _ in range(self.plan.num_shards)
+        ]
+
+    # Runs on the worker thread.
+    def _prefetch_noise(self, iteration: int, batch) -> StagedNoise:
+        std = self._pipeline_noise_std
+        tables = []
+        for table_index, bag in enumerate(self.model.embeddings):
+            with self.worker_timer.time("lazydp_dedup"):
+                next_rows = batch.accessed_rows(table_index)
+            with self.worker_timer.time("shard_routing"):
+                routed = self.router.scatter(table_index, next_rows)
+            tasks = [
+                (lambda s=s: (
+                    routed.global_rows[s],
+                    self._shard_plan_and_sample(
+                        table_index, s, routed.global_rows[s],
+                        routed.local[s], iteration, bag.dim, std,
+                        self.prefetch_shard_timers[s],
+                    ),
+                ))
+                for s in range(self.num_shards)
+            ]
+            # Wall-clock of the per-shard fan-out; the history-vs-
+            # sampling split inside it lives in prefetch_shard_timers
+            # (surfaced via pipeline_stats), mirroring how the apply
+            # side reports shard_model_update vs shard_timers.
+            with self.worker_timer.time("shard_prefetch"):
+                tables.append(self.prefetch_executor.run(tasks))
+        return StagedNoise(iteration, tables)
+
+    def _apply_embedding_dense_noisy_update(self, table_index: int, bag,
+                                            sparse_grad, iteration: int,
+                                            noise_std: float) -> None:
+        if not self._pipeline_running:
+            return super()._apply_embedding_dense_noisy_update(
+                table_index, bag, sparse_grad, iteration, noise_std
+            )
+        self._last_noise_std = noise_std
+        lr = self.config.learning_rate
+
+        if self._next_batch is None:
+            per_shard_noise = [
+                (np.empty(0, dtype=np.int64),
+                 np.zeros((0, bag.dim), dtype=np.float64))
+                for _ in range(self.num_shards)
+            ]
+        else:
+            staged = self._staged_for(iteration, noise_std)
+            per_shard_noise = staged.tables[table_index]
+
+        with self.timer.time("shard_routing"):
+            routed_grad = self.router.scatter(table_index, sparse_grad.rows)
+            grad_values = [
+                sparse_grad.values[routed_grad.origin[s]]
+                for s in range(self.num_shards)
+            ]
+
+        tasks = [
+            (lambda s=s: self._shard_apply(
+                bag, s, per_shard_noise[s][0], per_shard_noise[s][1],
+                routed_grad.global_rows[s], grad_values[s], lr,
+                self.shard_timers[s],
+            ))
+            for s in range(self.num_shards)
+        ]
+        with self.timer.time("shard_model_update"):
+            self.executor.run(tasks)
+
+    def pipeline_stats(self) -> dict:
+        """Adds the per-shard stage split of the prefetch work (the
+        Figure-11-style dedup/history/sampling attribution), which the
+        wall-clock ``shard_prefetch`` entry in ``worker_stage_seconds``
+        deliberately lumps together."""
+        stats = super().pipeline_stats()
+        stats["prefetch_shard_stage_seconds"] = [
+            dict(timer.totals) for timer in self.prefetch_shard_timers
+        ]
+        return stats
+
+    def close(self) -> None:
+        super().close()                    # pipeline + apply executor
+        self.prefetch_executor.shutdown()

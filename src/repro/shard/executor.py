@@ -16,6 +16,13 @@ Determinism note: results are *bitwise independent of the schedule*
 because shards never share state — that is a property of the task
 decomposition, not of the executor, and the equivalence tests pin it for
 both backends.
+
+Executors are also safe to drive from threads other than the trainer's:
+the pipelined trainer (``repro.pipeline``) gives its noise-prefetch
+worker a *separate* executor instance of the same backend, so prefetch
+fan-out (plan + sample per shard) never queues behind the trainer's
+apply tasks, and neither instance needs locks because the task sets
+touch disjoint state (histories and ANS counters vs parameter slabs).
 """
 
 from __future__ import annotations

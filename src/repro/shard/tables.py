@@ -13,6 +13,18 @@ indexed by shard-local row ids, while also implementing the flat
 table's API (``delays`` / ``mark_updated`` / ``pending_rows`` /
 ``snapshot`` over global ids) so checkpointing and private-model export
 work on sharded trainers without change.
+
+Ownership invariants (what makes lock-free parallel and pipelined
+updates legal):
+
+* **Row ownership** — every global row belongs to exactly one shard
+  (:class:`repro.shard.plan.TablePartition` is a partition in the
+  mathematical sense), so per-row arithmetic happens exactly once, on
+  state only that shard's task touches.
+* **Noise keying** — noise is always drawn against *global* row ids;
+  shard-local ids exist only for compact history/slab addressing.  A
+  row's noise is therefore identical no matter which shard (or thread,
+  or pipeline stage) draws it.
 """
 
 from __future__ import annotations

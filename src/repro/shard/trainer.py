@@ -27,6 +27,17 @@ partition strategy, shard count and executor backend, because
 
 The equivalence tests verify this for 1/2/7 shards, fixed and Poisson
 sampling, ANS on/off, all partition strategies and both executors.
+
+The per-shard work is split into ``_shard_plan_and_sample`` (stages 2-4:
+history read/advance + noise draw, touching only shard-owned history
+and ANS state) and ``_shard_apply`` (stages 5-6: gradient merge + slab
+write, touching only shard-owned parameters).  The serial trainer runs
+both back-to-back per shard;
+:class:`repro.pipeline.trainer.PipelinedShardedLazyDPTrainer` moves the
+first half onto a background prefetch worker and hands the results
+across a staging buffer — legal because the two halves share no state
+beyond the immutable plan, so the split point is also a safe thread
+boundary.
 """
 
 from __future__ import annotations
@@ -202,13 +213,17 @@ class ShardedLazyDPTrainer(LazyDPTrainer):
                 )
 
     # -- the sharded lazy model update ------------------------------------
-    def _shard_update_task(self, table_index: int, bag: ShardedEmbeddingBag,
-                           shard: int, next_global: np.ndarray,
-                           next_local: np.ndarray, grad_rows: np.ndarray,
-                           grad_values: np.ndarray, iteration: int,
-                           noise_std: float, learning_rate: float) -> None:
-        """Stages 2-6 of Algorithm 1 for one shard of one table."""
-        timer = self.shard_timers[shard]
+    def _shard_plan_and_sample(self, table_index: int, shard: int,
+                               next_global: np.ndarray,
+                               next_local: np.ndarray, iteration: int,
+                               dim: int, noise_std: float,
+                               timer) -> np.ndarray:
+        """Stages 2-4 for one shard: history read/advance + noise draw.
+
+        Touches only shard-owned state (that shard's HistoryTable and
+        ANS counter), so it can run on any thread — the executor here,
+        or the pipelined trainer's prefetch worker — without locks.
+        """
         history = self.engine.histories[table_index]
         with timer.time("lazydp_history_read"):
             delays = history.shard_delays(shard, next_local, iteration)
@@ -217,16 +232,39 @@ class ShardedLazyDPTrainer(LazyDPTrainer):
         with timer.time("noise_sampling"):
             # Keyed by *global* row ids: the draw is bitwise the one the
             # flat trainer makes for the same row at the same iteration.
-            noise_values = self.engine.shard_ans[shard].catchup_noise(
+            return self.engine.shard_ans[shard].catchup_noise(
                 table_index, next_global, delays, iteration,
-                bag.dim, noise_std,
+                dim, noise_std,
             )
+
+    def _shard_apply(self, bag: ShardedEmbeddingBag, shard: int,
+                     noise_rows: np.ndarray, noise_values: np.ndarray,
+                     grad_rows: np.ndarray, grad_values: np.ndarray,
+                     learning_rate: float, timer) -> None:
+        """Stages 5-6 for one shard: merge with the gradient slice and
+        write through the shard's parameter slab."""
         with timer.time("noisy_grad_generation"):
             rows, values = merge_sparse_updates(
-                grad_rows, grad_values, next_global, noise_values,
+                grad_rows, grad_values, noise_rows, noise_values,
             )
         with timer.time("noisy_grad_update"):
             bag.slabs[shard].write_rows(rows, values, learning_rate)
+
+    def _shard_update_task(self, table_index: int, bag: ShardedEmbeddingBag,
+                           shard: int, next_global: np.ndarray,
+                           next_local: np.ndarray, grad_rows: np.ndarray,
+                           grad_values: np.ndarray, iteration: int,
+                           noise_std: float, learning_rate: float) -> None:
+        """Stages 2-6 of Algorithm 1 for one shard of one table."""
+        timer = self.shard_timers[shard]
+        noise_values = self._shard_plan_and_sample(
+            table_index, shard, next_global, next_local, iteration,
+            bag.dim, noise_std, timer,
+        )
+        self._shard_apply(
+            bag, shard, next_global, noise_values, grad_rows, grad_values,
+            learning_rate, timer,
+        )
 
     def _apply_embedding_dense_noisy_update(self, table_index: int, bag,
                                             sparse_grad, iteration: int,

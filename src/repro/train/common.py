@@ -15,6 +15,11 @@ output maps one-to-one onto Figures 3, 5, 10 and 11:
 * ``shard_routing`` / ``shard_model_update``
                              - sharded-engine index routing and the
                                (wall-clock) parallel per-shard update
+* ``pipeline_wait``          - time the pipelined trainer spent blocked
+                               on the noise-prefetch worker (the
+                               *exposed* part of catch-up noise cost;
+                               everything the worker finished early is
+                               hidden behind fwd/bwd and input gather)
 * ``else``                   - everything not attributed above
 """
 
@@ -43,6 +48,7 @@ MODEL_UPDATE_STAGES = (
     "lazydp_history_update",
     "shard_routing",
     "shard_model_update",
+    "pipeline_wait",
 )
 
 LAZYDP_OVERHEAD_STAGES = (
@@ -190,13 +196,20 @@ class TrainerBase:
     def finalize(self, final_iteration: int) -> None:
         """Hook run once after the last iteration (LazyDP flushes here)."""
 
+    def _make_lookahead(self, loader: DataLoader) -> LookaheadLoader:
+        """How ``fit`` wraps the loader.  The default is the paper's
+        one-batch lookahead; the pipelined trainer overrides this to
+        request a deeper queue and attach its noise-prefetch worker to
+        the ``on_load`` hook."""
+        return LookaheadLoader(loader)
+
     # -- main loop --------------------------------------------------------
     def fit(self, loader: DataLoader) -> TrainResult:
         start = time.perf_counter()
         self.expected_batch_size = loader.batch_size
         final_iteration = 0
         losses = []
-        for index, batch, next_batch in LookaheadLoader(loader):
+        for index, batch, next_batch in self._make_lookahead(loader):
             iteration = index + 1
             loss = self.train_step(iteration, batch, next_batch)
             losses.append(loss)

@@ -51,6 +51,47 @@ class TestTrainCommand:
         assert code == 2
         assert "lazydp" in capsys.readouterr().err
 
+    def test_pipelined_training(self, capsys):
+        code = main([
+            "train", "--algorithm", "lazydp", "--rows", "512",
+            "--batch", "32", "--iterations", "3",
+            "--pipeline", "--prefetch-depth", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "pipelined_lazydp" in out
+        assert "noise prefetch pipeline" in out
+        assert "hidden fraction" in out
+
+    def test_pipelined_sharded_training(self, capsys):
+        code = main([
+            "train", "--algorithm", "lazydp", "--rows", "512",
+            "--batch", "32", "--iterations", "3",
+            "--pipeline", "--num-shards", "2", "--executor", "threads",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "pipelined_sharded_lazydp" in out
+        assert "per-shard model update" in out
+        assert "noise prefetch pipeline" in out
+
+    def test_pipeline_requires_lazydp(self, capsys):
+        code = main([
+            "train", "--algorithm", "dpsgd_f", "--rows", "256",
+            "--batch", "16", "--iterations", "2", "--pipeline",
+        ])
+        assert code == 2
+        assert "lazydp" in capsys.readouterr().err
+
+    def test_rejects_bad_prefetch_depth(self, capsys):
+        code = main([
+            "train", "--algorithm", "lazydp", "--rows", "256",
+            "--batch", "16", "--iterations", "2",
+            "--pipeline", "--prefetch-depth", "0",
+        ])
+        assert code == 2
+        assert "prefetch_depth" in capsys.readouterr().err
+
     def test_rejects_unknown_algorithm(self):
         with pytest.raises(SystemExit):
             main(["train", "--algorithm", "adam"])

@@ -107,6 +107,32 @@ class TestInputQueue:
         with pytest.raises(ValueError):
             InputQueue(size=1)
 
+    def test_deep_queue_push_and_tail(self):
+        queue = InputQueue(size=4)
+        for item in ("a", "b", "c", "d"):
+            queue.push(item)
+        assert queue.head() == "a"
+        assert queue.tail() == "d"
+        with pytest.raises(RuntimeError):
+            queue.push("e")
+
+    def test_peek_offsets(self):
+        queue = InputQueue(size=3)
+        queue.push("a")
+        queue.push("b")
+        assert queue.peek(0) == "a"
+        assert queue.peek(1) == "b"
+        with pytest.raises(RuntimeError):
+            queue.peek(2)
+        with pytest.raises(ValueError):
+            queue.peek(-1)
+
+    def test_peek_none_sentinel(self):
+        queue = InputQueue(size=2)
+        queue.push("last")
+        queue.push(None)
+        assert queue.peek(1) is None
+
 
 class TestLookaheadLoader:
     def test_pairs_align_with_plain_iteration(self, dataset):
@@ -136,3 +162,78 @@ class TestLookaheadLoader:
         loader = DataLoader(dataset, 16, 5, seed=14)
         indices = [index for index, _, _ in LookaheadLoader(loader)]
         assert indices == [0, 1, 2, 3, 4]
+
+
+class TestLookaheadDepth:
+    """Depth-k lookahead: same yielded tuples, earlier batch loading."""
+
+    def test_rejects_bad_depth(self, dataset):
+        loader = DataLoader(dataset, 16, 3, seed=15)
+        with pytest.raises(ValueError):
+            LookaheadLoader(loader, depth=0)
+
+    @pytest.mark.parametrize("depth", [1, 2, 3])
+    def test_depth_does_not_change_yielded_batches(self, dataset, depth):
+        loader = DataLoader(dataset, 16, 5, seed=16)
+        baseline = list(LookaheadLoader(loader))
+        deep = list(LookaheadLoader(loader, depth=depth))
+        assert len(deep) == len(baseline) == 5
+        for (i_a, cur_a, up_a), (i_b, cur_b, up_b) in zip(baseline, deep):
+            assert i_a == i_b
+            np.testing.assert_array_equal(cur_a.sparse, cur_b.sparse)
+            if up_a is None:
+                assert up_b is None
+            else:
+                np.testing.assert_array_equal(up_a.sparse, up_b.sparse)
+
+    def test_depth_exceeding_num_batches(self, dataset):
+        """A queue deeper than the epoch still flushes every batch."""
+        loader = DataLoader(dataset, 16, 3, seed=17)
+        entries = list(LookaheadLoader(loader, depth=10))
+        assert len(entries) == 3
+        assert entries[-1][2] is None
+        assert all(entry[2] is not None for entry in entries[:-1])
+
+    def test_on_load_positions_and_sentinel(self, dataset):
+        """on_load sees every batch once, in order, then the sentinel."""
+        loader = DataLoader(dataset, 16, 4, seed=18)
+        events = []
+        lookahead = LookaheadLoader(
+            loader, depth=2,
+            on_load=lambda position, batch: events.append(
+                (position, batch is None)
+            ),
+        )
+        consumed = list(lookahead)
+        assert len(consumed) == 4
+        assert events == [(0, False), (1, False), (2, False), (3, False),
+                          (4, True)]
+
+    def test_on_load_runs_ahead_of_consumption(self, dataset):
+        """With depth k, batch j is loaded before iteration j-k yields —
+        the runway the noise-prefetch worker uses."""
+        depth = 3
+        loader = DataLoader(dataset, 16, 6, seed=19)
+        loaded = []
+        lookahead = LookaheadLoader(
+            loader, depth=depth,
+            on_load=lambda position, batch: loaded.append(position),
+        )
+        for index, _, _ in lookahead:
+            # Everything up to index + depth has been loaded already
+            # (clipped to the epoch, plus the final sentinel position).
+            expected = min(index + depth, 6)
+            assert max(loaded) >= expected
+
+    def test_single_batch_with_on_load(self, dataset):
+        loader = DataLoader(dataset, 16, 1, seed=20)
+        events = []
+        entries = list(LookaheadLoader(
+            loader, depth=2,
+            on_load=lambda position, batch: events.append(
+                (position, batch is None)
+            ),
+        ))
+        assert len(entries) == 1
+        assert entries[0][2] is None
+        assert events == [(0, False), (1, True)]

@@ -1,0 +1,100 @@
+#!/usr/bin/env python
+"""Check that internal markdown links in docs/ (and README.md) resolve.
+
+Walks every ``[text](target)`` link in the checked files, skips external
+targets (``http(s)://``, ``mailto:``), and verifies that relative
+targets — with any ``#anchor`` stripped — point at an existing file or
+directory relative to the file containing the link.  Anchors into other
+files are checked against that file's headings (GitHub-style slugs).
+
+Exit code 0 when every link resolves, 1 otherwise (used by the CI docs
+job).  No third-party dependencies.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+#: Files and directories whose markdown gets checked.
+CHECKED = ("README.md", "docs")
+
+#: [text](target) — ignores images' leading "!" (checked the same way)
+#: and stops at the first closing paren (no nested-paren targets here).
+LINK_PATTERN = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_PATTERN = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+
+
+def markdown_files() -> list:
+    files = []
+    for entry in CHECKED:
+        path = REPO_ROOT / entry
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.md")))
+        elif path.exists():
+            files.append(path)
+    return files
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug: lowercase, spaces to dashes, strip most
+    punctuation (close enough for the headings used in this repo)."""
+    heading = re.sub(r"[`*_]", "", heading.strip().lower())
+    heading = re.sub(r"[^\w\- ]", "", heading)
+    return heading.replace(" ", "-")
+
+
+def anchors_of(path: pathlib.Path) -> set:
+    text = path.read_text(encoding="utf-8")
+    return {github_slug(match) for match in HEADING_PATTERN.findall(text)}
+
+
+def check_file(path: pathlib.Path) -> list:
+    errors = []
+    text = path.read_text(encoding="utf-8")
+    for target in LINK_PATTERN.findall(text):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        base, _, anchor = target.partition("#")
+        if not base:
+            # Same-file anchor.
+            if anchor and github_slug(anchor) not in anchors_of(path):
+                errors.append(f"{path.relative_to(REPO_ROOT)}: "
+                              f"broken anchor #{anchor}")
+            continue
+        resolved = (path.parent / base).resolve()
+        if not resolved.exists():
+            errors.append(f"{path.relative_to(REPO_ROOT)}: "
+                          f"broken link {target}")
+            continue
+        if anchor and resolved.suffix == ".md":
+            if github_slug(anchor) not in anchors_of(resolved):
+                errors.append(f"{path.relative_to(REPO_ROOT)}: "
+                              f"broken anchor {target}")
+    return errors
+
+
+def main() -> int:
+    files = markdown_files()
+    if not files:
+        print("no markdown files found to check", file=sys.stderr)
+        return 1
+    errors = []
+    checked_links = 0
+    for path in files:
+        checked_links += len(LINK_PATTERN.findall(
+            path.read_text(encoding="utf-8")
+        ))
+        errors.extend(check_file(path))
+    for error in errors:
+        print(f"ERROR: {error}", file=sys.stderr)
+    print(f"checked {len(files)} files, {checked_links} links: "
+          f"{len(errors)} broken")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
