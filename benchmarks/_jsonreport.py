@@ -1,0 +1,186 @@
+"""Machine-readable benchmark reports and the regression gate.
+
+Every ``bench_*.py --smoke`` run writes a ``BENCH_<name>.json`` artifact
+into ``benchmarks/reports/`` via :func:`write_report` — a flat mapping
+of metric name to float, plus run metadata — so CI can upload the
+numbers and humans can diff them across runs.
+
+``benchmarks/reports/baseline.json`` (committed in-repo) pins the
+expected value of selected metrics.  :func:`check_against_baseline`
+fails a metric that regresses more than ``tolerance`` (default 25%)
+against its pinned value, in the pinned direction.  Baselined metrics
+are deliberately *relative* (speedup ratios, hidden fractions measured
+against a serial reference in the same process) rather than absolute
+wall-clock, so the gate tracks real engine regressions instead of the
+speed difference between a laptop and a CI runner.
+
+The smoke scripts call :func:`gate` as the last step of ``run_report``
+and propagate its exit code, so a regression (or an equivalence
+failure upstream of it) fails the CI step — nothing is
+print-and-return-0.
+
+Run ``python benchmarks/_jsonreport.py --verify`` to re-check every
+``BENCH_*.json`` currently on disk against the baseline (the CI
+``bench-regression`` job's final step, and the local way to prove the
+gate trips on an injected slowdown).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import platform
+import sys
+
+REPORTS_DIR = pathlib.Path(__file__).resolve().parent / "reports"
+BASELINE_PATH = REPORTS_DIR / "baseline.json"
+ARTIFACT_PREFIX = "BENCH_"
+DEFAULT_TOLERANCE = 0.25
+
+
+def artifact_path(name: str, directory: pathlib.Path | None = None) -> pathlib.Path:
+    return (directory or REPORTS_DIR) / f"{ARTIFACT_PREFIX}{name}.json"
+
+
+def write_report(
+    name: str,
+    metrics: dict,
+    meta: dict | None = None,
+    directory: pathlib.Path | None = None,
+) -> pathlib.Path:
+    """Persist one benchmark's metrics as ``BENCH_<name>.json``.
+
+    ``metrics`` must map metric names to numbers; ``meta`` (geometry,
+    iteration counts, ...) rides along for humans and is never gated.
+    """
+    bad = {
+        key: value
+        for key, value in metrics.items()
+        if not isinstance(value, (int, float)) or isinstance(value, bool)
+    }
+    if bad:
+        raise TypeError(f"metrics must be numeric, got {bad!r}")
+    payload = {
+        "benchmark": name,
+        "metrics": {key: float(value) for key, value in metrics.items()},
+        "meta": dict(meta or {}),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+    }
+    path = artifact_path(name, directory)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return path
+
+
+def load_baseline(path: pathlib.Path | None = None) -> dict:
+    """The committed baseline: ``{"tolerance": ..., "metrics": {...}}``.
+
+    Each baselined metric is ``"<benchmark>/<metric>": {"value": v,
+    "direction": "higher"|"lower"}`` — ``higher`` means larger is
+    better (throughput ratios), ``lower`` the opposite.
+    """
+    return json.loads((path or BASELINE_PATH).read_text(encoding="utf-8"))
+
+
+def check_against_baseline(
+    name: str, metrics: dict, baseline: dict | None = None
+) -> list:
+    """Regression failures for one benchmark's metrics (empty == pass).
+
+    Only metrics pinned in the baseline are gated; everything else is
+    informational.  A pinned metric missing from ``metrics`` is itself
+    a failure — a silently dropped measurement must not pass the gate.
+    """
+    baseline = baseline if baseline is not None else load_baseline()
+    tolerance = float(baseline.get("tolerance", DEFAULT_TOLERANCE))
+    failures = []
+    prefix = f"{name}/"
+    for key, spec in baseline.get("metrics", {}).items():
+        if not key.startswith(prefix):
+            continue
+        metric = key.removeprefix(prefix)
+        if metric not in metrics:
+            failures.append(f"{key}: metric missing from report")
+            continue
+        current = float(metrics[metric])
+        pinned = float(spec["value"])
+        direction = spec.get("direction", "higher")
+        if direction == "higher":
+            floor = pinned * (1.0 - tolerance)
+            if current < floor:
+                failures.append(
+                    f"{key}: {current:.4g} regressed below {floor:.4g} "
+                    f"(baseline {pinned:.4g}, tolerance {tolerance:.0%})"
+                )
+        elif direction == "lower":
+            ceiling = pinned * (1.0 + tolerance)
+            if current > ceiling:
+                failures.append(
+                    f"{key}: {current:.4g} regressed above {ceiling:.4g} "
+                    f"(baseline {pinned:.4g}, tolerance {tolerance:.0%})"
+                )
+        else:
+            failures.append(f"{key}: unknown direction {direction!r}")
+    return failures
+
+
+def gate(name: str, metrics: dict, meta: dict | None = None) -> int:
+    """Write the artifact, check the baseline, report; 0 == pass."""
+    path = write_report(name, metrics, meta)
+    print(f"\nwrote {path}")
+    try:
+        failures = check_against_baseline(name, metrics)
+    except FileNotFoundError:
+        print(
+            "no baseline.json committed; regression gate skipped", file=sys.stderr
+        )
+        return 0
+    for failure in failures:
+        print(f"REGRESSION: {failure}", file=sys.stderr)
+    if not failures:
+        gated = [
+            key
+            for key in load_baseline().get("metrics", {})
+            if key.startswith(f"{name}/")
+        ]
+        print(f"regression gate: {len(gated)} baselined metric(s) within tolerance")
+    return 1 if failures else 0
+
+
+def verify_artifacts(directory: pathlib.Path | None = None) -> int:
+    """Re-check every BENCH_*.json on disk against the baseline."""
+    directory = directory or REPORTS_DIR
+    artifacts = sorted(directory.glob(f"{ARTIFACT_PREFIX}*.json"))
+    if not artifacts:
+        print(f"no {ARTIFACT_PREFIX}*.json artifacts in {directory}", file=sys.stderr)
+        return 1
+    baseline = load_baseline()
+    status = 0
+    for path in artifacts:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        failures = check_against_baseline(
+            payload["benchmark"], payload["metrics"], baseline
+        )
+        verdict = "ok" if not failures else "REGRESSED"
+        print(f"{path.name}: {verdict}")
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        status = status or (1 if failures else 0)
+    return status
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--verify",
+        action="store_true",
+        help="re-check BENCH_*.json artifacts against baseline.json",
+    )
+    args = parser.parse_args()
+    if not args.verify:
+        parser.error("nothing to do (did you mean --verify?)")
+    raise SystemExit(verify_artifacts())

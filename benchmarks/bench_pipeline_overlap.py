@@ -73,10 +73,13 @@ def overlap_sweep(rows=4000, batch=64, iterations=6,
                   depths=PREFETCH_DEPTHS, num_shards=2):
     """Hidden-vs-exposed catch-up time across pipeline variants.
 
-    Returns ``(table_rows, max_diff, worst_hidden_fraction)``: one
-    report row per variant, the worst parameter difference against the
-    serial reference (must be exactly 0.0), and the smallest hidden
-    fraction observed (the acceptance criterion demands > 0).
+    Returns ``(table_rows, metrics, max_diff, worst_hidden_fraction)``:
+    one report row per variant, the gateable relative metrics (hidden
+    fractions, per-variant throughput against the serial trainer
+    measured in the same process), the worst parameter difference
+    against the serial reference (must be exactly 0.0), and the
+    smallest hidden fraction observed (the acceptance criterion
+    demands > 0).
     """
     config = configs.small_dlrm(rows=rows)
     serial_model, serial_trainer, serial_wall = _train(
@@ -92,6 +95,7 @@ def overlap_sweep(rows=4000, batch=64, iterations=6,
         "serial", "-", f"{serial_catchup * 1e3:.1f}", "-", "-", "-",
         f"{serial_wall:.2f}", "reference",
     ]]
+    metrics = {"serial_iterations_per_second": iterations / serial_wall}
     max_diff = 0.0
     worst_hidden = 1.0
     runs = [("pipelined", depth, None) for depth in depths]
@@ -111,6 +115,10 @@ def overlap_sweep(rows=4000, batch=64, iterations=6,
         worst_hidden = min(worst_hidden, stats["hidden_fraction"])
         label = (variant if shards is None
                  else f"{variant} ({shards} shards)")
+        metrics[f"hidden_fraction_{variant}_depth{depth}"] = \
+            stats["hidden_fraction"]
+        metrics[f"throughput_ratio_{variant}_depth{depth}"] = \
+            serial_wall / elapsed
         table_rows.append([
             label, depth,
             f"{stats['prefetch_busy_seconds'] * 1e3:.1f}",
@@ -120,7 +128,7 @@ def overlap_sweep(rows=4000, batch=64, iterations=6,
             f"{elapsed:.2f}",
             "exact" if diff == 0.0 else f"{diff:.2e}",
         ])
-    return table_rows, max_diff, worst_hidden
+    return table_rows, metrics, max_diff, worst_hidden
 
 
 HEADER = ["variant", "depth", "catch-up busy ms", "exposed wait ms",
@@ -137,19 +145,21 @@ def overlap_sweep_with_retry(retries: int = 2, **kwargs):
     distinguishes that scheduling artefact from a real pipeline bug
     (which would measure 0% every time).
     """
-    table_rows, max_diff, worst_hidden = overlap_sweep(**kwargs)
+    table_rows, metrics, max_diff, worst_hidden = overlap_sweep(**kwargs)
     for _ in range(retries):
         if max_diff != 0.0 or worst_hidden > 0.0:
             break
-        table_rows, max_diff, worst_hidden = overlap_sweep(**kwargs)
-    return table_rows, max_diff, worst_hidden
+        table_rows, metrics, max_diff, worst_hidden = overlap_sweep(**kwargs)
+    return table_rows, metrics, max_diff, worst_hidden
 
 
 def run_report(smoke: bool = False) -> int:
+    import _jsonreport
+
     depths = (1, 2) if smoke else PREFETCH_DEPTHS
     iterations = 4 if smoke else 6
     rows = 2000 if smoke else 4000
-    table_rows, max_diff, worst_hidden = overlap_sweep_with_retry(
+    table_rows, metrics, max_diff, worst_hidden = overlap_sweep_with_retry(
         rows=rows, iterations=iterations, depths=depths
     )
     print(format_table(
@@ -165,9 +175,13 @@ def run_report(smoke: bool = False) -> int:
         print("ERROR: no noise catch-up time was hidden behind gather",
               file=sys.stderr)
         return 1
-    print(f"\nequivalence: pipelined == serial (bitwise) for every row; "
+    print("\nequivalence: pipelined == serial (bitwise) for every row; "
           f"worst hidden fraction {worst_hidden:.0%}")
-    return 0
+    return _jsonreport.gate(
+        "pipeline_overlap", metrics,
+        meta={"rows": rows, "iterations": iterations,
+              "depths": list(depths), "smoke": smoke},
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -177,7 +191,7 @@ def run_report(smoke: bool = False) -> int:
 def test_pipeline_overlap_measured(benchmark):
     from conftest import emit_report
 
-    table_rows, max_diff, worst_hidden = benchmark.pedantic(
+    table_rows, _, max_diff, worst_hidden = benchmark.pedantic(
         overlap_sweep_with_retry,
         kwargs={"rows": 2000, "iterations": 4, "depths": (1, 2)},
         rounds=1, iterations=1,

@@ -61,19 +61,23 @@ def measured_sweep(rows=4000, batch=64, iterations=6,
                    shard_counts=SHARD_COUNTS, executors=EXECUTORS):
     """Per-shard model-update timing across shard counts and executors.
 
-    Returns (table_rows, max_diff): one report row per (executor,
-    num_shards) with per-shard update seconds, and the worst parameter
-    difference against the flat reference (must be exactly 0.0).
+    Returns (table_rows, metrics, max_diff): one report row per
+    (executor, num_shards) with per-shard update seconds, the gateable
+    relative metrics (per-variant throughput against the flat trainer
+    measured in the same process), and the worst parameter difference
+    against the flat reference (must be exactly 0.0).
     """
     config = configs.small_dlrm(rows=rows)
-    flat_model, flat_trainer, _ = _train(config, batch=batch,
-                                         iterations=iterations)
+    flat_model, flat_trainer, flat_elapsed = _train(
+        config, batch=batch, iterations=iterations
+    )
     reference = {
         name: param.data.copy()
         for name, param in flat_model.parameters().items()
     }
 
     table_rows = []
+    metrics = {"flat_iterations_per_second": iterations / flat_elapsed}
     max_diff = 0.0
     for executor in executors:
         for num_shards in shard_counts:
@@ -90,6 +94,8 @@ def measured_sweep(rows=4000, batch=64, iterations=6,
             update_wall = trainer.timer.total(
                 "shard_routing", "shard_model_update", "terminal_flush"
             )
+            metrics[f"throughput_ratio_{executor}_{num_shards}shards"] = \
+                flat_elapsed / elapsed
             table_rows.append([
                 executor, num_shards,
                 f"{update_wall * 1e3:.1f}",
@@ -97,7 +103,7 @@ def measured_sweep(rows=4000, batch=64, iterations=6,
                 f"{elapsed:.2f}",
                 "exact" if config_diff == 0.0 else f"{config_diff:.2e}",
             ])
-    return table_rows, max_diff
+    return table_rows, metrics, max_diff
 
 
 def model_sweep(batch=2048, shard_counts=(1, 2, 4, 8, 16)):
@@ -112,10 +118,12 @@ def model_sweep(batch=2048, shard_counts=(1, 2, 4, 8, 16)):
 
 
 def run_report(smoke: bool = False) -> int:
+    import _jsonreport
+
     shard_counts = (1, 2) if smoke else SHARD_COUNTS
     iterations = 3 if smoke else 6
     rows = 2000 if smoke else 4000
-    table_rows, max_diff = measured_sweep(
+    table_rows, metrics, max_diff = measured_sweep(
         rows=rows, iterations=iterations, shard_counts=shard_counts
     )
     print(format_table(
@@ -135,7 +143,11 @@ def run_report(smoke: bool = False) -> int:
               file=sys.stderr)
         return 1
     print("\nequivalence: sharded == flat (bitwise) for every row above")
-    return 0
+    return _jsonreport.gate(
+        "shard_scaling", metrics,
+        meta={"rows": rows, "iterations": iterations,
+              "shard_counts": list(shard_counts), "smoke": smoke},
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -145,7 +157,7 @@ def run_report(smoke: bool = False) -> int:
 def test_shard_scaling_measured(benchmark):
     from conftest import emit_report
 
-    table_rows, max_diff = benchmark.pedantic(
+    table_rows, _, max_diff = benchmark.pedantic(
         measured_sweep, kwargs={"rows": 2000, "iterations": 4},
         rounds=1, iterations=1,
     )

@@ -49,7 +49,7 @@ def run_audit(model, config, loader) -> str:
         accessed,
     )
     if result.leaks:
-        return (f"LEAKS access set "
+        return ("LEAKS access set "
                 f"({result.true_positives} rows exposed)")
     return "protected (every row perturbed)"
 
@@ -83,7 +83,7 @@ def main() -> None:
         ["algorithm", "ms/iter", "x SGD", "final loss", "epsilon",
          "final-model audit"],
         rows,
-        title=f"Private CTR training on a high-skew trace "
+        title="Private CTR training on a high-skew trace "
               f"({ROWS} rows/table, batch {BATCH})",
     ))
     print()

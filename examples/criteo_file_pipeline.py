@@ -95,7 +95,7 @@ def main() -> None:
         ~np.all(released[table0.name] == table0.data, axis=1)
     )
     print(f"released snapshot: {moved_in_release} rows of table 0 were "
-          f"caught up for release; live trainer still defers "
+          "caught up for release; live trainer still defers "
           f"{pending_live.size} rows (schedule untouched)")
 
     # -- 4. crash + resume ---------------------------------------------------

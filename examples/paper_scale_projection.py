@@ -65,10 +65,10 @@ def main() -> None:
     lazy = iteration_breakdown("lazydp", config, 2048)
     eager = iteration_breakdown("dpsgd_f", config, 2048)
     print(f"modelled speedup   : {eager.total / lazy.total:.0f}x "
-          f"(paper: 119x average)")
-    print(f"modelled energy win: "
+          "(paper: 119x average)")
+    print("modelled energy win: "
           f"{iteration_energy_joules(eager, hw) / iteration_energy_joules(lazy, hw):.0f}x "
-          f"(paper: 155x average)")
+          "(paper: 155x average)")
 
 
 if __name__ == "__main__":

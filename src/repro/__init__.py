@@ -26,12 +26,14 @@ Quickstart::
 """
 
 from . import configs
+from .async_ import AsyncLazyDPTrainer, AsyncShardedLazyDPTrainer
 from .configs import DLRMConfig
 from .data import Batch, DataLoader, SyntheticClickDataset
 from .lazydp import LazyDPTrainer, PrivateTrainingSession, make_private
 from .nn import DLRM
 from .pipeline import PipelinedLazyDPTrainer, PipelinedShardedLazyDPTrainer
 from .privacy import RDPAccountant
+from .serve import PrivateServingEngine
 from .shard import ShardedLazyDPTrainer
 from .train import (
     DPConfig,
@@ -55,6 +57,9 @@ __all__ = [
     "ShardedLazyDPTrainer",
     "PipelinedLazyDPTrainer",
     "PipelinedShardedLazyDPTrainer",
+    "AsyncLazyDPTrainer",
+    "AsyncShardedLazyDPTrainer",
+    "PrivateServingEngine",
     "PrivateTrainingSession",
     "make_private",
     "DLRM",

@@ -1,0 +1,36 @@
+"""Async training engine: multiple LazyDP iterations in flight.
+
+Builds the third stage of the plan → sample → apply decomposition into
+a fully asynchronous engine:
+
+* :mod:`policy <repro.async_.policy>` — :class:`StalenessPolicy`
+  (``strict`` = bitwise-serial reads, ``bounded:k`` = slab reads may
+  trail up to ``k`` outstanding applies).
+* :mod:`apply <repro.async_.apply>` — :class:`ApplyWorker`, the
+  bounded-depth FIFO apply thread whose completion watermark the
+  policy waits on.
+* :mod:`trainer <repro.async_.trainer>` — :class:`AsyncLazyDPTrainer`
+  and :class:`AsyncShardedLazyDPTrainer`, keeping up to
+  ``max_in_flight`` iteration applies outstanding while the per-row
+  :class:`VersionVector <repro.lazydp.ledger.VersionVector>` ledger
+  proves deferred noise is applied exactly once under any
+  interleaving.
+
+Configuration flows through :class:`repro.configs.AsyncConfig` and the
+CLI's ``--async`` / ``--max-in-flight`` / ``--staleness``;
+``benchmarks/bench_async_inflight.py`` measures throughput against
+in-flight depth.  The same exactly-once ledger powers query-time
+read-through catch-up in :mod:`repro.serve`.
+"""
+
+from .apply import ApplyWorker
+from .policy import STALENESS_MODES, StalenessPolicy
+from .trainer import AsyncLazyDPTrainer, AsyncShardedLazyDPTrainer
+
+__all__ = [
+    "ApplyWorker",
+    "STALENESS_MODES",
+    "StalenessPolicy",
+    "AsyncLazyDPTrainer",
+    "AsyncShardedLazyDPTrainer",
+]

@@ -1,0 +1,318 @@
+"""Async LazyDP trainers: up to ``max_in_flight`` iterations in flight.
+
+The pipelined trainers (``repro.pipeline``) moved the catch-up's
+plan + sample phases onto a background prefetch worker but still ran
+the *apply* phase — gradient merge and the sparse slab write — inline,
+so iteration ``t + 1`` could not start until iteration ``t`` had fully
+written.  The trainers here cut that last dependency: the apply phase
+is packaged per iteration and handed to a background
+:class:`ApplyWorker <repro.async_.apply.ApplyWorker>`, so the trainer
+thread proceeds to forward/backward of ``t + 1`` (and the prefetch
+worker to plan/sample of ``t + k``) while the apply of ``t`` is still
+writing.
+
+Three mechanisms keep this honest:
+
+* **In-flight cap.**  At most ``max_in_flight`` iteration applies may
+  be outstanding (queued or writing); the cap is the backpressure that
+  bounds how far the trainer runs ahead.
+* **Staleness policy** (:class:`StalenessPolicy
+  <repro.async_.policy.StalenessPolicy>`).  ``strict`` waits, before
+  each step, for every prior apply — forward passes never read a stale
+  slab and training is *bitwise-equal* to the serial ``LazyDPTrainer``
+  (``tests/test_async_equivalence.py`` pins this across sampling
+  schemes, ANS modes, shard counts and in-flight depths).
+  ``bounded:k`` waits only for applies through ``t - 1 - k``, trading
+  read freshness for throughput the way EANA-style systems do.
+* **Noise ledger** (:class:`VersionVector
+  <repro.lazydp.ledger.VersionVector>`).  Every apply advances a
+  per-row applied-through version and verifies the span it is applying
+  starts exactly where the row stands; after the terminal flush,
+  :meth:`audit_noise_ledger` proves every per-iteration noise value
+  was applied exactly once — the privacy bookkeeping stays exact even
+  when bounded staleness reorders reads around writes.
+
+Thread roles (three threads, disjoint state): the *prefetch worker*
+owns HistoryTables and ANS counters, the *apply worker* owns parameter
+slabs and the ledger, the *trainer thread* owns activations, dense
+parameters and the staging handoffs.  Dense (MLP) updates stay
+synchronous on the trainer thread — staleness applies to embedding
+slabs only.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..lazydp.ledger import VersionVector
+from ..pipeline.trainer import (
+    PipelinedLazyDPTrainer,
+    PipelinedShardedLazyDPTrainer,
+)
+from ..train.common import StageTimer
+from .apply import ApplyWorker
+from .policy import StalenessPolicy
+
+
+class _AsyncHost:
+    """Mixin owning the async apply session: worker + ledger + policy.
+
+    Subclasses provide ``_apply_iteration(iteration, payloads)`` (runs
+    on the apply worker thread) and record per-table payloads from
+    ``_apply_embedding_dense_noisy_update`` while a step is executing.
+    Outside ``fit`` the pipeline (and with it the apply worker) is
+    inactive and the trainers fall back to their pipelined parents'
+    inline path.
+    """
+
+    def _init_async(self, max_in_flight: int, staleness) -> None:
+        if max_in_flight < 1:
+            raise ValueError("max_in_flight must be at least 1")
+        self.max_in_flight = int(max_in_flight)
+        self.staleness = StalenessPolicy.parse(staleness)
+        #: One applied-through version vector per embedding table — the
+        #: deferred-noise ledger's exactness witness under reordering.
+        self.ledger = [
+            VersionVector(bag.num_rows) for bag in self.model.embeddings
+        ]
+        self._apply_worker: ApplyWorker | None = None
+        self._apply_running = False
+        self._last_submitted = 0
+        self._collected: list | None = None
+        #: Apply-thread stage breakdown (merge + slab write), kept apart
+        #: from ``self.timer`` so two threads never share a StageTimer.
+        self.apply_timer = StageTimer()
+
+    # -- session lifecycle -------------------------------------------------
+    def _start_pipeline(self, loader) -> None:
+        super()._start_pipeline(loader)
+        self._shutdown_apply()
+        self.apply_timer = StageTimer()
+        self._last_submitted = 0
+        self._apply_worker = ApplyWorker(self.max_in_flight)
+        self._apply_worker.start()
+        self._apply_running = True
+
+    def _shutdown_apply(self) -> None:
+        if self._apply_worker is not None and self._apply_worker.is_alive:
+            self._apply_worker.close()
+        self._apply_running = False
+
+    def _shutdown_pipeline(self) -> None:
+        super()._shutdown_pipeline()
+        self._shutdown_apply()
+
+    def _drain_applies(self) -> None:
+        """Wait for every submitted apply to land, then stop the worker
+        (re-raising any apply failure on the trainer thread)."""
+        if self._apply_running and self._apply_worker is not None:
+            self._apply_worker.drain(self._last_submitted)
+            self._apply_running = False
+
+    # -- the async step ----------------------------------------------------
+    def train_step(self, iteration: int, batch, next_batch) -> float:
+        if self._apply_running:
+            # The staleness policy's wait: strict -> all prior applies;
+            # bounded(k) -> allow the k most recent to still be in
+            # flight when forward reads the slabs.
+            horizon = iteration - 1 - self.staleness.allowed_lag
+            if horizon >= 1:
+                with self.timer.time("staleness_wait"):
+                    self._apply_worker.wait_for(horizon)
+            self._collected = []
+        loss = super().train_step(iteration, batch, next_batch)
+        if self._apply_running:
+            payloads, self._collected = self._collected, None
+            self._apply_worker.submit(
+                iteration,
+                lambda: self._apply_iteration(iteration, payloads),
+            )
+            self._last_submitted = iteration
+        return loss
+
+    def finalize(self, final_iteration: int) -> None:
+        # Quiesce in dependency order: the prefetch worker stops
+        # touching histories, then every in-flight apply lands, then the
+        # terminal flush may read histories and write slabs.
+        self._finish_pipeline()
+        self._drain_applies()
+        # The ledger mirrors applies made *through the worker*; outside
+        # an async session (manual stepping falls back to the inline
+        # path) there is nothing to reconcile and the vectors stay at
+        # their baseline.
+        flush_plans = []
+        if final_iteration > 0 and self._apply_worker is not None:
+            for table_index, _ in enumerate(self.model.embeddings):
+                history = self.engine.histories[table_index]
+                pending = history.pending_rows(final_iteration)
+                delays = (history.delays(pending, final_iteration)
+                          if pending.size else np.empty(0, dtype=np.int64))
+                flush_plans.append((table_index, pending, delays))
+        super().finalize(final_iteration)
+        # The flush caught those rows up; the ledger must agree.
+        for table_index, pending, delays in flush_plans:
+            self.ledger[table_index].advance(
+                pending, delays, final_iteration
+            )
+
+    # -- auditing and reporting --------------------------------------------
+    def audit_noise_ledger(self, final_iteration: int) -> None:
+        """Prove noise was applied exactly once per (row, iteration)
+        through ``final_iteration`` (raises ``LedgerError`` otherwise).
+
+        This is the bounded-staleness acceptance check: released
+        parameters legitimately differ from the serial schedule, but
+        the deferred-noise accounting may not.
+        """
+        for vector in self.ledger:
+            vector.audit_complete(final_iteration)
+
+    def async_stats(self) -> dict:
+        """Apply-side accounting for the last ``fit`` run."""
+        worker = self._apply_worker
+        return {
+            "max_in_flight": self.max_in_flight,
+            "staleness": self.staleness.describe(),
+            "applies_completed": worker.applies_completed if worker else 0,
+            "apply_busy_seconds": worker.busy_seconds if worker else 0.0,
+            "submit_stall_seconds":
+                worker.submit_stall_seconds if worker else 0.0,
+            "staleness_wait_seconds":
+                self.timer.totals.get("staleness_wait", 0.0),
+            "apply_stage_seconds": self.apply_timer.as_dict(),
+        }
+
+    def pipeline_stats(self) -> dict:
+        stats = super().pipeline_stats()
+        stats["async"] = self.async_stats()
+        return stats
+
+
+class AsyncLazyDPTrainer(_AsyncHost, PipelinedLazyDPTrainer):
+    """LazyDP with async in-flight iterations (flat tables).
+
+    ``prefetch_depth`` defaults to ``max(2, max_in_flight)`` so the
+    noise-prefetch runway never becomes the in-flight bottleneck.
+    """
+
+    name = "async_lazydp"
+
+    def __init__(self, model, config, noise_seed: int = 1234,
+                 use_ans: bool = True, max_in_flight: int = 2,
+                 staleness="strict", prefetch_depth: int | None = None):
+        super().__init__(
+            model, config, noise_seed=noise_seed, use_ans=use_ans,
+            prefetch_depth=prefetch_depth or max(2, max_in_flight),
+        )
+        self.name = "async_lazydp" if use_ans else "async_lazydp_no_ans"
+        self._init_async(max_in_flight, staleness)
+
+    def _apply_embedding_dense_noisy_update(self, table_index: int, bag,
+                                            sparse_grad, iteration: int,
+                                            noise_std: float) -> None:
+        if not self._apply_running:
+            # Manual stepping outside fit(): pipelined/serial fallback.
+            return super()._apply_embedding_dense_noisy_update(
+                table_index, bag, sparse_grad, iteration, noise_std
+            )
+        self._last_noise_std = noise_std
+        if self._next_batch is None:
+            rows = np.empty(0, dtype=np.int64)
+            delays = np.empty(0, dtype=np.int64)
+            values = np.zeros((0, bag.dim), dtype=np.float64)
+        else:
+            staged = self._staged_for(iteration, noise_std)
+            rows, delays, values = staged.tables[table_index]
+        self._collected.append(
+            (table_index, bag, sparse_grad, rows, delays, values)
+        )
+
+    # Runs on the apply worker thread.
+    def _apply_iteration(self, iteration: int, payloads: list) -> None:
+        for table_index, bag, sparse_grad, rows, delays, values in payloads:
+            self._apply_staged_noise(
+                bag, sparse_grad, rows, values, timer=self.apply_timer
+            )
+            # Advance only after the write landed: a failed write must
+            # leave the ledger behind so the audit reports the lost
+            # noise instead of vouching for it.
+            self.ledger[table_index].advance(rows, delays, iteration)
+
+
+class AsyncShardedLazyDPTrainer(_AsyncHost, PipelinedShardedLazyDPTrainer):
+    """Sharded LazyDP with async in-flight iterations.
+
+    The apply worker routes the gradient and fans the per-shard apply
+    out on the trainer's shard executor; during a ``fit`` the worker is
+    that executor's only client (the trainer thread no longer applies
+    inline, and the terminal flush runs only after the worker drained),
+    so slab ownership stays single-writer.
+    """
+
+    name = "async_sharded_lazydp"
+
+    def __init__(self, model, config, noise_seed: int = 1234,
+                 use_ans: bool = True, num_shards: int = 2,
+                 partition: str = "row_range", executor="serial",
+                 plan=None, max_workers: int | None = None, skew=None,
+                 max_in_flight: int = 2, staleness="strict",
+                 prefetch_depth: int | None = None):
+        super().__init__(
+            model, config, noise_seed=noise_seed, use_ans=use_ans,
+            num_shards=num_shards, partition=partition, executor=executor,
+            plan=plan, max_workers=max_workers, skew=skew,
+            prefetch_depth=prefetch_depth or max(2, max_in_flight),
+        )
+        self.name = ("async_sharded_lazydp" if use_ans
+                     else "async_sharded_lazydp_no_ans")
+        self._init_async(max_in_flight, staleness)
+
+    def _apply_embedding_dense_noisy_update(self, table_index: int, bag,
+                                            sparse_grad, iteration: int,
+                                            noise_std: float) -> None:
+        if not self._apply_running:
+            return super()._apply_embedding_dense_noisy_update(
+                table_index, bag, sparse_grad, iteration, noise_std
+            )
+        self._last_noise_std = noise_std
+        if self._next_batch is None:
+            per_shard = [
+                (np.empty(0, dtype=np.int64),
+                 np.empty(0, dtype=np.int64),
+                 np.zeros((0, bag.dim), dtype=np.float64))
+                for _ in range(self.num_shards)
+            ]
+        else:
+            staged = self._staged_for(iteration, noise_std)
+            per_shard = staged.tables[table_index]
+        self._collected.append((table_index, bag, sparse_grad, per_shard))
+
+    # Runs on the apply worker thread.
+    def _apply_iteration(self, iteration: int, payloads: list) -> None:
+        lr = self.config.learning_rate
+        for table_index, bag, sparse_grad, per_shard in payloads:
+            with self.apply_timer.time("shard_routing"):
+                routed_grad = self.router.scatter(
+                    table_index, sparse_grad.rows
+                )
+                grad_values = [
+                    sparse_grad.values[routed_grad.origin[s]]
+                    for s in range(self.num_shards)
+                ]
+            tasks = [
+                (lambda s=s: self._shard_apply(
+                    bag, s, per_shard[s][0], per_shard[s][2],
+                    routed_grad.global_rows[s], grad_values[s], lr,
+                    self.shard_timers[s],
+                ))
+                for s in range(self.num_shards)
+            ]
+            with self.apply_timer.time("shard_model_update"):
+                self.executor.run(tasks)
+            # Advance only after every shard's write landed; a partial
+            # failure leaves the ledger behind (the safe direction —
+            # the audit then reports rows still owing noise).
+            for s in range(self.num_shards):
+                self.ledger[table_index].advance(
+                    per_shard[s][0], per_shard[s][1], iteration
+                )

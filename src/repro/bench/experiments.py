@@ -18,7 +18,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
 
 from .. import configs
 from ..data import DataLoader, SkewSpec, SyntheticClickDataset, paper_skew_spec
@@ -41,7 +40,7 @@ from ..train import (
     SGDTrainer,
 )
 from . import paper_data
-from .reporting import comparison_table, format_table, geometric_mean
+from .reporting import comparison_table, geometric_mean
 
 TRAINER_CLASSES = {
     "sgd": SGDTrainer,
@@ -61,7 +60,10 @@ def make_trainer(algorithm: str, model: DLRM, dp: DPConfig,
     (``num_shards``, ``partition``, ``executor``, ``plan``, ...); the
     ``pipelined_*`` algorithms additionally accept ``prefetch_depth``
     (:class:`repro.pipeline.PipelinedLazyDPTrainer` /
-    :class:`repro.pipeline.PipelinedShardedLazyDPTrainer`).
+    :class:`repro.pipeline.PipelinedShardedLazyDPTrainer`); the
+    ``async_*`` algorithms accept ``max_in_flight`` and ``staleness``
+    on top of that (:class:`repro.async_.AsyncLazyDPTrainer` /
+    :class:`repro.async_.AsyncShardedLazyDPTrainer`).
     """
     if algorithm == "lazydp":
         return LazyDPTrainer(model, dp, noise_seed=noise_seed, use_ans=True)
@@ -88,6 +90,21 @@ def make_trainer(algorithm: str, model: DLRM, dp: DPConfig,
         return PipelinedShardedLazyDPTrainer(
             model, dp, noise_seed=noise_seed,
             use_ans=(algorithm == "pipelined_sharded_lazydp"),
+            **trainer_kwargs,
+        )
+    if algorithm in ("async_lazydp", "async_lazydp_no_ans"):
+        from ..async_ import AsyncLazyDPTrainer
+
+        return AsyncLazyDPTrainer(
+            model, dp, noise_seed=noise_seed,
+            use_ans=(algorithm == "async_lazydp"), **trainer_kwargs,
+        )
+    if algorithm in ("async_sharded_lazydp", "async_sharded_lazydp_no_ans"):
+        from ..async_ import AsyncShardedLazyDPTrainer
+
+        return AsyncShardedLazyDPTrainer(
+            model, dp, noise_seed=noise_seed,
+            use_ans=(algorithm == "async_sharded_lazydp"),
             **trainer_kwargs,
         )
     if algorithm in TRAINER_CLASSES:
@@ -275,9 +292,9 @@ def figure10(hw=None) -> FigureResult:
         label_name="batch",
         extras={"lazydp_speedups": speedups,
                 "avg_speedup": geometric_mean(speedups)},
-        notes=f"LazyDP speedup over DP-SGD(F): "
+        notes="LazyDP speedup over DP-SGD(F): "
               f"{min(speedups):.0f}-{max(speedups):.0f}x "
-              f"(paper: 85-155x, avg 119x).",
+              "(paper: 85-155x, avg 119x).",
     )
 
 
@@ -355,7 +372,7 @@ def figure12(hw=None) -> FigureResult:
         label_name="batch",
         extras={"avg_energy_saving": geometric_mean(savings)},
         notes=f"avg energy saving {geometric_mean(savings):.0f}x "
-              f"(paper: 155x).",
+              "(paper: 155x).",
     )
 
 

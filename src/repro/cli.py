@@ -21,7 +21,7 @@ import sys
 import numpy as np
 
 from . import configs
-from .bench.experiments import ALL_FIGURES, make_trainer, measured_series
+from .bench.experiments import ALL_FIGURES, make_trainer
 from .bench.report import build_report
 from .bench.reporting import format_table
 from .data import DataLoader, SyntheticClickDataset, paper_skew_spec
@@ -66,9 +66,28 @@ def _add_train_parser(subparsers) -> None:
     pipeline.add_argument("--pipeline", action="store_true",
                           help="precompute catch-up noise on a background "
                                "worker instead of the critical path")
-    pipeline.add_argument("--prefetch-depth", type=int, default=2,
+    pipeline.add_argument("--prefetch-depth", type=int, default=None,
                           help="input-queue lookahead / staging-buffer "
-                               "depth (default: 2, double buffering)")
+                               "depth (default: 2, double buffering; "
+                               "with --async: max(2, --max-in-flight) "
+                               "so the noise runway never becomes the "
+                               "in-flight bottleneck)")
+    async_group = parser.add_argument_group(
+        "async", "multi-in-flight apply engine (lazydp algorithms only; "
+                 "implies --pipeline)"
+    )
+    async_group.add_argument("--async", dest="use_async",
+                             action="store_true",
+                             help="apply model updates on a background "
+                                  "worker with up to --max-in-flight "
+                                  "iterations outstanding")
+    async_group.add_argument("--max-in-flight", type=int, default=2,
+                             help="cap on outstanding iteration applies "
+                                  "(default: 2)")
+    async_group.add_argument("--staleness", default="strict",
+                             help="read schedule: 'strict' (bitwise-serial) "
+                                  "or 'bounded[:k]' (reads may trail up to "
+                                  "k applies; default k=1)")
 
 
 def _run_train(args) -> int:
@@ -91,28 +110,46 @@ def _run_train(args) -> int:
             executor=args.executor, max_workers=args.max_workers,
         )
         pipeline_config = configs.PipelineConfig(
-            enabled=args.pipeline, prefetch_depth=args.prefetch_depth,
+            enabled=args.pipeline or args.use_async,
+            prefetch_depth=(2 if args.prefetch_depth is None
+                            else args.prefetch_depth),
+        )
+        async_config = configs.AsyncConfig(
+            enabled=args.use_async, max_in_flight=args.max_in_flight,
+            staleness=args.staleness,
         )
     except ValueError as error:
         print(f"invalid engine options: {error}", file=sys.stderr)
         return 2
-    if shard_config.is_sharded or pipeline_config.enabled:
+    engine_selected = (shard_config.is_sharded or pipeline_config.enabled
+                       or async_config.enabled)
+    if engine_selected:
         if args.algorithm not in ("lazydp", "lazydp_no_ans"):
-            print("--num-shards > 1 / --pipeline require a lazydp algorithm",
-                  file=sys.stderr)
+            print("--num-shards > 1 / --pipeline / --async require a "
+                  "lazydp algorithm", file=sys.stderr)
             return 2
         suffix = "" if args.algorithm == "lazydp" else "_no_ans"
         trainer_kwargs = {}
         if shard_config.is_sharded:
-            algorithm = ("pipelined_sharded_lazydp"
-                         if pipeline_config.enabled else "sharded_lazydp")
+            if async_config.enabled:
+                algorithm = "async_sharded_lazydp"
+            elif pipeline_config.enabled:
+                algorithm = "pipelined_sharded_lazydp"
+            else:
+                algorithm = "sharded_lazydp"
             # The trace skew also feeds the frequency partitioner, so a
             # skewed run gets mass-balanced shards, not equal-row cuts.
             trainer_kwargs.update(shard_config.trainer_kwargs(), skew=skew)
         else:
-            algorithm = "pipelined_lazydp"
+            algorithm = ("async_lazydp" if async_config.enabled
+                         else "pipelined_lazydp")
         if pipeline_config.enabled:
-            trainer_kwargs.update(pipeline_config.trainer_kwargs())
+            # With --async and no explicit --prefetch-depth, let the
+            # trainer's own default apply: max(2, max_in_flight).
+            if not (async_config.enabled and args.prefetch_depth is None):
+                trainer_kwargs.update(pipeline_config.trainer_kwargs())
+        if async_config.enabled:
+            trainer_kwargs.update(async_config.trainer_kwargs())
         trainer = make_trainer(algorithm + suffix, model, dp,
                                noise_seed=args.seed + 3, **trainer_kwargs)
     else:
@@ -157,10 +194,28 @@ def _run_train(args) -> int:
                 ["hidden fraction", f"{stats['hidden_fraction']:.1%}"],
                 ["plans computed", stats["plans_computed"]],
             ],
-            title=f"noise prefetch pipeline (depth "
-                  f"{pipeline_config.prefetch_depth})",
+            title="noise prefetch pipeline (depth "
+                  f"{trainer.prefetch_depth})",
         ))
-    if shard_config.is_sharded or pipeline_config.enabled:
+    if async_config.enabled:
+        stats = trainer.async_stats()
+        trainer.audit_noise_ledger(result.iterations)
+        print(format_table(
+            ["metric", "value"],
+            [
+                ["staleness policy", stats["staleness"]],
+                ["applies completed", stats["applies_completed"]],
+                ["apply busy (s)", f"{stats['apply_busy_seconds']:.4f}"],
+                ["submit stall (s)",
+                 f"{stats['submit_stall_seconds']:.4f}"],
+                ["staleness wait (s)",
+                 f"{stats['staleness_wait_seconds']:.4f}"],
+                ["noise ledger", "exact (applied once per row)"],
+            ],
+            title="async apply engine (max in flight "
+                  f"{async_config.max_in_flight})",
+        ))
+    if engine_selected:
         trainer.close()
     return 0
 

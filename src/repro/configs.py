@@ -16,9 +16,8 @@ access indices drawn uniformly.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
-import numpy as np
 
 FP32_BYTES = 4
 
@@ -190,6 +189,57 @@ class PipelineConfig:
     def trainer_kwargs(self) -> dict:
         """Keyword arguments for the pipelined trainers."""
         return {"prefetch_depth": self.prefetch_depth}
+
+
+#: Gradient-staleness modes understood by ``repro.async_`` (kept here so
+#: config validation does not import the async package).
+ASYNC_STALENESS_MODES = ("strict", "bounded")
+
+
+@dataclass(frozen=True)
+class AsyncConfig:
+    """How the training engine runs iterations in flight (``repro.async_``).
+
+    ``enabled = False`` is the synchronous configuration (the apply
+    phase runs inline on the trainer thread).  When enabled, up to
+    ``max_in_flight`` iteration applies may be outstanding on the
+    background apply worker while the trainer proceeds; ``staleness``
+    selects the read schedule (``"strict"`` = bitwise-serial,
+    ``"bounded"`` / ``"bounded:<k>"`` = slab reads may trail up to
+    ``k`` applies).
+    """
+
+    enabled: bool = False
+    max_in_flight: int = 2
+    staleness: str = "strict"
+
+    def __post_init__(self):
+        if self.max_in_flight < 1:
+            raise ValueError("max_in_flight must be at least 1")
+        mode, _, bound = str(self.staleness).partition(":")
+        if mode not in ASYNC_STALENESS_MODES:
+            raise ValueError(
+                f"unknown staleness mode: {mode!r} "
+                f"(choose from {ASYNC_STALENESS_MODES})"
+            )
+        if bound:
+            try:
+                parsed = int(bound)
+            except ValueError:
+                raise ValueError(
+                    f"staleness bound must be an integer, got {bound!r}"
+                ) from None
+            if parsed < 0:
+                raise ValueError("staleness bound must be non-negative")
+            if mode == "strict":
+                raise ValueError("strict staleness admits no bound")
+
+    def trainer_kwargs(self) -> dict:
+        """Keyword arguments for the async trainers."""
+        return {
+            "max_in_flight": self.max_in_flight,
+            "staleness": self.staleness,
+        }
 
 
 def rows_for_model_bytes(model_bytes: int, num_tables: int = PAPER_NUM_TABLES,

@@ -4,6 +4,7 @@ from .ans import ANSEngine
 from .api import PrivateTrainingSession, make_private
 from .checkpoint import export_private_model, load_checkpoint, save_checkpoint
 from .history import HistoryTable, NaiveCounterHistory
+from .ledger import LedgerError, VersionVector
 from .optimizer import LazyNoiseEngine
 from .trainer import LazyDPTrainer
 
@@ -16,6 +17,8 @@ __all__ = [
     "save_checkpoint",
     "HistoryTable",
     "NaiveCounterHistory",
+    "LedgerError",
+    "VersionVector",
     "LazyNoiseEngine",
     "LazyDPTrainer",
 ]

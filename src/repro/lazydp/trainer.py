@@ -85,16 +85,22 @@ class LazyDPTrainer(DPSGDFTrainer):
             return self.engine.ans.sample(plan, dim, noise_std)
 
     def _apply_staged_noise(self, bag, sparse_grad, noise_rows,
-                            noise_values) -> None:
+                            noise_values, timer=None) -> None:
         """Apply phase (stages 5-6): merge with the clipped gradient and
-        perform the one sparse write.  Always on the trainer thread."""
+        perform the one sparse write.
+
+        ``timer`` defaults to the trainer-thread StageTimer; the async
+        trainer passes its apply-thread timer instead so the two threads
+        never write the same StageTimer concurrently.
+        """
+        timer = timer or self.timer
         lr = self.config.learning_rate
-        with self.timer.time("noisy_grad_generation"):
+        with timer.time("noisy_grad_generation"):
             rows, values = merge_sparse_updates(
                 sparse_grad.rows, sparse_grad.values,
                 noise_rows, noise_values,
             )
-        with self.timer.time("noisy_grad_update"):
+        with timer.time("noisy_grad_update"):
             bag.table.data[rows] -= lr * values
 
     # Override the dense noisy embedding update with the lazy sparse one.

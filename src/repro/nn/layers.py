@@ -22,7 +22,7 @@ from __future__ import annotations
 import numpy as np
 
 from .functional import relu, relu_grad
-from .parameter import Parameter, PerExamplePairs, SparseRowGrad
+from .parameter import Parameter, PerExamplePairs
 
 
 class Linear:

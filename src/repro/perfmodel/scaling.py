@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
-from ..configs import DLRMConfig, mlperf_dlrm
+from ..configs import mlperf_dlrm
 from .hardware import HardwareSpec, paper_system
 from .timeline import end_to_end_seconds, iteration_breakdown
 

@@ -43,8 +43,11 @@ class StagedNoise:
     """Precomputed catch-up noise for one iteration, covering all tables.
 
     ``tables[t]`` is the payload for embedding table ``t``: the flat
-    trainer stages one ``(rows, values)`` pair per table; the sharded
-    trainer stages a list of per-shard ``(global_rows, values)`` pairs.
+    trainer stages one ``(rows, delays, values)`` triple per table; the
+    sharded trainer stages a list of per-shard ``(global_rows, delays,
+    values)`` triples.  The delays ride along so a deferred apply stage
+    (the async trainer) can advance the per-row noise ledger
+    (:class:`repro.lazydp.ledger.VersionVector`) when the noise lands.
     """
 
     iteration: int

@@ -198,7 +198,9 @@ class PipelinedLazyDPTrainer(_PipelineHost, LazyDPTrainer):
             values = self._sample_catchup(
                 plan, bag.dim, std, self.worker_timer
             )
-            tables.append((plan.rows, values))
+            # Delays travel with the noise so deferred consumers (the
+            # async trainer's apply stage) can advance the noise ledger.
+            tables.append((plan.rows, plan.delays, values))
         return StagedNoise(iteration, tables)
 
     def _apply_embedding_dense_noisy_update(self, table_index: int, bag,
@@ -217,7 +219,7 @@ class PipelinedLazyDPTrainer(_PipelineHost, LazyDPTrainer):
             noise_values = np.zeros((0, bag.dim), dtype=np.float64)
         else:
             staged = self._staged_for(iteration, noise_std)
-            noise_rows, noise_values = staged.tables[table_index]
+            noise_rows, _, noise_values = staged.tables[table_index]
         self._apply_staged_noise(bag, sparse_grad, noise_rows, noise_values)
 
 
@@ -282,14 +284,12 @@ class PipelinedShardedLazyDPTrainer(_PipelineHost, ShardedLazyDPTrainer):
             with self.worker_timer.time("shard_routing"):
                 routed = self.router.scatter(table_index, next_rows)
             tasks = [
-                (lambda s=s: (
-                    routed.global_rows[s],
-                    self._shard_plan_and_sample(
-                        table_index, s, routed.global_rows[s],
-                        routed.local[s], iteration, bag.dim, std,
-                        self.prefetch_shard_timers[s],
-                    ),
-                ))
+                (lambda s=s: (routed.global_rows[s],)
+                 + self._shard_plan_and_sample(
+                     table_index, s, routed.global_rows[s],
+                     routed.local[s], iteration, bag.dim, std,
+                     self.prefetch_shard_timers[s],
+                 ))
                 for s in range(self.num_shards)
             ]
             # Wall-clock of the per-shard fan-out; the history-vs-
@@ -313,6 +313,7 @@ class PipelinedShardedLazyDPTrainer(_PipelineHost, ShardedLazyDPTrainer):
         if self._next_batch is None:
             per_shard_noise = [
                 (np.empty(0, dtype=np.int64),
+                 np.empty(0, dtype=np.int64),
                  np.zeros((0, bag.dim), dtype=np.float64))
                 for _ in range(self.num_shards)
             ]
@@ -329,7 +330,7 @@ class PipelinedShardedLazyDPTrainer(_PipelineHost, ShardedLazyDPTrainer):
 
         tasks = [
             (lambda s=s: self._shard_apply(
-                bag, s, per_shard_noise[s][0], per_shard_noise[s][1],
+                bag, s, per_shard_noise[s][0], per_shard_noise[s][2],
                 routed_grad.global_rows[s], grad_values[s], lr,
                 self.shard_timers[s],
             ))

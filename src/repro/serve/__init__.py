@@ -1,0 +1,14 @@
+"""Private serving: query-time read-through catch-up of deferred noise.
+
+:class:`PrivateServingEngine` wraps a live (or checkpointed) LazyDP
+model and serves *privatized* embeddings without the stop-the-world
+flush of :func:`repro.lazydp.export_private_model`: the first lookup
+of a row applies that row's pending deferred noise (the identical
+keyed draw the flush would make), memoizes it, and every release —
+single row, mini-batch, or the full :meth:`PrivateServingEngine.
+export` — is incremental from there.
+"""
+
+from .engine import PrivateServingEngine
+
+__all__ = ["PrivateServingEngine"]

@@ -1,0 +1,297 @@
+"""The private serving engine: query-time read-through noise catch-up.
+
+Between iterations a LazyDP model is *behind* on noise by design, so
+serving an embedding straight out of the live table would leak which
+rows were recently accessed (paper Section 3's threat model).  The
+existing release path — :func:`repro.lazydp.export_private_model` —
+fixes that with a stop-the-world flush: every pending row of every
+table is caught up before anything is served.
+
+:class:`PrivateServingEngine` makes the release *incremental* by
+exploiting the same deferred-noise ledger one more time: a lookup of
+row ``r`` first applies ``r``'s pending deferred noise (the exact
+catch-up draw the flush would have made — noise bits are keyed by
+``(seed, table, row, iteration)``, so when they are drawn cannot
+change them), memoizes the privatized embedding, and serves it.  Rows
+nobody queries are never caught up; rows queried twice are caught up
+once.  :meth:`export` finishes the job for whatever was not queried
+and returns, row for row, the same arrays ``export_private_model``
+would have produced — the equivalence ``tests/test_serve.py`` pins.
+
+The engine snapshots the HistoryTables (cheap: 4 bytes/row) at
+construction, so the *decision* which noise is pending is frozen at
+``iteration`` even if the snapshot outlives the training run.  Table
+parameters are referenced in place by default (zero-copy — correct for
+a finished or paused trainer and for checkpoints); pass
+``snapshot=True`` to copy them when training resumes concurrently.
+
+Lookups are thread-safe (a single lock guards the memo), sized for the
+serving pattern of many small reads.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from ..lazydp.ans import ANSEngine
+
+
+class PrivateServingEngine:
+    """Serve privatized embeddings with read-through noise catch-up."""
+
+    def __init__(self, parameters: dict, embedding_names: list,
+                 history_snapshots: list, noise_stream, iteration: int,
+                 learning_rate: float, noise_std: float,
+                 use_ans: bool = True, snapshot: bool = False):
+        """Wrap raw model state for serving.
+
+        Parameters
+        ----------
+        parameters:
+            ``name -> array`` of every model parameter (live references
+            or copies; see ``snapshot``).
+        embedding_names:
+            Parameter names of the embedding tables, in table-index
+            order (the order noise keying uses).
+        history_snapshots:
+            One int32 last-noise-updated array per table, as returned
+            by ``HistoryTable.snapshot()``; copied internally.
+        iteration:
+            The iteration the served model stands at; pending noise is
+            everything between a row's history entry and here.
+        """
+        if iteration < 0:
+            raise ValueError("iteration must be non-negative")
+        if len(embedding_names) != len(history_snapshots):
+            raise ValueError(
+                "need exactly one history snapshot per embedding table"
+            )
+        self.iteration = int(iteration)
+        self.learning_rate = float(learning_rate)
+        self.noise_std = float(noise_std)
+        self.ans = ANSEngine(noise_stream, enabled=use_ans)
+        self.embedding_names = list(embedding_names)
+        self._dense = {
+            name: np.array(data, copy=True)
+            for name, data in parameters.items()
+            if name not in self.embedding_names
+        }
+        self._tables = []
+        for name, snap in zip(self.embedding_names, history_snapshots):
+            data = parameters[name]
+            if snapshot:
+                data = np.array(data, copy=True)
+            snap = np.asarray(snap, dtype=np.int64)
+            if snap.shape[0] != data.shape[0]:
+                raise ValueError(
+                    f"history snapshot for {name} covers {snap.shape[0]} "
+                    f"rows, table has {data.shape[0]}"
+                )
+            if np.any(snap > self.iteration):
+                raise ValueError(
+                    f"history for {name} is ahead of iteration "
+                    f"{self.iteration}; cannot serve the past"
+                )
+            self._tables.append(data)
+            # Per-table memo: privatized rows materialised so far.
+            # ``_caught_up`` marks them; ``_served`` holds the values.
+        self._history = [
+            np.asarray(snap, dtype=np.int64).copy()
+            for snap in history_snapshots
+        ]
+        # The served memo is allocated per table on first touch, so an
+        # engine wrapped around a many-table model and queried on a few
+        # tables never pays a dense copy for the rest.
+        self._served: list = [None] * len(self._tables)
+        self._caught_up = [
+            np.zeros(table.shape[0], dtype=bool) for table in self._tables
+        ]
+        self._lock = threading.Lock()
+        #: Rows privatized so far (catch-up draws actually performed).
+        self.rows_caught_up = 0
+        #: Rows returned across all lookups (includes memo hits).
+        self.rows_served = 0
+        #: Lookup rows answered straight from the memo.
+        self.memo_hits = 0
+
+    # -- constructors ------------------------------------------------------
+    @classmethod
+    def from_trainer(cls, trainer, iteration: int | None = None,
+                     noise_std: float | None = None,
+                     snapshot: bool = False) -> "PrivateServingEngine":
+        """Serve a (quiescent) trainer's model at ``iteration``.
+
+        ``iteration`` defaults to the trainer's flushed-through point if
+        it finalized, otherwise it must be given (a mid-training serve).
+        ``noise_std`` follows :func:`export_private_model`'s convention:
+        the last observed per-iteration std unless overridden.
+        """
+        if iteration is None:
+            iteration = trainer.engine.flushed_through
+            if iteration is None:
+                raise ValueError(
+                    "iteration unknown: trainer has not finalized; "
+                    "pass the iteration to serve at"
+                )
+        if noise_std is None:
+            noise_std = trainer._last_noise_std
+        if noise_std is None:
+            raise ValueError(
+                "noise_std unknown: train at least one step or pass it in"
+            )
+        parameters = {
+            name: param.data
+            for name, param in trainer.model.parameters().items()
+        }
+        return cls(
+            parameters,
+            trainer.model.embedding_param_names,
+            [history.snapshot()
+             for history in trainer.engine.histories],
+            trainer.noise_stream,
+            iteration,
+            trainer.config.learning_rate,
+            noise_std,
+            use_ans=trainer.use_ans,
+            snapshot=snapshot,
+        )
+
+    @classmethod
+    def from_checkpoint(cls, path, config, noise_std: float,
+                        dp=None) -> "PrivateServingEngine":
+        """Serve an exported training checkpoint without resuming it.
+
+        Rebuilds the geometry from ``config``, loads the checkpoint's
+        parameters, histories, seed and ANS mode, and wraps them —
+        the checkpoint file stays a *training* artifact (its tables
+        are lazy); only the served embeddings are privatized.
+        """
+        from ..lazydp.checkpoint import load_checkpoint
+        from ..lazydp.trainer import LazyDPTrainer
+        from ..nn.dlrm import DLRM
+        from ..train.common import DPConfig
+
+        with np.load(path) as archive:
+            noise_seed = int(archive["meta/noise_seed"][0])
+            use_ans = bool(archive["meta/use_ans"][0])
+        model = DLRM(config, seed=0)
+        trainer = LazyDPTrainer(
+            model, dp or DPConfig(), noise_seed=noise_seed, use_ans=use_ans
+        )
+        iteration = load_checkpoint(path, trainer)
+        return cls.from_trainer(
+            trainer, iteration=iteration, noise_std=noise_std
+        )
+
+    # -- serving -----------------------------------------------------------
+    @property
+    def num_tables(self) -> int:
+        return len(self._tables)
+
+    def pending_rows(self, table_index: int) -> np.ndarray:
+        """Rows of one table still owed noise (not yet served/caught up)."""
+        with self._lock:
+            behind = self._history[table_index] < self.iteration
+            return np.nonzero(behind & ~self._caught_up[table_index])[0]
+
+    def _served_table(self, table_index: int) -> np.ndarray:
+        """The dense served memo for one table (allocated on first use)."""
+        if self._served[table_index] is None:
+            self._served[table_index] = np.zeros_like(
+                self._tables[table_index]
+            )
+        return self._served[table_index]
+
+    def _catch_up(self, table_index: int, rows: np.ndarray) -> None:
+        """Privatize ``rows`` (unique, not yet caught up) into the memo."""
+        table = self._tables[table_index]
+        served = self._served_table(table_index)
+        delays = self.iteration - self._history[table_index][rows]
+        pending = rows[delays > 0]
+        current = rows[delays == 0]
+        if current.size:
+            # No pending noise: served bits are the stored bits (the
+            # flush would not have touched these rows either).
+            served[current] = table[current]
+        if pending.size:
+            noise = self.ans.catchup_noise(
+                table_index, pending, delays[delays > 0], self.iteration,
+                table.shape[1], self.noise_std,
+            )
+            served[pending] = table[pending] - self.learning_rate * noise
+            self.rows_caught_up += int(pending.size)
+        self._caught_up[table_index][rows] = True
+
+    def lookup(self, table_index: int, rows) -> np.ndarray:
+        """Privatized embeddings for ``rows`` of one table.
+
+        Read-through: rows seen for the first time get their pending
+        deferred noise applied (and memoized); every later lookup is a
+        memo read.  Duplicate and unsorted row ids are fine.
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        if rows.ndim != 1:
+            raise ValueError("rows must be a 1-D array of row indices")
+        table = self._tables[table_index]
+        if rows.size and (rows.min() < 0 or rows.max() >= table.shape[0]):
+            raise IndexError(
+                f"row ids out of range for table {table_index} "
+                f"({table.shape[0]} rows)"
+            )
+        with self._lock:
+            unique = np.unique(rows)
+            fresh = unique[~self._caught_up[table_index][unique]]
+            if fresh.size:
+                self._catch_up(table_index, fresh)
+            self.rows_served += int(rows.size)
+            self.memo_hits += int(rows.size - fresh.size)
+            return self._served_table(table_index)[rows].copy()
+
+    def lookup_batch(self, batch) -> list:
+        """Privatized embeddings for every table of one mini-batch
+        (``batch.accessed_rows`` order), e.g. for private inference."""
+        return [
+            self.lookup(t, batch.accessed_rows(t))
+            for t in range(self.num_tables)
+        ]
+
+    def export(self) -> dict:
+        """Finish the catch-up for all remaining rows and release.
+
+        Returns the same ``name -> array`` mapping (same bits) as
+        :func:`repro.lazydp.export_private_model` at this iteration —
+        assembled incrementally: rows already served are taken from the
+        memo, everything else is caught up now.
+        """
+        released = {
+            name: data.copy() for name, data in self._dense.items()
+        }
+        for table_index, name in enumerate(self.embedding_names):
+            with self._lock:
+                remaining = np.nonzero(~self._caught_up[table_index])[0]
+                if remaining.size:
+                    # Rows with no pending noise are a plain copy; the
+                    # memo write is still the cheapest uniform path.
+                    self._catch_up(table_index, remaining)
+                released[name] = self._served_table(table_index).copy()
+        return released
+
+    def stats(self) -> dict:
+        """Serving counters (memo effectiveness, catch-up progress)."""
+        with self._lock:
+            total_pending = sum(
+                int(np.count_nonzero(
+                    (self._history[t] < self.iteration)
+                    & ~self._caught_up[t]
+                ))
+                for t in range(self.num_tables)
+            )
+        return {
+            "iteration": self.iteration,
+            "rows_served": self.rows_served,
+            "rows_caught_up": self.rows_caught_up,
+            "memo_hits": self.memo_hits,
+            "rows_still_pending": total_pending,
+        }

@@ -217,12 +217,17 @@ class ShardedLazyDPTrainer(LazyDPTrainer):
                                next_global: np.ndarray,
                                next_local: np.ndarray, iteration: int,
                                dim: int, noise_std: float,
-                               timer) -> np.ndarray:
+                               timer) -> tuple:
         """Stages 2-4 for one shard: history read/advance + noise draw.
 
         Touches only shard-owned state (that shard's HistoryTable and
         ANS counter), so it can run on any thread — the executor here,
         or the pipelined trainer's prefetch worker — without locks.
+
+        Returns ``(delays, noise_values)``; the delays travel with the
+        sampled noise so deferred consumers (the async trainer's apply
+        stage) can advance the per-row noise ledger
+        (:class:`repro.lazydp.ledger.VersionVector`) at apply time.
         """
         history = self.engine.histories[table_index]
         with timer.time("lazydp_history_read"):
@@ -232,10 +237,11 @@ class ShardedLazyDPTrainer(LazyDPTrainer):
         with timer.time("noise_sampling"):
             # Keyed by *global* row ids: the draw is bitwise the one the
             # flat trainer makes for the same row at the same iteration.
-            return self.engine.shard_ans[shard].catchup_noise(
+            noise_values = self.engine.shard_ans[shard].catchup_noise(
                 table_index, next_global, delays, iteration,
                 dim, noise_std,
             )
+        return delays, noise_values
 
     def _shard_apply(self, bag: ShardedEmbeddingBag, shard: int,
                      noise_rows: np.ndarray, noise_values: np.ndarray,
@@ -257,7 +263,7 @@ class ShardedLazyDPTrainer(LazyDPTrainer):
                            noise_std: float, learning_rate: float) -> None:
         """Stages 2-6 of Algorithm 1 for one shard of one table."""
         timer = self.shard_timers[shard]
-        noise_values = self._shard_plan_and_sample(
+        _, noise_values = self._shard_plan_and_sample(
             table_index, shard, next_global, next_local, iteration,
             bag.dim, noise_std, timer,
         )

@@ -20,6 +20,11 @@ output maps one-to-one onto Figures 3, 5, 10 and 11:
                                *exposed* part of catch-up noise cost;
                                everything the worker finished early is
                                hidden behind fwd/bwd and input gather)
+* ``staleness_wait``         - time the async trainer spent blocked on
+                               outstanding applies (the staleness
+                               policy's synchronisation cost: all prior
+                               applies under ``strict``, all but the k
+                               newest under ``bounded:k``)
 * ``else``                   - everything not attributed above
 """
 
@@ -49,6 +54,7 @@ MODEL_UPDATE_STAGES = (
     "shard_routing",
     "shard_model_update",
     "pipeline_wait",
+    "staleness_wait",
 )
 
 LAZYDP_OVERHEAD_STAGES = (

@@ -11,7 +11,6 @@ Figure 14.
 
 from __future__ import annotations
 
-import numpy as np
 
 from .common import merge_sparse_updates
 from .dpsgd import DPSGDFTrainer

@@ -8,7 +8,6 @@ That flat cost profile is what every figure normalises against.
 
 from __future__ import annotations
 
-import numpy as np
 
 from .common import TrainerBase
 

@@ -1,0 +1,276 @@
+"""The async engine's acceptance bar: strict == serial, ledger exact.
+
+``AsyncLazyDPTrainer`` keeps up to ``max_in_flight`` iteration applies
+outstanding on a background worker.  Under the ``strict`` staleness
+policy a forward pass never reads a slab with an outstanding apply, so
+training must release parameters *bitwise identical* to the serial
+``LazyDPTrainer`` — across sampling schemes, ANS modes, shard counts
+and in-flight depths.  Under ``bounded:k`` the released parameters
+legitimately diverge (reads may trail applies), but the deferred-noise
+ledger must stay exact: the per-row :class:`VersionVector
+<repro.lazydp.ledger.VersionVector>` proves every per-iteration noise
+value was applied exactly once, regardless of interleaving.
+"""
+
+import numpy as np
+import pytest
+
+from repro import configs
+from repro.async_ import AsyncLazyDPTrainer, AsyncShardedLazyDPTrainer
+from repro.lazydp import LedgerError
+from repro.testing import make_loader, max_param_diff, train_algorithm
+
+
+@pytest.fixture
+def config():
+    return configs.tiny_dlrm(num_tables=3, rows=64, dim=8, lookups=2)
+
+
+def train_async(config, *, sampling="fixed", use_ans=True, num_batches=6,
+                sharded=False, **kwargs):
+    prefix = "async_sharded" if sharded else "async"
+    algorithm = f"{prefix}_lazydp" if use_ans else f"{prefix}_lazydp_no_ans"
+    model, result, trainer = train_algorithm(
+        algorithm, config, num_batches=num_batches, sampling=sampling,
+        trainer_kwargs=kwargs,
+    )
+    trainer.close()
+    return model, result, trainer
+
+
+class TestStrictBitwiseEquivalence:
+    @pytest.mark.parametrize("max_in_flight", [1, 2, 4])
+    @pytest.mark.parametrize("sampling", ["fixed", "poisson"])
+    def test_flat_identical_to_serial(self, config, max_in_flight, sampling):
+        serial_model, _, _ = train_algorithm(
+            "lazydp", config, num_batches=6, sampling=sampling
+        )
+        async_model, _, trainer = train_async(
+            config, sampling=sampling, max_in_flight=max_in_flight,
+            staleness="strict",
+        )
+        assert max_param_diff(serial_model, async_model) == 0.0
+        trainer.audit_noise_ledger(6)
+
+    @pytest.mark.parametrize("use_ans", [True, False])
+    def test_identical_with_and_without_ans(self, config, use_ans):
+        algorithm = "lazydp" if use_ans else "lazydp_no_ans"
+        serial_model, _, _ = train_algorithm(algorithm, config, num_batches=5)
+        async_model, _, _ = train_async(
+            config, use_ans=use_ans, num_batches=5, max_in_flight=2,
+        )
+        assert max_param_diff(serial_model, async_model) == 0.0
+
+    @pytest.mark.parametrize("num_shards", [1, 2, 7])
+    @pytest.mark.parametrize("sampling", ["fixed", "poisson"])
+    def test_sharded_identical_to_serial(self, config, num_shards, sampling):
+        serial_model, _, _ = train_algorithm(
+            "lazydp", config, num_batches=6, sampling=sampling
+        )
+        async_model, _, trainer = train_async(
+            config, sampling=sampling, sharded=True, num_shards=num_shards,
+            max_in_flight=2,
+        )
+        assert max_param_diff(serial_model, async_model) == 0.0
+        trainer.audit_noise_ledger(6)
+
+    @pytest.mark.parametrize("max_in_flight", [1, 4])
+    def test_sharded_threads_deep_in_flight(self, config, max_in_flight):
+        """The heaviest combination: threaded shards, hash partition,
+        no ANS (exact per-iteration replay), deep in-flight window."""
+        serial_model, _, _ = train_algorithm(
+            "lazydp_no_ans", config, num_batches=5
+        )
+        async_model, _, _ = train_async(
+            config, use_ans=False, num_batches=5, sharded=True,
+            num_shards=7, partition="hash", executor="threads",
+            max_in_flight=max_in_flight,
+        )
+        assert max_param_diff(serial_model, async_model) == 0.0
+
+    def test_bounded_zero_is_strict(self, config):
+        """``bounded:0`` is the synchronous endpoint of the k sweep."""
+        serial_model, _, _ = train_algorithm("lazydp", config, num_batches=6)
+        async_model, _, _ = train_async(
+            config, max_in_flight=4, staleness="bounded:0",
+        )
+        assert max_param_diff(serial_model, async_model) == 0.0
+
+    def test_histories_match_serial_after_fit(self, config):
+        _, _, serial_trainer = train_algorithm(
+            "lazydp", config, num_batches=6
+        )
+        _, _, async_trainer = train_async(config)
+        for serial, asynchronous in zip(serial_trainer.engine.histories,
+                                        async_trainer.engine.histories):
+            np.testing.assert_array_equal(
+                serial.snapshot(), asynchronous.snapshot()
+            )
+
+
+class TestBoundedStalenessLedger:
+    @pytest.mark.parametrize("staleness", ["bounded:1", "bounded:2"])
+    @pytest.mark.parametrize("sampling", ["fixed", "poisson"])
+    def test_ledger_exact_under_bounded_staleness(self, config, staleness,
+                                                  sampling):
+        """Released parameters may diverge; the noise accounting may not."""
+        _, _, trainer = train_async(
+            config, sampling=sampling, max_in_flight=4, staleness=staleness,
+        )
+        trainer.audit_noise_ledger(6)
+        for vector in trainer.ledger:
+            assert vector.pending_rows(6).size == 0
+
+    def test_ledger_exact_sharded_bounded(self, config):
+        _, _, trainer = train_async(
+            config, sharded=True, num_shards=3, executor="threads",
+            max_in_flight=4, staleness="bounded:2",
+        )
+        trainer.audit_noise_ledger(6)
+
+    def test_ledger_counts_every_iteration_exactly_once(self, config):
+        """After the audit, every row stands exactly at the final
+        iteration: contiguous spans + completeness == exactly-once."""
+        _, _, trainer = train_async(
+            config, max_in_flight=4, staleness="bounded:2",
+        )
+        for vector in trainer.ledger:
+            np.testing.assert_array_equal(
+                vector.snapshot(), np.full(vector.num_rows, 6)
+            )
+
+    def test_audit_raises_on_incomplete_ledger(self, config):
+        _, _, trainer = train_async(config)
+        # Pretend one row's noise never landed.
+        trainer.ledger[0]._applied_through[3] = 4
+        with pytest.raises(LedgerError, match="still owe"):
+            trainer.audit_noise_ledger(6)
+
+
+class TestVersionVector:
+    def test_rejects_gap_and_overlap(self):
+        from repro.lazydp import VersionVector
+
+        vector = VersionVector(8)
+        rows = np.array([1, 2])
+        vector.advance(rows, np.array([1, 1]), 1)
+        # Overlap: iteration-1 noise applied again.
+        with pytest.raises(LedgerError, match="ledger violation"):
+            vector.advance(rows, np.array([2, 2]), 2)
+        # Gap: skipping straight to iteration 3 without the span start.
+        with pytest.raises(LedgerError, match="ledger violation"):
+            vector.advance(rows, np.array([1, 1]), 3)
+        # The contiguous span is accepted.
+        vector.advance(rows, np.array([1, 1]), 2)
+        np.testing.assert_array_equal(
+            vector.applied_through(rows), np.array([2, 2])
+        )
+
+    def test_audit_flags_overshoot(self):
+        from repro.lazydp import VersionVector
+
+        vector = VersionVector(1)
+        vector.advance(np.array([0]), np.array([5]), 5)
+        with pytest.raises(LedgerError, match="beyond"):
+            vector.audit_complete(4)
+
+    def test_empty_advance_is_noop(self):
+        from repro.lazydp import VersionVector
+
+        vector = VersionVector(4)
+        vector.advance(np.empty(0, dtype=np.int64),
+                       np.empty(0, dtype=np.int64), 3)
+        vector.audit_complete(0)
+
+
+class TestTrainerBehaviour:
+    def test_algorithm_names(self, config):
+        _, result, _ = train_async(config)
+        assert result.algorithm == "async_lazydp"
+        _, result, _ = train_async(config, use_ans=False)
+        assert result.algorithm == "async_lazydp_no_ans"
+        _, result, _ = train_async(config, sharded=True, num_shards=2)
+        assert result.algorithm == "async_sharded_lazydp"
+
+    def test_rejects_bad_options(self, config):
+        from repro.nn import DLRM
+        from repro.train import DPConfig
+
+        with pytest.raises(ValueError, match="max_in_flight"):
+            AsyncLazyDPTrainer(
+                DLRM(config, seed=7), DPConfig(), max_in_flight=0
+            )
+        with pytest.raises(ValueError, match="staleness"):
+            AsyncLazyDPTrainer(
+                DLRM(config, seed=7), DPConfig(), staleness="eventual"
+            )
+        with pytest.raises(ValueError, match="bound"):
+            AsyncLazyDPTrainer(
+                DLRM(config, seed=7), DPConfig(), staleness="bounded:-1"
+            )
+
+    def test_async_stats_surface(self, config):
+        _, result, trainer = train_async(
+            config, max_in_flight=3, staleness="bounded:1",
+        )
+        stats = trainer.async_stats()
+        assert stats["max_in_flight"] == 3
+        assert stats["staleness"] == "bounded:1"
+        assert stats["applies_completed"] == 6
+        assert stats["apply_busy_seconds"] > 0.0
+        # The embedding merge/write stages run on the apply thread and
+        # are accounted there (the trainer timer may still show the
+        # stage names for the dense MLP noisy update, which stays
+        # synchronous on the trainer thread).
+        assert stats["apply_stage_seconds"]["noisy_grad_update"] > 0.0
+        # The async block rides along in pipeline_stats.
+        assert trainer.pipeline_stats()["async"] is not None
+
+    def test_staleness_wait_recorded_under_strict(self, config):
+        _, result, _ = train_async(config, max_in_flight=2)
+        assert "staleness_wait" in result.stage_times
+
+    def test_manual_stepping_falls_back(self, config):
+        """Outside fit() the apply worker is inactive: inline path,
+        still bitwise-identical to the serial trainer."""
+        from repro.data import LookaheadLoader
+        from repro.nn import DLRM
+        from repro.train import DPConfig
+
+        serial_model, _, _ = train_algorithm("lazydp", config, num_batches=4)
+        model = DLRM(config, seed=7)
+        trainer = AsyncLazyDPTrainer(
+            model, DPConfig(noise_multiplier=1.1, max_grad_norm=1.0,
+                            learning_rate=0.05), noise_seed=99,
+        )
+        trainer.expected_batch_size = 16
+        loader = make_loader(config, batch_size=16, num_batches=4)
+        for index, batch, upcoming in LookaheadLoader(loader):
+            trainer.train_step(index + 1, batch, upcoming)
+        trainer.finalize(4)
+        assert max_param_diff(serial_model, model) == 0.0
+
+    def test_export_after_fit_matches_serial(self, config):
+        from repro.lazydp import export_private_model
+
+        _, _, serial_trainer = train_algorithm(
+            "lazydp", config, num_batches=6
+        )
+        _, _, async_trainer = train_async(config)
+        serial_release = export_private_model(serial_trainer, iteration=6)
+        async_release = export_private_model(async_trainer, iteration=6)
+        for name in serial_release:
+            np.testing.assert_array_equal(
+                serial_release[name], async_release[name]
+            )
+
+    def test_sharded_executor_single_writer(self, config):
+        """During fit the apply worker is the shard executor's only
+        client; per-shard apply timers still get populated."""
+        _, _, trainer = train_async(
+            config, sharded=True, num_shards=2, executor="threads",
+        )
+        assert isinstance(trainer, AsyncShardedLazyDPTrainer)
+        assert trainer.apply_timer.totals["shard_model_update"] > 0.0
+        for timer in trainer.shard_timers:
+            assert timer.totals["noisy_grad_update"] >= 0.0

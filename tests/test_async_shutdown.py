@@ -1,0 +1,268 @@
+"""Async shutdown edge cases: failures must propagate, never deadlock.
+
+Three moving parts can die mid-training — the noise-prefetch worker
+(plan/sample), the staging buffer between it and the trainer, and the
+async apply worker — and each failure mode must surface as an exception
+on the trainer thread's next step rather than leaving a producer or
+consumer parked on a condition variable forever.  These are regression
+tests with injected failures (a sampler that raises mid-prefetch, an
+apply task that raises mid-write); every ``fit`` here is wrapped in a
+timeout-free assertion precisely because the historical failure mode is
+a hang, not a wrong answer.
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro import configs
+from repro.async_ import AsyncLazyDPTrainer, AsyncShardedLazyDPTrainer
+from repro.async_.apply import ApplyWorker
+from repro.nn import DLRM
+from repro.pipeline import PipelinedLazyDPTrainer
+from repro.testing import make_loader
+from repro.train import DPConfig
+
+
+@pytest.fixture
+def config():
+    return configs.tiny_dlrm(num_tables=2, rows=32, dim=8, lookups=2)
+
+
+def make_trainer(cls, config, **kwargs):
+    return cls(
+        DLRM(config, seed=7),
+        DPConfig(noise_multiplier=1.1, max_grad_norm=1.0,
+                 learning_rate=0.05),
+        noise_seed=99, **kwargs,
+    )
+
+
+class TestFailingSamplerPropagates:
+    """The satellite regression: a sampler exploding mid-prefetch must
+    reach ``train_step`` as an exception, not deadlock the pipeline."""
+
+    def _install_failing_sampler(self, trainer, fail_at_iteration=2):
+        original = trainer._sample_catchup
+
+        def failing(plan, dim, noise_std, timer=None):
+            if plan.iteration >= fail_at_iteration:
+                raise RuntimeError("injected sampler failure")
+            return original(plan, dim, noise_std, timer)
+
+        trainer._sample_catchup = failing
+
+    def test_pipelined_trainer_raises(self, config):
+        trainer = make_trainer(PipelinedLazyDPTrainer, config)
+        self._install_failing_sampler(trainer)
+        with pytest.raises(RuntimeError, match="noise-prefetch worker"):
+            trainer.fit(make_loader(config, batch_size=16, num_batches=6))
+        assert not trainer._pipeline_running
+        trainer.close()
+
+    def test_async_trainer_raises(self, config):
+        trainer = make_trainer(AsyncLazyDPTrainer, config, max_in_flight=2)
+        self._install_failing_sampler(trainer)
+        with pytest.raises(RuntimeError, match="noise-prefetch worker"):
+            trainer.fit(make_loader(config, batch_size=16, num_batches=6))
+        assert not trainer._pipeline_running
+        trainer.close()
+
+    def test_async_trainer_survives_failure_on_first_plan(self, config):
+        trainer = make_trainer(AsyncLazyDPTrainer, config, max_in_flight=4)
+        self._install_failing_sampler(trainer, fail_at_iteration=1)
+        with pytest.raises(RuntimeError, match="noise-prefetch worker"):
+            trainer.fit(make_loader(config, batch_size=16, num_batches=6))
+        trainer.close()
+
+
+class TestFailingApplyPropagates:
+    def _install_failing_apply(self, trainer, fail_at_iteration=2):
+        original = trainer._apply_iteration
+
+        def failing(iteration, payloads):
+            if iteration >= fail_at_iteration:
+                raise RuntimeError("injected apply failure")
+            return original(iteration, payloads)
+
+        trainer._apply_iteration = failing
+
+    @pytest.mark.parametrize("staleness", ["strict", "bounded:2"])
+    def test_flat_apply_failure_raises(self, config, staleness):
+        trainer = make_trainer(
+            AsyncLazyDPTrainer, config, max_in_flight=2, staleness=staleness,
+        )
+        self._install_failing_apply(trainer)
+        with pytest.raises(RuntimeError, match="apply worker"):
+            trainer.fit(make_loader(config, batch_size=16, num_batches=8))
+        trainer.close()
+
+    def test_sharded_apply_failure_raises(self, config):
+        trainer = make_trainer(
+            AsyncShardedLazyDPTrainer, config, num_shards=2,
+            executor="threads", max_in_flight=2,
+        )
+        self._install_failing_apply(trainer)
+        with pytest.raises(RuntimeError, match="apply worker"):
+            trainer.fit(make_loader(config, batch_size=16, num_batches=8))
+        trainer.close()
+
+    def test_failure_with_deep_in_flight_window_no_deadlock(self, config):
+        """With the cap far above the iteration count, the failing apply
+        must still unblock every later submit (the semaphore-release
+        regression)."""
+        trainer = make_trainer(
+            AsyncLazyDPTrainer, config, max_in_flight=1,
+            staleness="bounded:4",
+        )
+        self._install_failing_apply(trainer, fail_at_iteration=1)
+        with pytest.raises(RuntimeError, match="apply worker"):
+            trainer.fit(make_loader(config, batch_size=16, num_batches=8))
+        trainer.close()
+
+
+class TestApplyWorkerUnit:
+    def test_fifo_watermark(self):
+        worker = ApplyWorker(max_in_flight=2)
+        worker.start()
+        landed = []
+        for iteration in (1, 2, 3):
+            worker.submit(iteration, lambda i=iteration: landed.append(i))
+        worker.wait_for(3)
+        assert landed == [1, 2, 3]
+        assert worker.applied_through == 3
+        assert worker.applies_completed == 3
+        worker.close()
+
+    def test_failure_reraised_on_submit_and_wait(self):
+        worker = ApplyWorker(max_in_flight=2)
+        worker.start()
+
+        def boom():
+            raise ValueError("task exploded")
+
+        worker.submit(1, boom)
+        with pytest.raises(RuntimeError, match="apply worker failed"):
+            worker.wait_for(1)
+        with pytest.raises(RuntimeError, match="apply worker failed"):
+            worker.submit(2, lambda: None)
+        worker.close()
+
+    def test_failure_frees_blocked_producer(self):
+        """A producer blocked on the in-flight cap must wake (and raise)
+        after a task failure instead of deadlocking on the semaphore."""
+        worker = ApplyWorker(max_in_flight=1)
+        worker.start()
+        release = threading.Event()
+
+        def slow_boom():
+            release.wait(5.0)
+            raise ValueError("late explosion")
+
+        worker.submit(1, slow_boom)
+        outcome = {}
+
+        def producer():
+            try:
+                # Blocks on the cap until the failing task finishes.
+                worker.submit(2, lambda: None)
+                # The error may land after this submit slipped through;
+                # the next interaction must still raise.
+                worker.wait_for(2)
+                outcome["error"] = None
+            except RuntimeError as error:
+                outcome["error"] = error
+
+        thread = threading.Thread(target=producer, daemon=True)
+        thread.start()
+        time.sleep(0.05)
+        release.set()
+        thread.join(timeout=10.0)
+        assert not thread.is_alive()
+        assert outcome["error"] is not None
+        worker.close()
+
+    def test_wait_for_timeout(self):
+        worker = ApplyWorker(max_in_flight=1)
+        worker.start()
+        gate = threading.Event()
+        worker.submit(1, lambda: gate.wait(10.0))
+        with pytest.raises(RuntimeError, match="did not reach"):
+            worker.wait_for(1, timeout=0.1)
+        gate.set()
+        worker.close()
+
+    def test_close_idempotent_and_drains_pending(self):
+        worker = ApplyWorker(max_in_flight=4)
+        worker.start()
+        ran = []
+        worker.submit(1, lambda: ran.append(1))
+        worker.wait_for(1)
+        worker.close()
+        worker.close()
+        assert ran == [1]
+        assert not worker.is_alive
+
+    def test_rejects_bad_depth(self):
+        with pytest.raises(ValueError, match="max_in_flight"):
+            ApplyWorker(max_in_flight=0)
+
+
+class TestShutdownLeavesNoThreads:
+    def test_fit_failure_leaves_no_stray_threads(self, config):
+        baseline = threading.active_count()
+        trainer = make_trainer(AsyncLazyDPTrainer, config, max_in_flight=2)
+
+        def boom(iteration, payloads):
+            raise RuntimeError("injected apply failure")
+
+        trainer._apply_iteration = boom
+        with pytest.raises(RuntimeError):
+            trainer.fit(make_loader(config, batch_size=16, num_batches=6))
+        trainer.close()
+        deadline = time.time() + 5.0
+        while threading.active_count() > baseline and time.time() < deadline:
+            time.sleep(0.01)
+        assert threading.active_count() <= baseline
+
+    def test_ledger_not_advanced_when_write_itself_fails(self, config):
+        """The ledger records a span only after its slab write landed;
+        a write that explodes mid-apply must leave the ledger behind so
+        the audit reports the lost noise instead of vouching for it."""
+        trainer = make_trainer(AsyncLazyDPTrainer, config, max_in_flight=2)
+        original = trainer._apply_staged_noise
+
+        def failing_write(bag, sparse_grad, rows, values, timer=None):
+            raise RuntimeError("injected write failure")
+
+        trainer._apply_staged_noise = failing_write
+        with pytest.raises(RuntimeError, match="apply worker"):
+            trainer.fit(make_loader(config, batch_size=16, num_batches=6))
+        trainer.close()
+        trainer._apply_staged_noise = original
+        for vector in trainer.ledger:
+            assert np.all(vector.snapshot() == 0)
+
+    def test_ledger_untouched_after_apply_failure(self, config):
+        """A failed apply never advances the ledger for its iteration —
+        the audit correctly reports the gap instead of lying."""
+        from repro.lazydp import LedgerError
+
+        trainer = make_trainer(AsyncLazyDPTrainer, config, max_in_flight=2)
+        original = trainer._apply_iteration
+
+        def failing(iteration, payloads):
+            if iteration >= 3:
+                raise RuntimeError("injected apply failure")
+            return original(iteration, payloads)
+
+        trainer._apply_iteration = failing
+        with pytest.raises(RuntimeError):
+            trainer.fit(make_loader(config, batch_size=16, num_batches=6))
+        trainer.close()
+        with pytest.raises(LedgerError):
+            trainer.audit_noise_ledger(6)
+        for vector in trainer.ledger:
+            assert np.all(vector.snapshot() <= 2)

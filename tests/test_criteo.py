@@ -13,7 +13,7 @@ from repro.data.criteo import (
     write_synthetic_criteo,
 )
 
-from repro.testing import train_algorithm, max_param_diff
+from repro.testing import max_param_diff
 
 
 @pytest.fixture

@@ -5,7 +5,7 @@ import pytest
 
 from repro import configs
 from repro.bench.experiments import make_trainer
-from repro.data import DataLoader, SyntheticClickDataset
+from repro.data import SyntheticClickDataset
 from repro.nn import DLRM
 from repro.privacy.membership import (
     MembershipAttackResult,

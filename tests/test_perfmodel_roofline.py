@@ -1,6 +1,5 @@
 """Tests for the AVX roofline model (Figure 6)."""
 
-import numpy as np
 import pytest
 
 from repro.perfmodel import (

@@ -1,6 +1,5 @@
 """Tests for the beyond-paper scaling projections."""
 
-import pytest
 
 from repro.perfmodel import paper_system
 from repro.perfmodel.scaling import (

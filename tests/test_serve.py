@@ -1,0 +1,269 @@
+"""The serving engine's guarantee: read-through catch-up == full flush.
+
+``PrivateServingEngine`` serves privatized embeddings by applying each
+row's pending deferred noise at first lookup (memoized) instead of the
+stop-the-world flush ``export_private_model`` performs.  Because noise
+bits are keyed by ``(seed, table, row, iteration)``, *when* a row is
+caught up cannot change its released value — so any mix of lookups
+followed by :meth:`export` must produce, row for row, the same arrays
+as the one-shot flush at the same iteration.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro import configs
+from repro.data import LookaheadLoader
+from repro.lazydp import LazyDPTrainer, export_private_model, save_checkpoint
+from repro.nn import DLRM
+from repro.serve import PrivateServingEngine
+from repro.testing import make_loader
+from repro.train import DPConfig
+
+
+@pytest.fixture
+def config():
+    return configs.tiny_dlrm(num_tables=3, rows=64, dim=8, lookups=2)
+
+
+def drive(trainer, config, steps, batch_size=16):
+    """Manually step a trainer ``steps`` iterations (no terminal flush),
+    leaving rows genuinely behind on noise — the serving scenario."""
+    trainer.expected_batch_size = batch_size
+    loader = make_loader(config, batch_size=batch_size, num_batches=steps)
+    for index, batch, upcoming in LookaheadLoader(loader):
+        trainer.train_step(index + 1, batch, upcoming)
+    return trainer
+
+
+@pytest.fixture
+def trainer(config):
+    model = DLRM(config, seed=7)
+    return drive(LazyDPTrainer(model, DPConfig(), noise_seed=99), config, 4)
+
+
+class TestExportEquivalence:
+    def test_export_matches_flush_row_for_row(self, config, trainer):
+        flushed = export_private_model(trainer, iteration=4)
+        engine = PrivateServingEngine.from_trainer(trainer, iteration=4)
+        served = engine.export()
+        assert flushed.keys() == served.keys()
+        for name in flushed:
+            np.testing.assert_array_equal(flushed[name], served[name])
+
+    def test_partial_lookups_then_export(self, config, trainer):
+        """Rows caught up lazily at lookup time and rows caught up by
+        the final export land on identical bits."""
+        flushed = export_private_model(trainer, iteration=4)
+        engine = PrivateServingEngine.from_trainer(trainer, iteration=4)
+        engine.lookup(0, np.arange(10))
+        engine.lookup(1, np.array([3, 3, 5]))
+        served = engine.export()
+        for name in flushed:
+            np.testing.assert_array_equal(flushed[name], served[name])
+
+    def test_lookup_serves_flushed_bits(self, config, trainer):
+        flushed = export_private_model(trainer, iteration=4)
+        engine = PrivateServingEngine.from_trainer(trainer, iteration=4)
+        rows = np.array([0, 5, 17, 5])
+        for table_index, name in enumerate(engine.embedding_names):
+            np.testing.assert_array_equal(
+                engine.lookup(table_index, rows), flushed[name][rows]
+            )
+
+    def test_live_trainer_unaffected(self, config, trainer):
+        """Serving must not mutate the live model or its histories."""
+        before = {
+            name: param.data.copy()
+            for name, param in trainer.model.parameters().items()
+        }
+        histories_before = [
+            history.snapshot().copy()
+            for history in trainer.engine.histories
+        ]
+        engine = PrivateServingEngine.from_trainer(
+            trainer, iteration=4, snapshot=True
+        )
+        engine.lookup(0, np.arange(20))
+        engine.export()
+        for name, param in trainer.model.parameters().items():
+            np.testing.assert_array_equal(before[name], param.data)
+        for snap, history in zip(histories_before,
+                                 trainer.engine.histories):
+            np.testing.assert_array_equal(snap, history.snapshot())
+
+    def test_serve_finalized_trainer(self, config):
+        """After fit() + terminal flush nothing is pending; serving is a
+        plain (but still exact) read."""
+        from repro.testing import train_algorithm
+
+        _, _, trainer = train_algorithm("lazydp", config, num_batches=4)
+        engine = PrivateServingEngine.from_trainer(trainer)
+        assert engine.iteration == 4
+        flushed = export_private_model(trainer, iteration=4)
+        served = engine.export()
+        for name in flushed:
+            np.testing.assert_array_equal(flushed[name], served[name])
+        assert engine.rows_caught_up == 0   # flush left nothing pending
+
+    def test_sharded_trainer_served_identically(self, config):
+        """The sharded engine exposes the flat history/parameter API, so
+        serving it matches serving the flat trainer bit for bit."""
+        from repro.shard import ShardedLazyDPTrainer
+
+        flat = drive(
+            LazyDPTrainer(DLRM(config, seed=7), DPConfig(), noise_seed=99),
+            config, 4,
+        )
+        sharded = drive(
+            ShardedLazyDPTrainer(
+                DLRM(config, seed=7), DPConfig(), noise_seed=99,
+                num_shards=3,
+            ),
+            config, 4,
+        )
+        flat_served = PrivateServingEngine.from_trainer(
+            flat, iteration=4
+        ).export()
+        sharded_served = PrivateServingEngine.from_trainer(
+            sharded, iteration=4
+        ).export()
+        for name in flat_served:
+            np.testing.assert_array_equal(
+                flat_served[name], sharded_served[name]
+            )
+
+
+class TestReadThroughSemantics:
+    def test_memoization_counters(self, config, trainer):
+        engine = PrivateServingEngine.from_trainer(trainer, iteration=4)
+        rows = np.array([1, 2, 3])
+        engine.lookup(0, rows)
+        first = engine.rows_caught_up
+        engine.lookup(0, rows)          # pure memo read
+        stats = engine.stats()
+        assert engine.rows_caught_up == first
+        assert stats["memo_hits"] == 3
+        assert stats["rows_served"] == 6
+
+    def test_served_memo_allocated_per_touched_table(self, config, trainer):
+        """An engine over a many-table model must not pay a dense copy
+        for tables nobody queries."""
+        engine = PrivateServingEngine.from_trainer(trainer, iteration=4)
+        assert all(served is None for served in engine._served)
+        engine.lookup(0, np.array([1, 2]))
+        assert engine._served[0] is not None
+        assert all(served is None for served in engine._served[1:])
+        engine.export()
+        assert all(served is not None for served in engine._served)
+
+    def test_duplicate_rows_caught_up_once(self, config, trainer):
+        engine = PrivateServingEngine.from_trainer(trainer, iteration=4)
+        pending = engine.pending_rows(0)
+        row = int(pending[0])
+        engine.lookup(0, np.array([row, row, row]))
+        assert engine.rows_caught_up == 1
+
+    def test_pending_rows_shrink_as_served(self, config, trainer):
+        engine = PrivateServingEngine.from_trainer(trainer, iteration=4)
+        before = engine.pending_rows(0)
+        assert before.size > 0          # manual stepping left rows behind
+        engine.lookup(0, before[:4])
+        after = engine.pending_rows(0)
+        assert after.size == before.size - 4
+        engine.export()
+        assert engine.pending_rows(0).size == 0
+        assert engine.stats()["rows_still_pending"] == 0
+
+    def test_lookup_batch_covers_all_tables(self, config, trainer):
+        engine = PrivateServingEngine.from_trainer(trainer, iteration=4)
+        loader = make_loader(config, batch_size=8, num_batches=1)
+        batch = loader.batch_for(0)
+        outputs = engine.lookup_batch(batch)
+        assert len(outputs) == engine.num_tables
+        for table_index, values in enumerate(outputs):
+            rows = batch.accessed_rows(table_index)
+            assert values.shape == (rows.size, config.embedding_dim)
+
+    def test_concurrent_lookups_consistent(self, config, trainer):
+        """Racing readers of overlapping rows must all see the same
+        (exactly-once caught up) bits."""
+        engine = PrivateServingEngine.from_trainer(trainer, iteration=4)
+        reference = export_private_model(trainer, iteration=4)
+        name = engine.embedding_names[0]
+        rows = np.arange(32)
+        errors = []
+
+        def reader():
+            try:
+                for _ in range(10):
+                    np.testing.assert_array_equal(
+                        engine.lookup(0, rows), reference[name][rows]
+                    )
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        threads = [threading.Thread(target=reader) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=10.0)
+        assert not errors
+        assert engine.rows_caught_up <= rows.size
+
+
+class TestConstructionAndErrors:
+    def test_from_checkpoint_round_trip(self, config, trainer, tmp_path):
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(path, trainer, iteration=4)
+        noise_std = trainer._last_noise_std
+        flushed = export_private_model(trainer, iteration=4)
+        engine = PrivateServingEngine.from_checkpoint(
+            path, config, noise_std=noise_std
+        )
+        served = engine.export()
+        for name in flushed:
+            np.testing.assert_array_equal(flushed[name], served[name])
+
+    def test_requires_iteration_for_unfinalized(self, config, trainer):
+        with pytest.raises(ValueError, match="iteration"):
+            PrivateServingEngine.from_trainer(trainer)
+
+    def test_requires_noise_std(self, config):
+        untrained = LazyDPTrainer(
+            DLRM(config, seed=7), DPConfig(), noise_seed=99
+        )
+        with pytest.raises(ValueError, match="noise_std"):
+            PrivateServingEngine.from_trainer(untrained, iteration=0)
+
+    def test_rejects_history_ahead_of_iteration(self, config, trainer):
+        with pytest.raises(ValueError, match="ahead"):
+            PrivateServingEngine.from_trainer(trainer, iteration=1)
+
+    def test_rejects_out_of_range_rows(self, config, trainer):
+        engine = PrivateServingEngine.from_trainer(trainer, iteration=4)
+        with pytest.raises(IndexError):
+            engine.lookup(0, np.array([config.table_rows[0]]))
+        with pytest.raises(ValueError, match="1-D"):
+            engine.lookup(0, np.zeros((2, 2)))
+
+    def test_rejects_mismatched_snapshots(self, config, trainer):
+        parameters = {
+            name: param.data
+            for name, param in trainer.model.parameters().items()
+        }
+        names = trainer.model.embedding_param_names
+        snapshots = [h.snapshot() for h in trainer.engine.histories]
+        with pytest.raises(ValueError, match="one history snapshot"):
+            PrivateServingEngine(
+                parameters, names, snapshots[:-1], trainer.noise_stream,
+                4, 0.05, 1.0,
+            )
+        with pytest.raises(ValueError, match="covers"):
+            PrivateServingEngine(
+                parameters, names,
+                [snapshots[0][:-1]] + snapshots[1:], trainer.noise_stream,
+                4, 0.05, 1.0,
+            )
