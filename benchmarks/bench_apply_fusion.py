@@ -1,0 +1,310 @@
+"""Apply-fusion benchmark: fused vs unfused apply, batched vs looped sampling.
+
+The noisy model-update is bandwidth-bound (paper Section 4.3: 85.5% of
+DRAM bandwidth at 2 AVX ops/element), so the apply phase's cost scales
+with how many passes — and how many allocations — feed the slab write.
+This benchmark measures the two kernels of ``repro.kernels``:
+
+* the fused single-pass scatter (``fused_noisy_update``) against the
+  reference ``merge_sparse_updates`` + fancy-indexed read-modify-write
+  two-step, verifying bitwise-identical slab bits while timing both;
+* the batched no-ANS sampler (``batched_catchup_sum``) against the
+  historical per-lag loop, on the tail-heavy delay profile LazyDP's
+  catch-up actually sees, counting Philox invocations ("kernel
+  launches") on both paths;
+* the BufferArena steady state: after warm-up, further iterations must
+  allocate nothing.
+
+Runs two ways:
+
+* under pytest-benchmark alongside the other figure benchmarks
+  (``pytest benchmarks/bench_apply_fusion.py``);
+* as a plain script — ``python benchmarks/bench_apply_fusion.py
+  [--smoke]`` — for CI smoke coverage; writes a ``BENCH_apply_fusion
+  .json`` artifact and fails on a regression against
+  ``benchmarks/reports/baseline.json`` (the pinned speedups are
+  relative, in-process ratios, so the gate is portable across runners).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+import _jsonreport
+from repro.bench.reporting import format_table
+from repro.kernels import (
+    BufferArena,
+    batched_catchup_sum,
+    fused_noisy_update,
+    merge_sparse_updates,
+)
+from repro.rng import NoiseStream, philox_invocations
+
+
+def _make_updates(rng, num_rows, dim, touched, count):
+    """Pre-generated (grad, noise) sparse update pairs (sorted unique)."""
+    updates = []
+    for _ in range(count):
+        sides = []
+        for _side in range(2):
+            rows = np.sort(rng.choice(num_rows, size=touched, replace=False))
+            sides.append((rows.astype(np.int64), rng.standard_normal((touched, dim))))
+        updates.append(tuple(sides))
+    return updates
+
+
+def _best_of(repeats, fn):
+    """Minimum wall time over ``repeats`` runs (noise-robust)."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def apply_fusion_sweep(
+    num_rows=200_000, dim=16, touched=4096, iterations=60, repeats=3
+):
+    """Fused vs unfused apply on identical data; returns rows + metrics.
+
+    Both variants replay the same pre-generated update stream against
+    equal tables; afterwards the two tables must be bitwise identical
+    (the equivalence the fused kernel promises).
+    """
+    rng = np.random.default_rng(7)
+    updates = _make_updates(rng, num_rows, dim, touched, 8)
+    base = rng.standard_normal((num_rows, dim))
+    lr = 0.05
+
+    unfused_table = base.copy()
+
+    def run_unfused():
+        for i in range(iterations):
+            (grad_rows, grad_values), (noise_rows, noise_values) = updates[i % 8]
+            rows, values = merge_sparse_updates(
+                grad_rows, grad_values, noise_rows, noise_values
+            )
+            unfused_table[rows] -= lr * values
+
+    fused_table = base.copy()
+    arena = BufferArena()
+
+    def run_fused():
+        for i in range(iterations):
+            (grad_rows, grad_values), (noise_rows, noise_values) = updates[i % 8]
+            fused_noisy_update(
+                fused_table,
+                lr,
+                grad_rows,
+                grad_values,
+                noise_rows,
+                noise_values,
+                arena=arena,
+            )
+
+    # Warm both paths once (first-touch page faults, arena allocation),
+    # then measure from identical table states.
+    run_unfused()
+    run_fused()
+    unfused_table[:] = base
+    fused_table[:] = base
+    warm_allocs = arena.allocs
+
+    unfused_seconds = _best_of(repeats, run_unfused)
+    fused_seconds = _best_of(repeats, run_fused)
+    steady_allocs = arena.allocs - warm_allocs
+
+    identical = unfused_table.tobytes() == fused_table.tobytes()
+    speedup = unfused_seconds / fused_seconds
+    table_rows = [
+        ["unfused (merge + fancy RMW)", f"{unfused_seconds * 1e3:.1f}", "1.00x", "-"],
+        [
+            "fused single-pass scatter",
+            f"{fused_seconds * 1e3:.1f}",
+            f"{speedup:.2f}x",
+            "bitwise equal" if identical else "MISMATCH",
+        ],
+    ]
+    metrics = {
+        "apply_speedup_fused": speedup,
+        "arena_steady_state_allocs": float(steady_allocs),
+    }
+    return table_rows, metrics, identical
+
+
+def _looped_exact_sum(stream, table_id, rows, delays, iteration, dim, std):
+    """The historical per-lag no-ANS loop (one Philox launch per lag)."""
+    total = np.zeros((rows.size, dim), dtype=np.float64)
+    max_delay = int(delays.max()) if delays.size else 0
+    order = np.argsort(-delays, kind="stable")
+    ordered_rows = rows[order]
+    ordered_delays = delays[order]
+    for lag in range(1, max_delay + 1):
+        active = int(np.searchsorted(-ordered_delays, -lag, side="right"))
+        if active == 0:
+            break
+        total[order[:active]] += stream.row_noise(
+            table_id, ordered_rows[:active], iteration - lag + 1, dim, std=std
+        )
+    return total
+
+
+def sampling_sweep(rows_count=256, max_delay=512, dim=16, repeats=3):
+    """Batched vs looped no-ANS catch-up on a tail-heavy delay profile."""
+    rng = np.random.default_rng(11)
+    stream = NoiseStream(seed=101)
+    rows = np.sort(rng.choice(100_000, size=rows_count, replace=False))
+    rows = rows.astype(np.int64)
+    delays = rng.integers(0, max_delay, size=rows_count).astype(np.int64)
+    iteration = max_delay + 1
+    arena = BufferArena()
+
+    result = {}
+
+    def run_batched():
+        result["batched"] = batched_catchup_sum(
+            stream, 0, rows, delays, iteration, dim, std=0.5, arena=arena
+        )
+
+    def run_looped():
+        result["looped"] = _looped_exact_sum(
+            stream, 0, rows, delays, iteration, dim, 0.5
+        )
+
+    run_batched()  # warm the arena
+    before = philox_invocations()
+    run_batched()
+    batched_launches = philox_invocations() - before
+    before = philox_invocations()
+    run_looped()
+    looped_launches = philox_invocations() - before
+
+    batched_seconds = _best_of(repeats, run_batched)
+    looped_seconds = _best_of(repeats, run_looped)
+    close = bool(np.allclose(result["batched"], result["looped"], atol=1e-10))
+
+    speedup = looped_seconds / batched_seconds
+    launch_ratio = batched_launches / max(looped_launches, 1)
+    table_rows = [
+        [
+            "looped (one launch per lag)",
+            f"{looped_seconds * 1e3:.1f}",
+            str(looped_launches),
+            "1.00x",
+            "-",
+        ],
+        [
+            "batched (flattened + segmented sum)",
+            f"{batched_seconds * 1e3:.1f}",
+            str(batched_launches),
+            f"{speedup:.2f}x",
+            "value equal" if close else "MISMATCH",
+        ],
+    ]
+    metrics = {
+        "sampling_speedup_batched": speedup,
+        "philox_launch_ratio_batched": launch_ratio,
+    }
+    return table_rows, metrics, close
+
+
+APPLY_HEADER = ["apply variant", "total ms", "vs unfused", "released slab"]
+SAMPLING_HEADER = [
+    "no-ANS sampler",
+    "total ms",
+    "philox launches",
+    "vs looped",
+    "catch-up sum",
+]
+
+
+def run_report(smoke: bool = False) -> int:
+    if smoke:
+        apply_kwargs = dict(num_rows=40_000, dim=16, touched=1024, iterations=40)
+        sampling_kwargs = dict(rows_count=128, max_delay=256, dim=16)
+    else:
+        apply_kwargs = dict(num_rows=200_000, dim=16, touched=4096, iterations=60)
+        sampling_kwargs = dict(rows_count=256, max_delay=512, dim=16)
+
+    apply_rows, apply_metrics, identical = apply_fusion_sweep(**apply_kwargs)
+    title = "Fused apply kernel ({num_rows} rows x dim {dim})".format(**apply_kwargs)
+    print(format_table(APPLY_HEADER, apply_rows, title=title))
+    sampling_rows, sampling_metrics, close = sampling_sweep(**sampling_kwargs)
+    title = "No-ANS sampling ({rows_count} rows, delays < {max_delay})".format(
+        **sampling_kwargs
+    )
+    print(format_table(SAMPLING_HEADER, sampling_rows, title=title))
+
+    if not identical:
+        print("ERROR: fused apply diverged from the reference", file=sys.stderr)
+        return 1
+    if not close:
+        print("ERROR: batched sampler diverged from the lag loop", file=sys.stderr)
+        return 1
+    print(
+        "\nequivalence: fused slab bitwise-equal to the reference; "
+        "batched catch-up sums value-equal to the lag loop"
+    )
+    metrics = dict(apply_metrics)
+    metrics.update(sampling_metrics)
+    return _jsonreport.gate(
+        "apply_fusion",
+        metrics,
+        meta={"smoke": smoke, "apply": apply_kwargs, "sampling": sampling_kwargs},
+    )
+
+
+# ---------------------------------------------------------------------------
+# pytest-benchmark entry points
+# ---------------------------------------------------------------------------
+
+
+def test_apply_fusion_measured(benchmark):
+    from conftest import emit_report
+
+    apply_rows, metrics, identical = benchmark.pedantic(
+        apply_fusion_sweep,
+        kwargs={"num_rows": 40_000, "dim": 16, "touched": 1024, "iterations": 40},
+        rounds=1,
+        iterations=1,
+    )
+    emit_report(
+        "apply_fusion",
+        format_table(
+            APPLY_HEADER, apply_rows, title="Fused apply kernel (40000 rows x dim 16)"
+        ),
+    )
+    assert identical
+    assert metrics["arena_steady_state_allocs"] == 0.0
+
+
+def test_sampling_batched_measured(benchmark):
+    from conftest import emit_report
+
+    sampling_rows, metrics, close = benchmark.pedantic(
+        sampling_sweep,
+        kwargs={"rows_count": 128, "max_delay": 256, "dim": 16},
+        rounds=1,
+        iterations=1,
+    )
+    emit_report(
+        "apply_fusion_sampling",
+        format_table(
+            SAMPLING_HEADER,
+            sampling_rows,
+            title="No-ANS sampling (128 rows, delays < 256)",
+        ),
+    )
+    assert close
+    assert metrics["philox_launch_ratio_batched"] < 1.0
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true", help="small fast sweep for CI")
+    raise SystemExit(run_report(smoke=parser.parse_args().smoke))

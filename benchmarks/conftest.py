@@ -42,13 +42,20 @@ class SteppableRun:
     HistoryTable semantics stay valid across benchmark rounds.
     """
 
-    def __init__(self, algorithm: str, config, batch: int = 128,
-                 seed: int = 21, dp: DPConfig | None = None,
-                 pool_batches: int = 8):
+    def __init__(
+        self,
+        algorithm: str,
+        config,
+        batch: int = 128,
+        seed: int = 21,
+        dp: DPConfig | None = None,
+        pool_batches: int = 8,
+    ):
         self.model = DLRM(config, seed=seed)
         dataset = SyntheticClickDataset(config, seed=seed + 1)
-        loader = DataLoader(dataset, batch_size=batch,
-                            num_batches=pool_batches, seed=seed + 2)
+        loader = DataLoader(
+            dataset, batch_size=batch, num_batches=pool_batches, seed=seed + 2
+        )
         self.batches = [loader.batch_for(i) for i in range(pool_batches)]
         self.trainer = make_trainer(
             algorithm, self.model, dp or DPConfig(), noise_seed=seed + 3

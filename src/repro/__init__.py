@@ -28,6 +28,7 @@ Quickstart::
 from . import configs
 from .async_ import AsyncLazyDPTrainer, AsyncShardedLazyDPTrainer
 from .configs import DLRMConfig
+from .kernels import BufferArena, fused_noisy_update
 from .data import Batch, DataLoader, SyntheticClickDataset
 from .lazydp import LazyDPTrainer, PrivateTrainingSession, make_private
 from .nn import DLRM
@@ -59,6 +60,8 @@ __all__ = [
     "PipelinedShardedLazyDPTrainer",
     "AsyncLazyDPTrainer",
     "AsyncShardedLazyDPTrainer",
+    "BufferArena",
+    "fused_noisy_update",
     "PrivateServingEngine",
     "PrivateTrainingSession",
     "make_private",

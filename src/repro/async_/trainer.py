@@ -180,6 +180,10 @@ class _AsyncHost:
             "staleness_wait_seconds":
                 self.timer.totals.get("staleness_wait", 0.0),
             "apply_stage_seconds": self.apply_timer.as_dict(),
+            # Fused-kernel instrumentation for work done on the apply
+            # thread (arena_hits / arena_allocs land here, not in
+            # self.timer, because the apply timer owns that thread).
+            "apply_counters": dict(self.apply_timer.counters),
         }
 
     def pipeline_stats(self) -> dict:

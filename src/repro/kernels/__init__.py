@@ -1,0 +1,48 @@
+"""Fused hot-path kernels for the noisy model-update (apply phase).
+
+The paper's Figure 6/11 analysis shows the noisy embedding update is
+*bandwidth-bound* (85.5% of DRAM bandwidth at 2 AVX ops/element), so the
+apply phase's cost is dominated by how many times the update rows
+traverse memory — and by per-iteration allocations feeding those
+traversals.  This package is the shared kernel layer every trainer's
+apply phase sits on:
+
+* :class:`BufferArena <repro.kernels.arena.BufferArena>` — named,
+  geometrically-grown scratch buffers reused across iterations, so the
+  steady-state apply allocates nothing (hit/alloc counters surface
+  through ``StageTimer.stats()``).
+* :func:`fused_noisy_update <repro.kernels.fused.fused_noisy_update>` —
+  merges the clipped gradient with the staged catch-up noise and writes
+  the parameter slab in one traversal, bitwise-identical to the
+  reference ``merge_sparse_updates`` + ``table[rows] -= lr * values``
+  two-step (shared rows still see exactly one summed write).
+* :func:`batched_catchup_sum <repro.kernels.sampler
+  .batched_catchup_sum>` — the no-ANS exact replay as ONE flattened
+  ``(row, iteration)`` Philox invocation followed by a segmented sum,
+  collapsing the O(max_delay) per-lag kernel launches of the eager-style
+  loop to O(1).
+
+Every consumer (serial / sharded / pipelined / async trainers, the
+terminal flush, the private serving engine) delegates here, so the
+bitwise-equivalence suites that pin trainer-vs-trainer equality also
+pin the kernels.
+"""
+
+from .arena import BufferArena
+from .fused import (
+    apply_sparse_update,
+    fused_merge,
+    fused_noisy_update,
+    merge_sparse_updates,
+)
+from .sampler import batched_catchup_sum, batched_row_noise_sum
+
+__all__ = [
+    "BufferArena",
+    "apply_sparse_update",
+    "batched_catchup_sum",
+    "batched_row_noise_sum",
+    "fused_merge",
+    "fused_noisy_update",
+    "merge_sparse_updates",
+]

@@ -1,0 +1,260 @@
+"""Single-pass noisy-update scatter: merge + slab write in one traversal.
+
+The reference apply phase (Algorithm 1 lines 19-25) ran four passes over
+the update rows — a ``union1d`` sort, a scratch ``zeros`` fill, and two
+``searchsorted`` scatter-adds — followed by a fancy-indexed
+read-modify-write of the slab that allocates a gathered temporary and a
+``lr * values`` product.  :func:`fused_noisy_update` produces the same
+bits with one merge pass over the two (sorted, unique) row sets and one
+gather/subtract/scatter traversal of the slab, with every intermediate
+in :class:`BufferArena <repro.kernels.arena.BufferArena>` scratch.
+
+Bitwise contract: for sorted unique inputs the result is identical to
+``merge_sparse_updates`` + ``table[rows] -= lr * values`` — shared rows
+see exactly one summed write ``grad + noise`` (IEEE addition is
+commutative, so operand order cannot change the bits), and the slab
+update computes ``value - lr * merged`` with the same two operations.
+The single deliberate deviation: a row whose merged value is a signed
+zero may carry the opposite zero sign than the reference's ``0.0 + x``
+accumulation produced — indistinguishable under ``==`` and harmless to
+the written slab unless the parameter itself is a negative zero.
+
+Unsorted or duplicate-bearing inputs fall back to the reference path
+(correct, just not allocation-free); the hot paths all feed sorted
+unique rows (``np.unique`` batch dedup, sorted pending-row lists, and
+the shard router preserves per-shard sortedness).
+"""
+
+from __future__ import annotations
+
+from contextlib import nullcontext
+
+import numpy as np
+
+from .arena import BufferArena
+
+
+def merge_sparse_updates(
+    rows_a: np.ndarray,
+    values_a: np.ndarray,
+    rows_b: np.ndarray,
+    values_b: np.ndarray,
+) -> tuple:
+    """Union two sparse row-update sets, summing values on shared rows.
+
+    This is Algorithm 1 line 20: ``noisy_gradient <- gradient + noise``,
+    where the gradient covers the current batch's rows and the noise
+    covers the next batch's rows.  The reference (allocating)
+    implementation; :func:`fused_merge` is the arena-backed fast path
+    and :mod:`tests.test_kernels` pins their equivalence.
+    """
+    if rows_a.size == 0:
+        return rows_b, values_b
+    if rows_b.size == 0:
+        return rows_a, values_a
+    rows = np.union1d(rows_a, rows_b)
+    dim = values_a.shape[1]
+    values = np.zeros((rows.shape[0], dim), dtype=np.float64)
+    values[np.searchsorted(rows, rows_a)] += values_a
+    values[np.searchsorted(rows, rows_b)] += values_b
+    return rows, values
+
+
+def _sorted_unique(rows: np.ndarray) -> bool:
+    """Cheap strictly-increasing check (one vectorised compare)."""
+    if rows.size < 2:
+        return True
+    return bool(np.all(rows[1:] > rows[:-1]))
+
+
+def fused_merge(
+    grad_rows: np.ndarray,
+    grad_values: np.ndarray,
+    noise_rows: np.ndarray,
+    noise_values: np.ndarray,
+    arena: BufferArena,
+) -> tuple:
+    """Merge two sorted-unique sparse update sets in one pass.
+
+    Returns ``(rows, values)``.  When both sides are non-empty the
+    arrays are arena views (valid until the next ``merge.*`` request);
+    a one-sided merge returns the caller's arrays unchanged, exactly
+    like :func:`merge_sparse_updates`'s early returns.
+
+    Each union slot is written exactly once: gradient-only slots take
+    the gradient value, noise-only slots the noise value, and shared
+    slots the single sum ``grad + noise`` — the "one summed write"
+    invariant double application of either operand would break.
+    """
+    na, nb = grad_rows.size, noise_rows.size
+    if na == 0:
+        return noise_rows, noise_values
+    if nb == 0:
+        return grad_rows, grad_values
+    dim = grad_values.shape[1]
+
+    # One binary-search pass positions every noise row among the grad
+    # rows; equality at the insertion point marks a shared row.
+    insert = np.searchsorted(grad_rows, noise_rows)
+    shared = grad_rows[np.minimum(insert, na - 1)] == noise_rows
+    shared &= insert < na
+    n_shared = int(np.count_nonzero(shared))
+    n_union = na + nb - n_shared
+
+    rows = arena.request("merge.rows", (n_union,), np.int64)
+    values = arena.request("merge.values", (n_union, dim), np.float64)
+
+    if n_shared == 0:
+        # Disjoint: standard merge arithmetic, direct scatters.
+        pos_b = insert + np.arange(nb, dtype=np.int64)
+        pos_a = np.arange(na, dtype=np.int64)
+        pos_a += np.searchsorted(noise_rows, grad_rows)
+        rows[pos_a] = grad_rows
+        rows[pos_b] = noise_rows
+        values[pos_a] = grad_values
+        values[pos_b] = noise_values
+        return rows, values
+
+    # General case.  A noise row's union position is its insertion point
+    # among grad rows plus the number of noise-only rows before it; a
+    # grad row's is its own index plus the noise-only rows before it.
+    keep = ~shared
+    before = np.cumsum(keep)
+    before -= keep  # exclusive cumsum: noise-only rows strictly earlier
+    pos_b = insert + before
+    only_b = np.nonzero(keep)[0]
+    b_rows = noise_rows[only_b]
+    pos_a = np.arange(na, dtype=np.int64)
+    pos_a += np.searchsorted(b_rows, grad_rows)
+
+    rows[pos_a] = grad_rows
+    values[pos_a] = grad_values
+
+    pos_only_b = pos_b[only_b]
+    rows[pos_only_b] = b_rows
+    gathered = arena.request("merge.gather", (only_b.size, dim), np.float64)
+    np.take(noise_values, only_b, axis=0, out=gathered)
+    values[pos_only_b] = gathered
+
+    # Shared rows: one summed write (grad + noise), overwriting the
+    # gradient value scattered above.
+    in_b = np.nonzero(shared)[0]
+    in_a = insert[in_b]
+    acc = arena.request("merge.shared_a", (in_b.size, dim), np.float64)
+    acc_b = arena.request("merge.shared_b", (in_b.size, dim), np.float64)
+    np.take(grad_values, in_a, axis=0, out=acc)
+    np.take(noise_values, in_b, axis=0, out=acc_b)
+    acc += acc_b
+    values[pos_b[in_b]] = acc
+    return rows, values
+
+
+def apply_sparse_update(
+    table: np.ndarray,
+    rows: np.ndarray,
+    values: np.ndarray,
+    learning_rate: float,
+    arena: BufferArena | None = None,
+    row_base: int = 0,
+    out: np.ndarray | None = None,
+    values_writable: bool = False,
+) -> None:
+    """``table[rows - row_base] -= lr * values`` in one slab traversal.
+
+    Bitwise-identical to the fancy-indexed reference expression (the
+    same ``value - lr * merged`` per element), but the gathered rows,
+    the scaled product and the shifted index vector live in arena
+    scratch, so a warm steady-state call allocates nothing.
+
+    ``row_base`` shifts global row ids into a contiguous shard slab's
+    local window.  ``out`` redirects the written rows into a different
+    array of the same geometry (the serving engine's memo) instead of
+    updating ``table`` in place.  ``values_writable=True`` lets the
+    kernel scale ``values`` in place (legal only for scratch the caller
+    does not reuse, e.g. a :func:`fused_merge` view).
+    """
+    n = rows.size
+    if n == 0:
+        return
+    if arena is None:
+        index = rows - row_base if row_base else rows
+        if out is None:
+            table[index] -= learning_rate * values
+        else:
+            out[index] = table[index] - learning_rate * values
+        return
+
+    if row_base:
+        index = arena.request("apply.rows", (n,), np.int64)
+        np.subtract(rows, row_base, out=index)
+    else:
+        index = rows
+    if values_writable:
+        scaled = values
+        np.multiply(values, learning_rate, out=scaled)
+    else:
+        scaled = arena.request("apply.scaled", values.shape, np.float64)
+        np.multiply(values, learning_rate, out=scaled)
+    gathered = arena.request("apply.gathered", values.shape, np.float64)
+    np.take(table, index, axis=0, out=gathered)
+    np.subtract(gathered, scaled, out=gathered)
+    (table if out is None else out)[index] = gathered
+
+
+def fused_noisy_update(
+    table: np.ndarray,
+    learning_rate: float,
+    grad_rows: np.ndarray,
+    grad_values: np.ndarray,
+    noise_rows: np.ndarray,
+    noise_values: np.ndarray,
+    arena: BufferArena | None = None,
+    row_base: int = 0,
+    timer=None,
+) -> int:
+    """The fused apply phase: merge gradient + staged noise, write the slab.
+
+    Single-pass replacement for ``merge_sparse_updates`` followed by
+    ``table[rows] -= lr * values`` (Algorithm 1 lines 19-25), preserving
+    the phase's two stage timings (``noisy_grad_generation`` /
+    ``noisy_grad_update``) and surfacing the arena's hit/alloc counters
+    through ``timer.count`` so ``StageTimer.stats()`` reports whether
+    the steady state really allocates nothing.  Returns the number of
+    union rows written.
+    """
+    if arena is None:
+        arena = BufferArena()
+    hits0, allocs0 = arena.hits, arena.allocs
+    sortable = _sorted_unique(grad_rows) and _sorted_unique(noise_rows)
+
+    generation = timer.time("noisy_grad_generation") if timer else nullcontext()
+    with generation:
+        if sortable:
+            rows, values = fused_merge(
+                grad_rows, grad_values, noise_rows, noise_values, arena
+            )
+        else:
+            # Fallback: correctness over allocation-freedom for inputs
+            # no hot path produces.
+            rows, values = merge_sparse_updates(
+                grad_rows, grad_values, noise_rows, noise_values
+            )
+
+    # A one-sided merge aliases the caller's arrays; only kernel-owned
+    # scratch may be scaled in place.
+    writable = values is not grad_values and values is not noise_values
+    update = timer.time("noisy_grad_update") if timer else nullcontext()
+    with update:
+        apply_sparse_update(
+            table,
+            rows,
+            values,
+            learning_rate,
+            arena=arena,
+            row_base=row_base,
+            values_writable=writable,
+        )
+    if timer is not None:
+        timer.count("arena_hits", arena.hits - hits0)
+        timer.count("arena_allocs", arena.allocs - allocs0)
+    return int(rows.size)

@@ -28,6 +28,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..kernels import BufferArena, batched_catchup_sum
 from ..rng import NoiseStream
 
 
@@ -74,11 +75,20 @@ def plan_catchup(history, table_index: int, next_rows: np.ndarray,
 
 
 class ANSEngine:
-    """Draws catch-up noise for rows with heterogeneous delays."""
+    """Draws catch-up noise for rows with heterogeneous delays.
 
-    def __init__(self, noise_stream: NoiseStream, enabled: bool = True):
+    ``arena`` provides scratch (Philox counter blocks) for the batched
+    no-ANS replay; engines default to a private one.  Like the engine's
+    draw counter, the arena is single-threaded state — per-shard engines
+    each own their own, which is what keeps the parallel executors and
+    the prefetch worker lock-free.
+    """
+
+    def __init__(self, noise_stream: NoiseStream, enabled: bool = True,
+                 arena: BufferArena | None = None):
         self.noise_stream = noise_stream
         self.enabled = bool(enabled)
+        self.arena = arena if arena is not None else BufferArena()
         # Instrumentation: how many scalar Gaussian draws were requested.
         self.samples_drawn = 0
 
@@ -137,24 +147,15 @@ class ANSEngine:
                    std: float) -> np.ndarray:
         """Sum each row's individually-keyed deferred draws (no ANS).
 
-        Iterates over lag ``k``: at lag ``k`` every row with ``delay >= k``
-        receives its iteration ``iteration - k + 1`` value.  Total draw
-        count is ``sum(delays)`` — the cost profile of LazyDP w/o ANS.
+        Every ``(row, lag)`` value is generated in one flattened Philox
+        invocation and segment-summed (``repro.kernels.sampler``) —
+        O(1) kernel launches instead of the historical one-per-lag loop,
+        for the same draws.  Total draw count is still ``sum(delays)``,
+        the cost profile of LazyDP w/o ANS.
         """
-        total = np.zeros((rows.size, dim), dtype=np.float64)
-        max_delay = int(delays.max()) if delays.size else 0
-        # Visit rows in descending-delay order so each lag touches a prefix.
-        order = np.argsort(-delays, kind="stable")
-        ordered_rows = rows[order]
-        ordered_delays = delays[order]
-        for lag in range(1, max_delay + 1):
-            active = int(np.searchsorted(-ordered_delays, -lag, side="right"))
-            if active == 0:
-                break
-            chunk = self.noise_stream.row_noise(
-                table_index, ordered_rows[:active], iteration - lag + 1,
-                dim, std=std,
-            )
-            total[order[:active]] += chunk
-            self.samples_drawn += active * dim
+        total = batched_catchup_sum(
+            self.noise_stream, table_index, rows, delays, iteration,
+            dim, std=std, arena=self.arena,
+        )
+        self.samples_drawn += int(delays.sum()) * dim
         return total

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..kernels import BufferArena, apply_sparse_update
 from ..nn.dlrm import DLRM
 from ..rng import NoiseStream
 from .ans import ANSEngine
@@ -31,6 +32,8 @@ class LazyNoiseEngine:
         ]
         self.flush_chunk_rows = int(flush_chunk_rows)
         self.flushed_through: int | None = None
+        #: Scratch for the flush's slab writes; chunked walks reuse it.
+        self.arena = BufferArena()
 
     @property
     def use_ans(self) -> bool:
@@ -80,7 +83,10 @@ class LazyNoiseEngine:
                     table_index, rows, delays, final_iteration,
                     bag.dim, std,
                 )
-                bag.table.data[rows] -= learning_rate * noise
+                apply_sparse_update(
+                    bag.table.data, rows, noise, learning_rate,
+                    arena=self.arena, values_writable=True,
+                )
                 history.mark_updated(rows, final_iteration)
             caught_up += int(pending.size)
         self.flushed_through = int(final_iteration)

@@ -164,6 +164,11 @@ class _PipelineHost:
             "plans_computed":
                 self._worker.plans_computed if self._worker else 0,
             "worker_stage_seconds": self.worker_timer.as_dict(),
+            # Fused-kernel instrumentation (arena reuse on the apply
+            # side, sampler scratch on the worker side) — the apply
+            # phase delegates to repro.kernels, so its zero-allocation
+            # steady state is observable from here too.
+            "kernel": self.kernel_stats(),
         }
 
 

@@ -26,6 +26,7 @@ from .philox import (
     derive_key,
     make_counters,
     philox4x32,
+    philox_invocations,
     splitmix64,
     uniform_from_uint32,
 )
@@ -47,6 +48,7 @@ __all__ = [
     "derive_key",
     "make_counters",
     "philox4x32",
+    "philox_invocations",
     "splitmix64",
     "uniform_from_uint32",
 ]

@@ -49,8 +49,14 @@ class NoiseStream:
     # ------------------------------------------------------------------
     # Per-row embedding noise (the values LazyDP defers).
     # ------------------------------------------------------------------
-    def row_noise(self, table_id: int, rows: np.ndarray, iteration: int,
-                  dim: int, std: float = 1.0) -> np.ndarray:
+    def row_noise(
+        self,
+        table_id: int,
+        rows: np.ndarray,
+        iteration: int,
+        dim: int,
+        std: float = 1.0,
+    ) -> np.ndarray:
         """N(0, std^2) noise for ``rows`` of ``table_id`` at ``iteration``.
 
         Returns a ``(len(rows), dim)`` float64 array.  The value for a given
@@ -66,26 +72,70 @@ class NoiseStream:
             gaussians *= std
         return gaussians
 
-    def row_noise_sum(self, table_id: int, rows: np.ndarray,
-                      first_iteration: int, last_iteration: int,
-                      dim: int, std: float = 1.0) -> np.ndarray:
+    def row_iteration_noise(
+        self,
+        table_id: int,
+        rows: np.ndarray,
+        iterations: np.ndarray,
+        dim: int,
+        std: float = 1.0,
+        arena=None,
+    ) -> np.ndarray:
+        """Per-draw keyed noise: draw ``k`` is the ``(table_id, rows[k],
+        iterations[k])`` value — the batched generalisation of
+        :meth:`row_noise`.
+
+        One Philox invocation covers the whole ``(row, iteration)`` draw
+        list, which is how the batched no-ANS sampler
+        (``repro.kernels.sampler``) collapses its per-lag launch loop.
+        Each draw is bit-identical to the :meth:`row_noise` value of the
+        same coordinates.  ``arena`` optionally supplies scratch for the
+        Philox counter blocks.
+        """
+        rows = np.asarray(rows, dtype=np.uint64)
+        iterations = np.asarray(iterations, dtype=np.int64)
+        if rows.ndim != 1:
+            raise ValueError("rows must be a 1-D array of row indices")
+        if iterations.shape != rows.shape:
+            raise ValueError("iterations must align with rows")
+        key = derive_key(self.seed, DOMAIN_ROW_NOISE, table_id)
+        gaussians = self._keyed_gaussians(key, rows, iterations, dim, arena=arena)
+        if std != 1.0:
+            gaussians *= std
+        return gaussians
+
+    def row_noise_sum(
+        self,
+        table_id: int,
+        rows: np.ndarray,
+        first_iteration: int,
+        last_iteration: int,
+        dim: int,
+        std: float = 1.0,
+    ) -> np.ndarray:
         """Exact sum of per-iteration row noise over an inclusive range.
 
         This is what LazyDP *without* ANS applies when it catches a row up:
         the same values eager DP-SGD would have applied one at a time
-        (paper Algorithm 1, lines 31-35).
+        (paper Algorithm 1, lines 31-35), generated in a single flattened
+        invocation and segment-summed (value-equal to the one-at-a-time
+        loop; only the accumulation order differs, within float rounding).
         """
-        if last_iteration < first_iteration:
-            return np.zeros((len(np.atleast_1d(rows)), dim), dtype=np.float64)
-        total = None
-        for iteration in range(int(first_iteration), int(last_iteration) + 1):
-            sample = self.row_noise(table_id, rows, iteration, dim, std)
-            total = sample if total is None else total + sample
-        return total
+        from ..kernels.sampler import batched_row_noise_sum
 
-    def aggregated_row_noise(self, table_id: int, rows: np.ndarray,
-                             delays: np.ndarray, iteration: int,
-                             dim: int, std: float = 1.0) -> np.ndarray:
+        return batched_row_noise_sum(
+            self, table_id, rows, first_iteration, last_iteration, dim, std=std
+        )
+
+    def aggregated_row_noise(
+        self,
+        table_id: int,
+        rows: np.ndarray,
+        delays: np.ndarray,
+        iteration: int,
+        dim: int,
+        std: float = 1.0,
+    ) -> np.ndarray:
         """One ANS draw per row: N(0, delays * std^2) (paper Theorem 5.1).
 
         ``delays`` holds, per row, how many per-iteration noise values the
@@ -102,13 +152,17 @@ class NoiseStream:
         key = derive_key(self.seed, DOMAIN_ANS_NOISE, table_id)
         gaussians = self._keyed_gaussians(key, rows, int(iteration), dim)
         scale = std * np.sqrt(delays)
-        return gaussians * scale[:, None]
+        # The freshly generated block is scaled in place — no second
+        # full-size array per call on this bandwidth-bound path.
+        gaussians *= scale[:, None]
+        return gaussians
 
     # ------------------------------------------------------------------
     # Dense (MLP) noise and generic draws.
     # ------------------------------------------------------------------
-    def dense_noise(self, param_id: int, iteration: int, shape: tuple,
-                    std: float = 1.0) -> np.ndarray:
+    def dense_noise(
+        self, param_id: int, iteration: int, shape: tuple, std: float = 1.0
+    ) -> np.ndarray:
         """Per-iteration N(0, std^2) noise for a dense parameter tensor."""
         count = int(np.prod(shape)) if shape else 1
         key = derive_key(self.seed, DOMAIN_DENSE_NOISE, param_id)
@@ -116,32 +170,33 @@ class NoiseStream:
             key, np.arange(1, dtype=np.uint64), int(iteration), count
         )[0]
         if std != 1.0:
-            flat = flat * std
+            flat *= std
         return flat.reshape(shape)
 
-    def init_values(self, param_id: int, shape: tuple,
-                    std: float = 1.0) -> np.ndarray:
+    def init_values(self, param_id: int, shape: tuple, std: float = 1.0) -> np.ndarray:
         """Deterministic Gaussian weight-initialisation values."""
         count = int(np.prod(shape)) if shape else 1
         key = derive_key(self.seed, DOMAIN_INIT, param_id)
-        flat = self._keyed_gaussians(
-            key, np.arange(1, dtype=np.uint64), 0, count
-        )[0]
+        flat = self._keyed_gaussians(key, np.arange(1, dtype=np.uint64), 0, count)[0]
         if std != 1.0:
-            flat = flat * std
+            flat *= std
         return flat.reshape(shape)
 
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
     @staticmethod
-    def _keyed_gaussians(key: np.ndarray, rows: np.ndarray, iteration: int,
-                         dim: int) -> np.ndarray:
-        """Produce ``(len(rows), dim)`` Gaussians for one (key, iteration).
+    def _keyed_gaussians(
+        key: np.ndarray, rows: np.ndarray, iteration, dim: int, arena=None
+    ) -> np.ndarray:
+        """Produce ``(len(rows), dim)`` Gaussians for one key.
 
-        Each Philox block yields 4 Gaussians, so a row of width ``dim``
-        consumes ``ceil(dim / 4)`` counter blocks distinguished by counter
-        word 3.
+        ``iteration`` is a scalar (every row drawn at the same iteration,
+        the :meth:`row_noise` case) or a per-row int64 array (the batched
+        :meth:`row_iteration_noise` case).  Each Philox block yields 4
+        Gaussians, so a row of width ``dim`` consumes ``ceil(dim / 4)``
+        counter blocks distinguished by counter word 3.  ``arena``
+        optionally provides the counter-block scratch.
         """
         if dim <= 0:
             raise ValueError("dim must be positive")
@@ -152,11 +207,22 @@ class NoiseStream:
         row_lo = (rows & _U32).astype(np.uint32)
         row_hi = (rows >> np.uint64(32)).astype(np.uint32)
         block_idx = np.arange(blocks_per_row, dtype=np.uint32)
+        if np.ndim(iteration) == 0:
+            word2 = np.uint32(int(iteration) & 0xFFFFFFFF)
+        else:
+            iters = np.asarray(iteration, dtype=np.uint64)
+            word2 = np.repeat((iters & _U32).astype(np.uint32), blocks_per_row)
+        out = None
+        if arena is not None:
+            out = arena.request(
+                "rng.counters", (n_rows * blocks_per_row, 4), np.uint32
+            )
         counters = make_counters(
             np.repeat(row_lo, blocks_per_row),
             np.repeat(row_hi, blocks_per_row),
-            np.uint32(iteration & 0xFFFFFFFF),
+            word2,
             np.tile(block_idx, n_rows),
+            out=out,
         )
         words = philox4x32(counters, key)
         gaussians = gaussians_from_uint32_block(words)

@@ -17,6 +17,8 @@ All functions are vectorised over numpy arrays of counters.
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 
 # Philox4x32 round constants (Salmon et al., Table 2).
@@ -29,6 +31,24 @@ PHILOX_ROUNDS = 10
 
 _U32_MASK = np.uint64(0xFFFFFFFF)
 _SHIFT_32 = np.uint64(32)
+
+#: Cumulative count of :func:`philox4x32` invocations ("kernel launches").
+#: Each invocation processes an arbitrarily large counter batch, so this
+#: counts launch *overheads*, not work — the number the batched no-ANS
+#: sampler collapses from O(max_delay) to O(1) per catch-up (see
+#: ``repro.kernels.sampler`` and ``benchmarks/bench_apply_fusion.py``).
+#: Guarded by a lock: shard executors, the prefetch worker and the async
+#: apply worker all invoke Philox concurrently, and a bare ``+=`` on a
+#: global drops increments under preemption.  One lock acquisition per
+#: *batch* (not per element) is noise next to the cipher itself.
+_INVOCATIONS = 0
+_INVOCATIONS_LOCK = threading.Lock()
+
+
+def philox_invocations() -> int:
+    """Total :func:`philox4x32` calls so far (diagnostics only)."""
+    with _INVOCATIONS_LOCK:
+        return _INVOCATIONS
 
 
 def _mulhilo(a: np.ndarray, m: np.uint64) -> tuple[np.ndarray, np.ndarray]:
@@ -43,8 +63,9 @@ def _mulhilo(a: np.ndarray, m: np.uint64) -> tuple[np.ndarray, np.ndarray]:
     return hi, lo
 
 
-def philox4x32(counters: np.ndarray, key: np.ndarray,
-               rounds: int = PHILOX_ROUNDS) -> np.ndarray:
+def philox4x32(
+    counters: np.ndarray, key: np.ndarray, rounds: int = PHILOX_ROUNDS
+) -> np.ndarray:
     """Run the Philox4x32 block cipher over a batch of counters.
 
     Parameters
@@ -61,6 +82,9 @@ def philox4x32(counters: np.ndarray, key: np.ndarray,
     -------
     ``(n, 4)`` uint32 array of pseudo-random words.
     """
+    global _INVOCATIONS
+    with _INVOCATIONS_LOCK:
+        _INVOCATIONS += 1
     counters = np.ascontiguousarray(counters, dtype=np.uint32)
     if counters.ndim != 2 or counters.shape[1] != 4:
         raise ValueError(f"counters must have shape (n, 4), got {counters.shape}")
@@ -124,14 +148,29 @@ def derive_key(seed: int, domain: int = 0, stream: int = 0) -> np.ndarray:
     return key
 
 
-def make_counters(word0: np.ndarray, word1: np.ndarray,
-                  word2: np.ndarray, word3: np.ndarray) -> np.ndarray:
+def make_counters(
+    word0: np.ndarray,
+    word1: np.ndarray,
+    word2: np.ndarray,
+    word3: np.ndarray,
+    out: np.ndarray | None = None,
+) -> np.ndarray:
     """Assemble a ``(n, 4)`` uint32 counter array from four word arrays.
 
     Inputs broadcast against each other; each must fit in 32 bits.
+    ``out`` optionally supplies the destination (an arena scratch block
+    in the hot path) — it must be ``(n, 4)`` uint32 and is returned.
     """
     broadcast = np.broadcast(word0, word1, word2, word3)
-    counters = np.empty((broadcast.size, 4), dtype=np.uint32)
+    if out is None:
+        counters = np.empty((broadcast.size, 4), dtype=np.uint32)
+    else:
+        if out.shape != (broadcast.size, 4) or out.dtype != np.uint32:
+            raise ValueError(
+                f"out must be ({broadcast.size}, 4) uint32, "
+                f"got {out.shape} {out.dtype}"
+            )
+        counters = out
     counters[:, 0] = np.broadcast_to(word0, broadcast.shape).ravel()
     counters[:, 1] = np.broadcast_to(word1, broadcast.shape).ravel()
     counters[:, 2] = np.broadcast_to(word2, broadcast.shape).ravel()

@@ -35,6 +35,7 @@ import threading
 
 import numpy as np
 
+from ..kernels import BufferArena, apply_sparse_update
 from ..lazydp.ans import ANSEngine
 
 
@@ -109,6 +110,8 @@ class PrivateServingEngine:
             np.zeros(table.shape[0], dtype=bool) for table in self._tables
         ]
         self._lock = threading.Lock()
+        #: Catch-up scratch, guarded by the same lock as the memo.
+        self._arena = BufferArena()
         #: Rows privatized so far (catch-up draws actually performed).
         self.rows_caught_up = 0
         #: Rows returned across all lookups (includes memo hits).
@@ -220,7 +223,13 @@ class PrivateServingEngine:
                 table_index, pending, delays[delays > 0], self.iteration,
                 table.shape[1], self.noise_std,
             )
-            served[pending] = table[pending] - self.learning_rate * noise
+            # Fused read-through write: gather the stored rows, subtract
+            # the scaled catch-up draw, land in the memo — same bits as
+            # ``served[pending] = table[pending] - lr * noise``.
+            apply_sparse_update(
+                table, pending, noise, self.learning_rate,
+                arena=self._arena, out=served, values_writable=True,
+            )
             self.rows_caught_up += int(pending.size)
         self._caught_up[table_index][rows] = True
 

@@ -79,6 +79,18 @@ class ShardSlab:
             return self.param.data[global_rows - self._start]
         return self.table.data[global_rows]
 
+    def update_target(self) -> tuple:
+        """``(array, row_base)`` the fused apply kernel writes through.
+
+        A contiguous slab resolves to its zero-copy window with the
+        window's global start as the row base; a hash slab resolves to
+        the flat table addressed by global ids.  Either way the kernel
+        touches exactly the bytes ``write_rows`` would.
+        """
+        if self.param is not None:
+            return self.param.data, self._start
+        return self.table.data, 0
+
     def write_rows(self, global_rows: np.ndarray, values: np.ndarray,
                    learning_rate: float) -> None:
         """``row -= lr * value`` for shard-owned rows (global ids).

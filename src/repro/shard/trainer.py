@@ -44,11 +44,12 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..kernels import BufferArena, apply_sparse_update, fused_noisy_update
 from ..lazydp.ans import ANSEngine
 from ..lazydp.trainer import LazyDPTrainer
 from ..nn.dlrm import DLRM
 from ..rng import NoiseStream
-from ..train.common import DPConfig, StageTimer, merge_sparse_updates
+from ..train.common import DPConfig, StageTimer
 from .executor import ShardExecutor, SerialExecutor, make_executor
 from .plan import PartitionPlan, build_partition_plan
 from .router import ShardRouter
@@ -84,6 +85,11 @@ class ShardedLazyNoiseEngine:
         ]
         self.flush_chunk_rows = int(flush_chunk_rows)
         self.flushed_through: int | None = None
+        #: Per-shard flush scratch — one arena per shard so the
+        #: shard-parallel flush stays lock-free.
+        self.shard_arenas = [
+            BufferArena() for _ in range(plan.num_shards)
+        ]
 
     @property
     def use_ans(self) -> bool:
@@ -119,7 +125,12 @@ class ShardedLazyNoiseEngine:
                     table_index, global_rows, delays, final_iteration,
                     bag.dim, std,
                 )
-                slab.write_rows(global_rows, noise, learning_rate)
+                target, row_base = slab.update_target()
+                apply_sparse_update(
+                    target, global_rows, noise, learning_rate,
+                    arena=self.shard_arenas[shard], row_base=row_base,
+                    values_writable=True,
+                )
                 shard_history.mark_updated(local, final_iteration)
         return int(pending_local.size)
 
@@ -190,6 +201,11 @@ class ShardedLazyDPTrainer(LazyDPTrainer):
         #: One StageTimer per shard, accumulating that shard's model-update
         #: stage times across all tables and iterations.
         self.shard_timers = [StageTimer() for _ in range(plan.num_shards)]
+        #: One apply-kernel arena per shard (shard tasks may run
+        #: concurrently; arenas are single-threaded by contract).
+        self.shard_apply_arenas = [
+            BufferArena() for _ in range(plan.num_shards)
+        ]
 
     def _build_engine(self, model: DLRM, use_ans: bool):
         """Hook from LazyDPTrainer: build the sharded engine directly
@@ -248,13 +264,16 @@ class ShardedLazyDPTrainer(LazyDPTrainer):
                      grad_rows: np.ndarray, grad_values: np.ndarray,
                      learning_rate: float, timer) -> None:
         """Stages 5-6 for one shard: merge with the gradient slice and
-        write through the shard's parameter slab."""
-        with timer.time("noisy_grad_generation"):
-            rows, values = merge_sparse_updates(
-                grad_rows, grad_values, noise_rows, noise_values,
-            )
-        with timer.time("noisy_grad_update"):
-            bag.slabs[shard].write_rows(rows, values, learning_rate)
+        write through the shard's parameter slab — one fused kernel
+        call against shard-owned scratch, so concurrent shard tasks
+        stay allocation- and lock-free."""
+        target, row_base = bag.slabs[shard].update_target()
+        fused_noisy_update(
+            target, learning_rate, grad_rows, grad_values,
+            noise_rows, noise_values,
+            arena=self.shard_apply_arenas[shard], row_base=row_base,
+            timer=timer,
+        )
 
     def _shard_update_task(self, table_index: int, bag: ShardedEmbeddingBag,
                            shard: int, next_global: np.ndarray,
@@ -318,6 +337,20 @@ class ShardedLazyDPTrainer(LazyDPTrainer):
             )
 
     # -- reporting ---------------------------------------------------------
+    def kernel_stats(self) -> dict:
+        """Flat kernel stats plus the per-shard arena/counter split."""
+        stats = super().kernel_stats()
+        stats["shard_apply_arenas"] = [
+            arena.stats() for arena in self.shard_apply_arenas
+        ]
+        stats["shard_sampler_arenas"] = [
+            engine.arena.stats() for engine in self.engine.shard_ans
+        ]
+        stats["shard_timer_counters"] = [
+            dict(timer.counters) for timer in self.shard_timers
+        ]
+        return stats
+
     def per_shard_breakdown(self) -> list:
         """Per-shard stage-time dicts (model-update stages only)."""
         return [dict(timer.totals) for timer in self.shard_timers]

@@ -37,6 +37,10 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..data.loader import DataLoader, LookaheadLoader
+# The reference merge kernel lives beside its fused single-pass
+# replacement in repro.kernels; re-exported here because every eager
+# trainer and historical import path spells it this way.
+from ..kernels.fused import merge_sparse_updates  # noqa: F401
 from ..nn.dlrm import DLRM
 from ..privacy.accountant import RDPAccountant
 from ..privacy.mechanisms import gradient_noise_std
@@ -65,10 +69,18 @@ LAZYDP_OVERHEAD_STAGES = (
 
 
 class StageTimer:
-    """Accumulates wall-clock time per named pipeline stage."""
+    """Accumulates wall-clock time per named pipeline stage.
+
+    Besides stage *times*, a timer carries event *counters* — e.g. the
+    fused apply kernel's BufferArena hit/alloc counts — kept in a
+    separate namespace so ``as_dict`` (consumed as seconds everywhere)
+    stays time-only; ``stats`` reports both.  Like the stage times,
+    counters are single-writer: each thread owns its own StageTimer.
+    """
 
     def __init__(self):
         self.totals: dict = {}
+        self.counters: dict = {}
 
     @contextmanager
     def time(self, stage: str):
@@ -78,6 +90,10 @@ class StageTimer:
         finally:
             elapsed = time.perf_counter() - start
             self.totals[stage] = self.totals.get(stage, 0.0) + elapsed
+
+    def count(self, name: str, value: int = 1) -> None:
+        """Accumulate an event counter (kernel/arena instrumentation)."""
+        self.counters[name] = self.counters.get(name, 0) + int(value)
 
     def total(self, *stages: str) -> float:
         if not stages:
@@ -92,6 +108,13 @@ class StageTimer:
 
     def as_dict(self) -> dict:
         return dict(self.totals)
+
+    def stats(self) -> dict:
+        """Stage seconds plus event counters, for reporting surfaces."""
+        return {
+            "stage_seconds": dict(self.totals),
+            "counters": dict(self.counters),
+        }
 
 
 @dataclass(frozen=True)
@@ -124,27 +147,6 @@ class TrainResult:
     @property
     def final_loss(self) -> float:
         return self.mean_losses[-1] if self.mean_losses else float("nan")
-
-
-def merge_sparse_updates(rows_a: np.ndarray, values_a: np.ndarray,
-                         rows_b: np.ndarray, values_b: np.ndarray
-                         ) -> tuple[np.ndarray, np.ndarray]:
-    """Union two sparse row-update sets, summing values on shared rows.
-
-    This is Algorithm 1 line 20: ``noisy_gradient <- gradient + noise``,
-    where the gradient covers the current batch's rows and the noise covers
-    the next batch's rows.
-    """
-    if rows_a.size == 0:
-        return rows_b, values_b
-    if rows_b.size == 0:
-        return rows_a, values_a
-    rows = np.union1d(rows_a, rows_b)
-    dim = values_a.shape[1]
-    values = np.zeros((rows.shape[0], dim), dtype=np.float64)
-    values[np.searchsorted(rows, rows_a)] += values_a
-    values[np.searchsorted(rows, rows_b)] += values_b
-    return rows, values
 
 
 class TrainerBase:

@@ -143,8 +143,8 @@ class TestCommittedBaseline:
             assert spec["direction"] in ("higher", "lower")
             assert float(spec["value"]) > 0.0
 
-    def test_baseline_covers_all_three_smoke_benches(self):
+    def test_baseline_covers_all_smoke_benches(self):
         baseline = jsonreport.load_baseline()
         benches = {key.partition("/")[0] for key in baseline["metrics"]}
         assert benches == {"shard_scaling", "pipeline_overlap",
-                           "async_inflight"}
+                           "async_inflight", "apply_fusion"}

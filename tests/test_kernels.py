@@ -1,0 +1,393 @@
+"""The fused apply kernels, pinned against their reference two-step.
+
+Three contracts:
+
+* ``fused_noisy_update`` produces the same slab bits as
+  ``merge_sparse_updates`` + ``table[rows] -= lr * values`` across
+  empty / disjoint / partially- and fully-overlapping row sets — shared
+  rows see exactly one summed write.
+* ``BufferArena`` reuse: a warm steady state allocates nothing.
+* the batched no-ANS sampler equals the historical per-lag loop in
+  value and in ``samples_drawn`` accounting, with O(1) (budget-bounded,
+  ``max_delay``-independent) Philox invocations instead of O(max_delay).
+"""
+
+import numpy as np
+import pytest
+
+from repro.kernels import (
+    BufferArena,
+    apply_sparse_update,
+    batched_catchup_sum,
+    fused_merge,
+    fused_noisy_update,
+    merge_sparse_updates,
+)
+from repro.lazydp import ANSEngine
+from repro.rng import NoiseStream, philox_invocations
+from repro.train.common import StageTimer
+
+
+def _sorted_rows(rng, universe, n):
+    return np.sort(rng.choice(universe, size=n, replace=False)).astype(np.int64)
+
+
+def _reference_apply(table, lr, grad_rows, grad_values, noise_rows, noise_values):
+    rows, values = merge_sparse_updates(
+        grad_rows, grad_values, noise_rows, noise_values
+    )
+    if rows.size:
+        table[rows] -= lr * values
+    return rows, values
+
+
+def _case(rng, universe, na, nb, dim, overlap=None):
+    """One (grad, noise) update pair; ``overlap`` forces shared rows."""
+    grad_rows = _sorted_rows(rng, universe, na) if na else np.empty(0, np.int64)
+    if overlap == "full":
+        noise_rows = grad_rows.copy()
+    elif overlap == "none" and na and nb:
+        pool = np.setdiff1d(np.arange(universe), grad_rows)
+        noise_rows = np.sort(rng.choice(pool, size=nb, replace=False))
+    elif nb:
+        noise_rows = _sorted_rows(rng, universe, nb)
+    else:
+        noise_rows = np.empty(0, np.int64)
+    return (
+        grad_rows,
+        rng.standard_normal((grad_rows.size, dim)),
+        noise_rows,
+        rng.standard_normal((noise_rows.size, dim)),
+    )
+
+
+CASES = [
+    ("both_empty", 0, 0, 4, None),
+    ("empty_grad", 0, 7, 4, None),
+    ("empty_noise", 9, 0, 4, None),
+    ("disjoint", 13, 11, 8, "none"),
+    ("partial_overlap", 50, 60, 8, None),
+    ("full_overlap", 32, 32, 16, "full"),
+    ("single_single", 1, 1, 4, None),
+    ("wide_dim", 40, 30, 64, None),
+]
+
+
+class TestFusedNoisyUpdate:
+    @pytest.mark.parametrize("name,na,nb,dim,overlap", CASES)
+    def test_matches_reference_two_step(self, name, na, nb, dim, overlap):
+        rng = np.random.default_rng(hash(name) % (2**32))
+        universe = 200
+        grad_rows, grad_values, noise_rows, noise_values = _case(
+            rng, universe, na, nb, dim, overlap
+        )
+        reference = rng.standard_normal((universe, dim))
+        fused = reference.copy()
+        _reference_apply(
+            reference, 0.05, grad_rows, grad_values, noise_rows, noise_values
+        )
+        fused_noisy_update(
+            fused, 0.05, grad_rows, grad_values, noise_rows, noise_values,
+            arena=BufferArena(),
+        )
+        assert fused.tobytes() == reference.tobytes()
+
+    def test_shared_rows_see_one_summed_write(self):
+        """A shared row must be written once with grad + noise — double
+        application of either operand is the bug class this pins."""
+        table = np.full((4, 2), 10.0)
+        rows = np.array([1, 2])
+        grad = np.full((2, 2), 3.0)
+        noise = np.full((2, 2), 5.0)
+        fused_noisy_update(table, 1.0, rows, grad, rows, noise, arena=BufferArena())
+        np.testing.assert_array_equal(table[1], [2.0, 2.0])  # 10 - (3 + 5)
+        np.testing.assert_array_equal(table[0], [10.0, 10.0])
+
+    def test_property_random_sweep(self):
+        rng = np.random.default_rng(42)
+        for _ in range(60):
+            universe = int(rng.integers(5, 400))
+            na = int(rng.integers(0, min(universe, 80)))
+            nb = int(rng.integers(0, min(universe, 80)))
+            dim = int(rng.choice([1, 3, 4, 8, 17]))
+            grad_rows, grad_values, noise_rows, noise_values = _case(
+                rng, universe, na, nb, dim
+            )
+            reference = rng.standard_normal((universe, dim))
+            fused = reference.copy()
+            _reference_apply(
+                reference, 0.1, grad_rows, grad_values, noise_rows, noise_values
+            )
+            fused_noisy_update(
+                fused, 0.1, grad_rows, grad_values, noise_rows, noise_values,
+                arena=BufferArena(),
+            )
+            assert fused.tobytes() == reference.tobytes()
+
+    def test_merged_rows_are_unique_sorted(self):
+        rng = np.random.default_rng(3)
+        arena = BufferArena()
+        for _ in range(20):
+            grad_rows, grad_values, noise_rows, noise_values = _case(
+                rng, 100, 30, 25, 4
+            )
+            rows, values = fused_merge(
+                grad_rows, grad_values, noise_rows, noise_values, arena
+            )
+            assert np.all(np.diff(rows) > 0)  # strictly increasing => unique
+            expected_rows, expected_values = merge_sparse_updates(
+                grad_rows, grad_values, noise_rows, noise_values
+            )
+            np.testing.assert_array_equal(rows, expected_rows)
+            np.testing.assert_array_equal(values, expected_values)
+
+    def test_unsorted_inputs_fall_back_correctly(self):
+        rng = np.random.default_rng(5)
+        grad_rows = np.array([7, 2, 9], dtype=np.int64)  # unsorted
+        grad_values = rng.standard_normal((3, 4))
+        noise_rows = np.array([2, 11], dtype=np.int64)
+        noise_values = rng.standard_normal((2, 4))
+        reference = rng.standard_normal((20, 4))
+        fused = reference.copy()
+        _reference_apply(
+            reference, 0.2, grad_rows, grad_values, noise_rows, noise_values
+        )
+        fused_noisy_update(
+            fused, 0.2, grad_rows, grad_values, noise_rows, noise_values,
+            arena=BufferArena(),
+        )
+        assert fused.tobytes() == reference.tobytes()
+
+    def test_row_base_addresses_slab_window(self):
+        """row_base shifts global ids into a contiguous slab window."""
+        rng = np.random.default_rng(8)
+        table = rng.standard_normal((50, 4))
+        window = table[20:40]
+        reference = table.copy()
+        rows = np.array([23, 31, 39], dtype=np.int64)
+        values = rng.standard_normal((3, 4))
+        reference[rows] -= 0.5 * values
+        fused_noisy_update(
+            window, 0.5, rows, values,
+            np.empty(0, np.int64), np.zeros((0, 4)),
+            arena=BufferArena(), row_base=20,
+        )
+        assert table.tobytes() == reference.tobytes()
+
+    def test_out_redirects_to_memo(self):
+        """The serving engine's read-through: source stays untouched,
+        the privatized rows land in ``out``."""
+        rng = np.random.default_rng(9)
+        table = rng.standard_normal((10, 3))
+        source_bits = table.tobytes()
+        memo = np.zeros_like(table)
+        rows = np.array([2, 5], dtype=np.int64)
+        noise = rng.standard_normal((2, 3))
+        expected = table[rows] - 0.3 * noise
+        apply_sparse_update(
+            table, rows, noise, 0.3, arena=BufferArena(), out=memo
+        )
+        assert table.tobytes() == source_bits
+        np.testing.assert_array_equal(memo[rows], expected)
+        assert np.all(memo[[0, 1, 3, 4, 6, 7, 8, 9]] == 0.0)
+
+    def test_stage_timing_and_counters_reported(self):
+        rng = np.random.default_rng(11)
+        timer = StageTimer()
+        arena = BufferArena()
+        grad_rows, grad_values, noise_rows, noise_values = _case(
+            rng, 100, 20, 20, 4
+        )
+        table = rng.standard_normal((100, 4))
+        fused_noisy_update(
+            table, 0.1, grad_rows, grad_values, noise_rows, noise_values,
+            arena=arena, timer=timer,
+        )
+        assert "noisy_grad_generation" in timer.totals
+        assert "noisy_grad_update" in timer.totals
+        stats = timer.stats()
+        assert stats["counters"]["arena_allocs"] > 0
+        assert stats["counters"]["arena_hits"] >= 0
+
+
+class TestBufferArena:
+    def test_steady_state_allocates_nothing(self):
+        rng = np.random.default_rng(13)
+        arena = BufferArena()
+        table = rng.standard_normal((200, 8))
+        case = _case(rng, 200, 40, 40, 8)
+        fused_noisy_update(table, 0.1, *case, arena=arena)
+        warm_allocs = arena.allocs
+        for _ in range(10):
+            fused_noisy_update(table, 0.1, *case, arena=arena)
+        assert arena.allocs == warm_allocs  # zero-allocation steady state
+        assert arena.hits > 0
+
+    def test_buffers_grow_geometrically_and_shrink_requests_hit(self):
+        arena = BufferArena()
+        first = arena.request("x", (10,), np.float64)
+        assert arena.allocs == 1 and first.shape == (10,)
+        again = arena.request("x", (6,), np.float64)
+        assert arena.hits == 1 and again.shape == (6,)
+        bigger = arena.request("x", (11,), np.float64)
+        assert arena.allocs == 2 and bigger.shape == (11,)
+        # Doubling: the grow allocated capacity 20, so 20 still hits.
+        assert arena.request("x", (20,), np.float64).shape == (20,)
+        assert arena.allocs == 2
+
+    def test_distinct_keys_never_alias(self):
+        arena = BufferArena()
+        a = arena.request("a", (4,), np.float64)
+        b = arena.request("b", (4,), np.float64)
+        a[:] = 1.0
+        b[:] = 2.0
+        assert np.all(a == 1.0)
+
+    def test_dtype_change_reallocates(self):
+        arena = BufferArena()
+        arena.request("k", (8,), np.float64)
+        ints = arena.request("k", (8,), np.int64)
+        assert ints.dtype == np.int64
+        assert arena.allocs == 2
+
+    def test_stats_and_clear(self):
+        arena = BufferArena()
+        arena.request("k", (8,), np.float64)
+        stats = arena.stats()
+        assert stats["allocs"] == 1 and stats["nbytes"] == 64
+        arena.clear()
+        assert arena.stats()["nbytes"] == 0
+
+
+def _looped_exact_sum(stream, table_id, rows, delays, iteration, dim, std):
+    """The historical per-lag loop the batched sampler replaced."""
+    total = np.zeros((rows.size, dim), dtype=np.float64)
+    max_delay = int(delays.max()) if delays.size else 0
+    order = np.argsort(-delays, kind="stable")
+    ordered_rows = rows[order]
+    ordered_delays = delays[order]
+    for lag in range(1, max_delay + 1):
+        active = int(np.searchsorted(-ordered_delays, -lag, side="right"))
+        if active == 0:
+            break
+        total[order[:active]] += stream.row_noise(
+            table_id, ordered_rows[:active], iteration - lag + 1, dim, std=std
+        )
+    return total
+
+
+class TestBatchedSampler:
+    @pytest.fixture
+    def stream(self):
+        return NoiseStream(seed=123)
+
+    def test_equals_lag_loop(self, stream):
+        rng = np.random.default_rng(17)
+        rows = _sorted_rows(rng, 1000, 64)
+        delays = rng.integers(0, 30, size=64).astype(np.int64)
+        batched = batched_catchup_sum(
+            stream, 2, rows, delays, 35, 8, std=0.7, arena=BufferArena()
+        )
+        looped = _looped_exact_sum(stream, 2, rows, delays, 35, 8, 0.7)
+        np.testing.assert_allclose(batched, looped, atol=1e-12)
+
+    def test_zero_delay_rows_exactly_zero(self, stream):
+        rows = np.array([1, 2, 3], dtype=np.int64)
+        delays = np.array([0, 4, 0], dtype=np.int64)
+        out = batched_catchup_sum(stream, 0, rows, delays, 9, 4)
+        assert np.all(out[[0, 2]] == 0.0)
+        assert np.all(out[1] != 0.0)
+
+    def test_row_purity_under_partitioning(self, stream):
+        """A row's catch-up sum is identical no matter which other rows
+        are batched with it — the invariant sharded-vs-serial bitwise
+        equality rests on."""
+        rng = np.random.default_rng(19)
+        rows = _sorted_rows(rng, 500, 40)
+        delays = rng.integers(1, 25, size=40).astype(np.int64)
+        whole = batched_catchup_sum(stream, 1, rows, delays, 30, 8, std=0.5)
+        split = np.empty_like(whole)
+        for part in (slice(0, 13), slice(13, 31), slice(31, 40)):
+            split[part] = batched_catchup_sum(
+                stream, 1, rows[part], delays[part], 30, 8, std=0.5
+            )
+        assert whole.tobytes() == split.tobytes()
+
+    def test_oversized_row_windowed_path(self, stream):
+        """A row whose delay exceeds the per-row budget is summed in
+        bounded lag windows — value-equal to the lag loop, and still a
+        pure function of the row (partition- and chunk-invariant)."""
+        rows = np.array([5, 9, 40], dtype=np.int64)
+        delays = np.array([2, 300, 7], dtype=np.int64)  # 300 > window
+        windowed = batched_catchup_sum(
+            stream, 0, rows, delays, 301, 4, std=0.5, max_row_scalars=64
+        )
+        looped = _looped_exact_sum(stream, 0, rows, delays, 301, 4, 0.5)
+        np.testing.assert_allclose(windowed, looped, atol=1e-12)
+        # Purity: the oversized row alone yields the same bits.
+        alone = batched_catchup_sum(
+            stream, 0, rows[1:2], delays[1:2], 301, 4, std=0.5,
+            max_row_scalars=64,
+        )
+        assert alone.tobytes() == windowed[1:2].tobytes()
+        # Chunk budget must not change bits even with oversized rows.
+        chunked = batched_catchup_sum(
+            stream, 0, rows, delays, 301, 4, std=0.5, max_scalars=16,
+            max_row_scalars=64,
+        )
+        assert chunked.tobytes() == windowed.tobytes()
+
+    def test_chunked_equals_unchunked_bitwise(self, stream):
+        """Row-aligned draw-budget chunking must not change any bits."""
+        rng = np.random.default_rng(23)
+        rows = _sorted_rows(rng, 2000, 50)
+        delays = rng.integers(0, 40, size=50).astype(np.int64)
+        whole = batched_catchup_sum(
+            stream, 0, rows, delays, 45, 8, max_scalars=1 << 30
+        )
+        chunked = batched_catchup_sum(
+            stream, 0, rows, delays, 45, 8, max_scalars=64
+        )
+        assert whole.tobytes() == chunked.tobytes()
+
+    def test_single_philox_invocation_within_budget(self, stream):
+        rng = np.random.default_rng(29)
+        rows = _sorted_rows(rng, 1000, 32)
+        delays = rng.integers(1, 200, size=32).astype(np.int64)
+        max_delay = int(delays.max())
+        before = philox_invocations()
+        batched_catchup_sum(
+            stream, 0, rows, delays, 205, 4, max_scalars=1 << 30
+        )
+        batched_invocations = philox_invocations() - before
+        assert batched_invocations == 1  # vs the loop's max_delay launches
+        before = philox_invocations()
+        _looped_exact_sum(stream, 0, rows, delays, 205, 4, 1.0)
+        assert philox_invocations() - before == max_delay
+
+    def test_samples_drawn_matches_lag_loop_accounting(self, stream):
+        """The batched path must report the draw count the lag loop did:
+        sum(delays) * dim scalar Gaussians."""
+        engine = ANSEngine(stream, enabled=False)
+        rows = np.array([3, 8, 11], dtype=np.int64)
+        delays = np.array([5, 0, 2], dtype=np.int64)
+        engine.catchup_noise(0, rows, delays, 9, dim=4, std=1.0)
+        assert engine.samples_drawn == int(delays.sum()) * 4
+
+    def test_row_noise_sum_uses_one_invocation(self, stream):
+        rows = np.arange(10, dtype=np.int64)
+        before = philox_invocations()
+        total = stream.row_noise_sum(0, rows, 3, 40, dim=8)
+        assert philox_invocations() - before == 1
+        manual = sum(stream.row_noise(0, rows, it, 8) for it in range(3, 41))
+        np.testing.assert_allclose(total, manual, atol=1e-12)
+
+    def test_empty_inputs(self, stream):
+        out = batched_catchup_sum(
+            stream, 0, np.empty(0, np.int64), np.empty(0, np.int64), 5, 8
+        )
+        assert out.shape == (0, 8)
+        out = batched_catchup_sum(
+            stream, 0, np.array([4]), np.array([0]), 5, 8
+        )
+        assert np.all(out == 0.0)
