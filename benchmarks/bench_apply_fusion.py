@@ -252,10 +252,24 @@ def run_report(smoke: bool = False) -> int:
     )
     metrics = dict(apply_metrics)
     metrics.update(sampling_metrics)
+    # The kernel surfaces map onto the session API's plan axes: the
+    # fused apply serves every plan's apply phase, the batched sampler
+    # is the ans=off plan's exact-replay path.
+    from repro.session import ExecutionPlan
+
+    plans = {
+        "apply": ExecutionPlan().canonical(),
+        "sampling": ExecutionPlan(ans=False).canonical(),
+    }
     return _jsonreport.gate(
         "apply_fusion",
         metrics,
-        meta={"smoke": smoke, "apply": apply_kwargs, "sampling": sampling_kwargs},
+        meta={
+            "smoke": smoke,
+            "apply": apply_kwargs,
+            "sampling": sampling_kwargs,
+            "plans": plans,
+        },
     )
 
 

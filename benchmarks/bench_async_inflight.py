@@ -176,9 +176,30 @@ def run_report(smoke: bool = False) -> int:
         return 1
     print("\nequivalence: strict async == serial (bitwise) for every row; "
           "every ledger audit exact")
+    # Variants are named by their canonical ExecutionPlan spec, so the
+    # JSON artifact identifies runs the way the session API does.
+    from repro.configs import AsyncConfig, ShardConfig
+    from repro.session import ExecutionPlan
+
+    def async_plan(max_in_flight, staleness, shards=None):
+        return ExecutionPlan(
+            async_=AsyncConfig(enabled=True, max_in_flight=max_in_flight,
+                               staleness=staleness),
+            shards=shards,
+        ).canonical()
+
+    plans = {"serial": ExecutionPlan().canonical()}
+    for depth in depths:
+        plans[f"throughput_ratio_async_inflight{depth}"] = \
+            async_plan(depth, "strict")
+    plans[f"throughput_ratio_async_inflight{max(depths)}_bounded"] = \
+        async_plan(max(depths), "bounded:2")
+    plans["throughput_ratio_async_sharded_inflight2"] = async_plan(
+        2, "strict", shards=ShardConfig(num_shards=2, executor="threads"),
+    )
     return _jsonreport.gate(
         "async_inflight", metrics,
-        meta={"rows": rows, "iterations": iterations, "depths": list(depths),
+        meta={"rows": rows, "iterations": iterations, "plans": plans,
               "smoke": smoke,
               "injected_slowdown_ms":
                   _injected_slowdown_seconds() * 1e3},

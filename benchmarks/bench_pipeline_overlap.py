@@ -177,10 +177,24 @@ def run_report(smoke: bool = False) -> int:
         return 1
     print("\nequivalence: pipelined == serial (bitwise) for every row; "
           f"worst hidden fraction {worst_hidden:.0%}")
+    # Variants are named by their canonical ExecutionPlan spec, so the
+    # JSON artifact identifies runs the way the session API does.
+    from repro.configs import PipelineConfig, ShardConfig
+    from repro.session import ExecutionPlan
+
+    plans = {"serial": ExecutionPlan().canonical()}
+    for depth in depths:
+        plans[f"throughput_ratio_pipelined_depth{depth}"] = ExecutionPlan(
+            pipeline=PipelineConfig(enabled=True, prefetch_depth=depth),
+        ).canonical()
+    plans["throughput_ratio_pipelined_sharded_depth2"] = ExecutionPlan(
+        pipeline=PipelineConfig(enabled=True, prefetch_depth=2),
+        shards=ShardConfig(num_shards=2, executor="threads"),
+    ).canonical()
     return _jsonreport.gate(
         "pipeline_overlap", metrics,
-        meta={"rows": rows, "iterations": iterations,
-              "depths": list(depths), "smoke": smoke},
+        meta={"rows": rows, "iterations": iterations, "plans": plans,
+              "smoke": smoke},
     )
 
 

@@ -143,10 +143,22 @@ def run_report(smoke: bool = False) -> int:
               file=sys.stderr)
         return 1
     print("\nequivalence: sharded == flat (bitwise) for every row above")
+    # Variants are named by their canonical ExecutionPlan spec, so the
+    # JSON artifact identifies runs the way the session API does.
+    from repro.configs import ShardConfig
+    from repro.session import ExecutionPlan
+
+    plans = {"flat": ExecutionPlan().canonical()}
+    for executor in EXECUTORS:
+        for num_shards in shard_counts:
+            plans[f"throughput_ratio_{executor}_{num_shards}shards"] = \
+                ExecutionPlan(shards=ShardConfig(
+                    num_shards=num_shards, executor=executor,
+                )).canonical()
     return _jsonreport.gate(
         "shard_scaling", metrics,
-        meta={"rows": rows, "iterations": iterations,
-              "shard_counts": list(shard_counts), "smoke": smoke},
+        meta={"rows": rows, "iterations": iterations, "plans": plans,
+              "smoke": smoke},
     )
 
 

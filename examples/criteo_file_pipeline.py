@@ -19,7 +19,7 @@ from pathlib import Path
 import numpy as np
 
 from repro import configs
-from repro.bench.experiments import make_trainer
+from repro.session import ExecutionPlan, TrainSession
 from repro.data import (
     CriteoFileDataset,
     DataLoader,
@@ -42,8 +42,10 @@ BATCH = 64
 
 def build_trainer(config):
     model = DLRM(config, seed=11)
-    trainer = make_trainer("lazydp_no_ans", model, DPConfig(),
-                           noise_seed=22)
+    session = TrainSession.build(
+        model, DPConfig(), ExecutionPlan.from_spec("ans=off"), noise_seed=22
+    )
+    trainer = session.trainer
     trainer.expected_batch_size = BATCH
     return model, trainer
 

@@ -35,6 +35,7 @@ from .nn import DLRM
 from .pipeline import PipelinedLazyDPTrainer, PipelinedShardedLazyDPTrainer
 from .privacy import RDPAccountant
 from .serve import PrivateServingEngine
+from .session import ExecutionPlan, TrainSession
 from .shard import ShardedLazyDPTrainer
 from .train import (
     DPConfig,
@@ -62,6 +63,8 @@ __all__ = [
     "AsyncShardedLazyDPTrainer",
     "BufferArena",
     "fused_noisy_update",
+    "ExecutionPlan",
+    "TrainSession",
     "PrivateServingEngine",
     "PrivateTrainingSession",
     "make_private",

@@ -38,6 +38,14 @@ slabs and the ledger, the *trainer thread* owns activations, dense
 parameters and the staging handoffs.  Dense (MLP) updates stay
 synchronous on the trainer thread — staleness applies to embedding
 slabs only.
+
+**Layering.**  Like the pipelining capability, the async capability is
+split into mixins the session builder (:mod:`repro.session`) composes
+onto either base trainer: :class:`_AsyncHost` owns the layout-agnostic
+apply session (worker + ledger + staleness policy), while
+:class:`_FlatAsyncApply` / :class:`_ShardedAsyncApply` package the
+layout-specific per-iteration apply.  ``AsyncLazyDPTrainer`` and
+``AsyncShardedLazyDPTrainer`` remain as the named compositions.
 """
 
 from __future__ import annotations
@@ -192,24 +200,11 @@ class _AsyncHost:
         return stats
 
 
-class AsyncLazyDPTrainer(_AsyncHost, PipelinedLazyDPTrainer):
-    """LazyDP with async in-flight iterations (flat tables).
-
-    ``prefetch_depth`` defaults to ``max(2, max_in_flight)`` so the
-    noise-prefetch runway never becomes the in-flight bottleneck.
-    """
-
-    name = "async_lazydp"
-
-    def __init__(self, model, config, noise_seed: int = 1234,
-                 use_ans: bool = True, max_in_flight: int = 2,
-                 staleness="strict", prefetch_depth: int | None = None):
-        super().__init__(
-            model, config, noise_seed=noise_seed, use_ans=use_ans,
-            prefetch_depth=prefetch_depth or max(2, max_in_flight),
-        )
-        self.name = "async_lazydp" if use_ans else "async_lazydp_no_ans"
-        self._init_async(max_in_flight, staleness)
+class _FlatAsyncApply:
+    """Flat-table half of the async capability: per-table payloads are
+    the staged ``(rows, delays, values)`` triples plus the clipped
+    gradient; the apply worker replays the serial trainer's fused
+    merge+write per table and advances the ledger."""
 
     def _apply_embedding_dense_noisy_update(self, table_index: int, bag,
                                             sparse_grad, iteration: int,
@@ -243,8 +238,8 @@ class AsyncLazyDPTrainer(_AsyncHost, PipelinedLazyDPTrainer):
             self.ledger[table_index].advance(rows, delays, iteration)
 
 
-class AsyncShardedLazyDPTrainer(_AsyncHost, PipelinedShardedLazyDPTrainer):
-    """Sharded LazyDP with async in-flight iterations.
+class _ShardedAsyncApply:
+    """Partitioned-slab half of the async capability.
 
     The apply worker routes the gradient and fans the per-shard apply
     out on the trainer's shard executor; during a ``fit`` the worker is
@@ -252,24 +247,6 @@ class AsyncShardedLazyDPTrainer(_AsyncHost, PipelinedShardedLazyDPTrainer):
     inline, and the terminal flush runs only after the worker drained),
     so slab ownership stays single-writer.
     """
-
-    name = "async_sharded_lazydp"
-
-    def __init__(self, model, config, noise_seed: int = 1234,
-                 use_ans: bool = True, num_shards: int = 2,
-                 partition: str = "row_range", executor="serial",
-                 plan=None, max_workers: int | None = None, skew=None,
-                 max_in_flight: int = 2, staleness="strict",
-                 prefetch_depth: int | None = None):
-        super().__init__(
-            model, config, noise_seed=noise_seed, use_ans=use_ans,
-            num_shards=num_shards, partition=partition, executor=executor,
-            plan=plan, max_workers=max_workers, skew=skew,
-            prefetch_depth=prefetch_depth or max(2, max_in_flight),
-        )
-        self.name = ("async_sharded_lazydp" if use_ans
-                     else "async_sharded_lazydp_no_ans")
-        self._init_async(max_in_flight, staleness)
 
     def _apply_embedding_dense_noisy_update(self, table_index: int, bag,
                                             sparse_grad, iteration: int,
@@ -320,3 +297,46 @@ class AsyncShardedLazyDPTrainer(_AsyncHost, PipelinedShardedLazyDPTrainer):
                 self.ledger[table_index].advance(
                     per_shard[s][0], per_shard[s][1], iteration
                 )
+
+
+class AsyncLazyDPTrainer(_FlatAsyncApply, _AsyncHost, PipelinedLazyDPTrainer):
+    """LazyDP with async in-flight iterations (flat tables).
+
+    ``prefetch_depth`` defaults to ``max(2, max_in_flight)`` so the
+    noise-prefetch runway never becomes the in-flight bottleneck.
+    """
+
+    name = "async_lazydp"
+
+    def __init__(self, model, config, noise_seed: int = 1234,
+                 use_ans: bool = True, max_in_flight: int = 2,
+                 staleness="strict", prefetch_depth: int | None = None):
+        super().__init__(
+            model, config, noise_seed=noise_seed, use_ans=use_ans,
+            prefetch_depth=prefetch_depth or max(2, max_in_flight),
+        )
+        self.name = "async_lazydp" if use_ans else "async_lazydp_no_ans"
+        self._init_async(max_in_flight, staleness)
+
+
+class AsyncShardedLazyDPTrainer(_ShardedAsyncApply, _AsyncHost,
+                                PipelinedShardedLazyDPTrainer):
+    """Sharded LazyDP with async in-flight iterations."""
+
+    name = "async_sharded_lazydp"
+
+    def __init__(self, model, config, noise_seed: int = 1234,
+                 use_ans: bool = True, num_shards: int = 2,
+                 partition: str = "row_range", executor="serial",
+                 plan=None, max_workers: int | None = None, skew=None,
+                 max_in_flight: int = 2, staleness="strict",
+                 prefetch_depth: int | None = None):
+        super().__init__(
+            model, config, noise_seed=noise_seed, use_ans=use_ans,
+            num_shards=num_shards, partition=partition, executor=executor,
+            plan=plan, max_workers=max_workers, skew=skew,
+            prefetch_depth=prefetch_depth or max(2, max_in_flight),
+        )
+        self.name = ("async_sharded_lazydp" if use_ans
+                     else "async_sharded_lazydp_no_ans")
+        self._init_async(max_in_flight, staleness)

@@ -21,7 +21,6 @@ from dataclasses import dataclass, field
 
 from .. import configs
 from ..data import DataLoader, SkewSpec, SyntheticClickDataset, paper_skew_spec
-from ..lazydp import LazyDPTrainer
 from ..nn import DLRM
 from ..perfmodel import (
     ALGORITHMS,
@@ -51,61 +50,56 @@ TRAINER_CLASSES = {
 }
 
 
+def build_lazydp_trainer(algorithm: str, model: DLRM, dp: DPConfig,
+                         noise_seed: int = 1234, **trainer_kwargs):
+    """Construct a lazydp-family trainer through the session API.
+
+    The preferred spelling is an explicit plan —
+    ``TrainSession.build(model, dp, plan)`` — but internal callers that
+    still think in legacy algorithm strings (measured benchmarks, the
+    testing helpers) route through here to get the same composed
+    trainer without the deprecation warning ``make_trainer`` carries.
+    """
+    from ..session import TrainSession, plan_for_algorithm
+
+    plan, extras = plan_for_algorithm(algorithm, trainer_kwargs)
+    session = TrainSession.build(
+        model, dp, plan, noise_seed=noise_seed, **extras
+    )
+    return session.trainer
+
+
 def make_trainer(algorithm: str, model: DLRM, dp: DPConfig,
                  noise_seed: int = 1234, **trainer_kwargs):
     """Instantiate any of the algorithms by name.
 
-    ``sharded_lazydp`` / ``sharded_lazydp_no_ans`` accept the extra
-    keyword arguments of :class:`repro.shard.ShardedLazyDPTrainer`
-    (``num_shards``, ``partition``, ``executor``, ``plan``, ...); the
-    ``pipelined_*`` algorithms additionally accept ``prefetch_depth``
-    (:class:`repro.pipeline.PipelinedLazyDPTrainer` /
-    :class:`repro.pipeline.PipelinedShardedLazyDPTrainer`); the
-    ``async_*`` algorithms accept ``max_in_flight`` and ``staleness``
-    on top of that (:class:`repro.async_.AsyncLazyDPTrainer` /
-    :class:`repro.async_.AsyncShardedLazyDPTrainer`).
+    .. deprecated::
+        For the lazydp family the algorithm *string* encodes an
+        execution strategy (``pipelined_sharded_lazydp_no_ans``, ...).
+        That cross-product is now expressed as a
+        :class:`repro.session.ExecutionPlan`; build trainers with
+        ``TrainSession.build(model, dp, plan)`` instead.  Legacy
+        strings still work (mapped via
+        :func:`repro.session.plan_for_algorithm`) but emit a
+        ``DeprecationWarning``.  The baseline algorithms (``sgd``,
+        ``dpsgd_b/r/f``, ``eana``) are genuinely different algorithms,
+        not execution plans, and stay undeprecated.
     """
-    if algorithm == "lazydp":
-        return LazyDPTrainer(model, dp, noise_seed=noise_seed, use_ans=True)
-    if algorithm == "lazydp_no_ans":
-        return LazyDPTrainer(model, dp, noise_seed=noise_seed, use_ans=False)
-    if algorithm in ("sharded_lazydp", "sharded_lazydp_no_ans"):
-        from ..shard import ShardedLazyDPTrainer
+    from ..session import LEGACY_ALGORITHMS, plan_for_algorithm
 
-        return ShardedLazyDPTrainer(
-            model, dp, noise_seed=noise_seed,
-            use_ans=(algorithm == "sharded_lazydp"), **trainer_kwargs,
+    if algorithm in LEGACY_ALGORITHMS:
+        import warnings
+
+        equivalent = plan_for_algorithm(algorithm, trainer_kwargs)[0].canonical()
+        warnings.warn(
+            f"make_trainer({algorithm!r}) is deprecated: legacy algorithm "
+            "strings encode an execution strategy; build an ExecutionPlan "
+            "and use repro.session.TrainSession.build (equivalent plan "
+            f"spec: {equivalent!r})",
+            DeprecationWarning, stacklevel=2,
         )
-    if algorithm in ("pipelined_lazydp", "pipelined_lazydp_no_ans"):
-        from ..pipeline import PipelinedLazyDPTrainer
-
-        return PipelinedLazyDPTrainer(
-            model, dp, noise_seed=noise_seed,
-            use_ans=(algorithm == "pipelined_lazydp"), **trainer_kwargs,
-        )
-    if algorithm in ("pipelined_sharded_lazydp",
-                     "pipelined_sharded_lazydp_no_ans"):
-        from ..pipeline import PipelinedShardedLazyDPTrainer
-
-        return PipelinedShardedLazyDPTrainer(
-            model, dp, noise_seed=noise_seed,
-            use_ans=(algorithm == "pipelined_sharded_lazydp"),
-            **trainer_kwargs,
-        )
-    if algorithm in ("async_lazydp", "async_lazydp_no_ans"):
-        from ..async_ import AsyncLazyDPTrainer
-
-        return AsyncLazyDPTrainer(
-            model, dp, noise_seed=noise_seed,
-            use_ans=(algorithm == "async_lazydp"), **trainer_kwargs,
-        )
-    if algorithm in ("async_sharded_lazydp", "async_sharded_lazydp_no_ans"):
-        from ..async_ import AsyncShardedLazyDPTrainer
-
-        return AsyncShardedLazyDPTrainer(
-            model, dp, noise_seed=noise_seed,
-            use_ans=(algorithm == "async_sharded_lazydp"),
-            **trainer_kwargs,
+        return build_lazydp_trainer(
+            algorithm, model, dp, noise_seed=noise_seed, **trainer_kwargs
         )
     if algorithm in TRAINER_CLASSES:
         return TRAINER_CLASSES[algorithm](model, dp, noise_seed=noise_seed)
@@ -548,10 +542,17 @@ def measured_series(algorithms, config=None, batch: int = 256,
         dataset = SyntheticClickDataset(config, seed=seed + 1, skew=skew)
         loader = DataLoader(dataset, batch_size=batch,
                             num_batches=iterations, seed=seed + 2)
-        trainer = make_trainer(algorithm, model, dp, noise_seed=seed + 3)
+        trainer = _measured_trainer(algorithm, model, dp, seed + 3)
         result = trainer.fit(loader)
         results[algorithm] = result.wall_time / max(result.iterations, 1)
     return results
+
+
+def _measured_trainer(algorithm: str, model, dp, noise_seed: int):
+    """Internal dispatch without the make_trainer deprecation warning."""
+    from ..testing import trainer_for
+
+    return trainer_for(algorithm, model, dp, noise_seed=noise_seed)
 
 
 def measured_stage_breakdown(algorithm: str, config=None, batch: int = 256,
@@ -564,6 +565,6 @@ def measured_stage_breakdown(algorithm: str, config=None, batch: int = 256,
     dataset = SyntheticClickDataset(config, seed=seed + 1)
     loader = DataLoader(dataset, batch_size=batch, num_batches=iterations,
                         seed=seed + 2)
-    trainer = make_trainer(algorithm, model, dp, noise_seed=seed + 3)
+    trainer = _measured_trainer(algorithm, model, dp, seed + 3)
     trainer.fit(loader)
     return trainer.timer.as_dict()

@@ -21,13 +21,15 @@ import sys
 import numpy as np
 
 from . import configs
-from .bench.experiments import ALL_FIGURES, make_trainer
+from .bench.experiments import ALL_FIGURES
 from .bench.report import build_report
 from .bench.reporting import format_table
 from .data import DataLoader, SyntheticClickDataset, paper_skew_spec
 from .nn import DLRM
 from .perfmodel import ALGORITHMS
 from .privacy import audit_untouched_rows
+from .session import ExecutionPlan, TrainSession
+from .testing import trainer_for
 from .train import DPConfig
 
 
@@ -47,17 +49,31 @@ def _add_train_parser(subparsers) -> None:
     parser.add_argument("--skew", choices=("random", "low", "medium", "high"),
                         default="random")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--plan", default=None, metavar="SPEC",
+        help="unified execution-plan spec, e.g. "
+             "'shards=4,pipeline=2,async=bounded:2,ans=off' "
+             "(keys: ans, shards, partition, executor, workers, pipeline, "
+             "async, inflight, backend).  Replaces the per-engine flags "
+             "below; combining it with them is an error.",
+    )
+    # Value flags default to the None sentinel (their effective defaults
+    # live in _ENGINE_FLAGS) so the --plan conflict check can tell an
+    # explicitly-passed default from an omitted flag.
     shard = parser.add_argument_group(
         "sharding", "partitioned embedding engine (lazydp algorithms only)"
     )
-    shard.add_argument("--num-shards", type=int, default=1,
-                       help="partition each table into this many shards")
+    shard.add_argument("--num-shards", type=int, default=None,
+                       help="partition each table into this many shards "
+                            "(default: 1, the flat engine)")
     shard.add_argument("--partition", choices=configs.SHARD_PARTITIONS,
-                       default="row_range",
-                       help="row->shard assignment strategy")
+                       default=None,
+                       help="row->shard assignment strategy "
+                            "(default: row_range)")
     shard.add_argument("--executor", choices=configs.SHARD_EXECUTORS,
-                       default="serial",
-                       help="per-shard model-update schedule")
+                       default=None,
+                       help="per-shard model-update schedule "
+                            "(default: serial)")
     shard.add_argument("--max-workers", type=int, default=None,
                        help="thread-pool size (default: one per shard)")
     pipeline = parser.add_argument_group(
@@ -81,13 +97,91 @@ def _add_train_parser(subparsers) -> None:
                              help="apply model updates on a background "
                                   "worker with up to --max-in-flight "
                                   "iterations outstanding")
-    async_group.add_argument("--max-in-flight", type=int, default=2,
+    async_group.add_argument("--max-in-flight", type=int, default=None,
                              help="cap on outstanding iteration applies "
                                   "(default: 2)")
-    async_group.add_argument("--staleness", default="strict",
-                             help="read schedule: 'strict' (bitwise-serial) "
-                                  "or 'bounded[:k]' (reads may trail up to "
-                                  "k applies; default k=1)")
+    async_group.add_argument("--staleness", default=None,
+                             help="read schedule: 'strict' (bitwise-serial, "
+                                  "the default) or 'bounded[:k]' (reads may "
+                                  "trail up to k applies; default k=1)")
+
+
+#: Engine flags of the legacy CLI surface: dest -> (flag, effective
+#: default).  Value flags parse with a ``None`` sentinel default so an
+#: explicitly-passed value — even the default one — is detectable, and
+#: the effective default here is substituted at mapping time.  Single
+#: source of truth for ``_add_train_parser``, the ``--plan`` conflict
+#: check, and the flags-to-plan mapping.
+_ENGINE_FLAGS = {
+    "num_shards": ("--num-shards", 1),
+    "partition": ("--partition", "row_range"),
+    "executor": ("--executor", "serial"),
+    "max_workers": ("--max-workers", None),
+    "pipeline": ("--pipeline", False),
+    "prefetch_depth": ("--prefetch-depth", None),
+    "use_async": ("--async", False),
+    "max_in_flight": ("--max-in-flight", 2),
+    "staleness": ("--staleness", "strict"),
+}
+
+#: store_true flags: "used" means True, not "is not None".
+_ENGINE_BOOL_FLAGS = ("pipeline", "use_async")
+
+
+def _engine_value(args, dest: str):
+    """The flag's parsed value, or its effective default if omitted."""
+    value = getattr(args, dest)
+    if dest in _ENGINE_BOOL_FLAGS:
+        return value
+    return _ENGINE_FLAGS[dest][1] if value is None else value
+
+
+def _plan_from_legacy_flags(args) -> ExecutionPlan:
+    """Map the per-engine flags onto an ExecutionPlan (old CLI surface).
+
+    All three engine configs are constructed (and therefore validated)
+    unconditionally, as the pre-plan CLI did — a bad value like
+    ``--max-workers 0`` errors even when its axis is off, instead of
+    being silently dropped.
+    """
+    prefetch_depth = _engine_value(args, "prefetch_depth")
+    use_async = args.use_async
+    shards = configs.ShardConfig(
+        num_shards=_engine_value(args, "num_shards"),
+        partition=_engine_value(args, "partition"),
+        executor=_engine_value(args, "executor"),
+        max_workers=_engine_value(args, "max_workers"),
+    )
+    pipeline = configs.PipelineConfig(
+        enabled=args.pipeline or use_async,
+        prefetch_depth=2 if prefetch_depth is None else prefetch_depth,
+    )
+    async_ = configs.AsyncConfig(
+        enabled=use_async,
+        max_in_flight=_engine_value(args, "max_in_flight"),
+        staleness=_engine_value(args, "staleness"),
+    )
+    if not pipeline.enabled or (use_async and prefetch_depth is None):
+        # With --async and no explicit --prefetch-depth, the builder's
+        # default applies: max(2, --max-in-flight).
+        pipeline = None
+    return ExecutionPlan(
+        ans=(args.algorithm == "lazydp"),
+        shards=shards if shards.is_sharded else None,
+        pipeline=pipeline,
+        async_=async_ if async_.enabled else None,
+    )
+
+
+def _legacy_engine_flags_used(args) -> list:
+    """Engine flags the user passed explicitly (conflict with --plan)."""
+    used = []
+    for dest, (flag, _) in _ENGINE_FLAGS.items():
+        value = getattr(args, dest)
+        explicit = value if dest in _ENGINE_BOOL_FLAGS else value is not None
+        if explicit:
+            used.append(flag)
+    return used
 
 
 def _run_train(args) -> int:
@@ -104,60 +198,59 @@ def _run_train(args) -> int:
         learning_rate=args.learning_rate,
         delta=args.delta,
     )
-    try:
-        shard_config = configs.ShardConfig(
-            num_shards=args.num_shards, partition=args.partition,
-            executor=args.executor, max_workers=args.max_workers,
-        )
-        pipeline_config = configs.PipelineConfig(
-            enabled=args.pipeline or args.use_async,
-            prefetch_depth=(2 if args.prefetch_depth is None
-                            else args.prefetch_depth),
-        )
-        async_config = configs.AsyncConfig(
-            enabled=args.use_async, max_in_flight=args.max_in_flight,
-            staleness=args.staleness,
-        )
-    except ValueError as error:
-        print(f"invalid engine options: {error}", file=sys.stderr)
-        return 2
-    engine_selected = (shard_config.is_sharded or pipeline_config.enabled
-                       or async_config.enabled)
-    if engine_selected:
-        if args.algorithm not in ("lazydp", "lazydp_no_ans"):
+    if args.plan is not None:
+        conflicts = _legacy_engine_flags_used(args)
+        if conflicts:
+            print(f"--plan replaces {', '.join(conflicts)}; pass the axes "
+                  "inside the plan spec instead", file=sys.stderr)
+            return 2
+        if args.algorithm != "lazydp":
+            print("--plan determines the whole execution (including the "
+                  "ans axis, via ans=on/off); drop --algorithm",
+                  file=sys.stderr)
+            return 2
+        try:
+            plan = ExecutionPlan.from_spec(args.plan)
+        except ValueError as error:
+            print(f"invalid --plan spec: {error}", file=sys.stderr)
+            return 2
+    else:
+        # Effective-state guard (not explicit-usage): passing a flag at
+        # its no-op default, e.g. ``--num-shards 1``, selects no engine
+        # and stays legal with any algorithm.
+        engine_selected = (_engine_value(args, "num_shards") > 1
+                           or args.pipeline or args.use_async)
+        if engine_selected and args.algorithm not in ("lazydp",
+                                                      "lazydp_no_ans"):
             print("--num-shards > 1 / --pipeline / --async require a "
                   "lazydp algorithm", file=sys.stderr)
             return 2
-        suffix = "" if args.algorithm == "lazydp" else "_no_ans"
-        trainer_kwargs = {}
-        if shard_config.is_sharded:
-            if async_config.enabled:
-                algorithm = "async_sharded_lazydp"
-            elif pipeline_config.enabled:
-                algorithm = "pipelined_sharded_lazydp"
-            else:
-                algorithm = "sharded_lazydp"
-            # The trace skew also feeds the frequency partitioner, so a
-            # skewed run gets mass-balanced shards, not equal-row cuts.
-            trainer_kwargs.update(shard_config.trainer_kwargs(), skew=skew)
-        else:
-            algorithm = ("async_lazydp" if async_config.enabled
-                         else "pipelined_lazydp")
-        if pipeline_config.enabled:
-            # With --async and no explicit --prefetch-depth, let the
-            # trainer's own default apply: max(2, max_in_flight).
-            if not (async_config.enabled and args.prefetch_depth is None):
-                trainer_kwargs.update(pipeline_config.trainer_kwargs())
-        if async_config.enabled:
-            trainer_kwargs.update(async_config.trainer_kwargs())
-        trainer = make_trainer(algorithm + suffix, model, dp,
-                               noise_seed=args.seed + 3, **trainer_kwargs)
+        try:
+            plan = (_plan_from_legacy_flags(args)
+                    if args.algorithm in ("lazydp", "lazydp_no_ans")
+                    else None)
+        except ValueError as error:
+            print(f"invalid engine options: {error}", file=sys.stderr)
+            return 2
+
+    if plan is not None:
+        # The trace skew also feeds the frequency partitioner, so a
+        # skewed run gets mass-balanced shards, not equal-row cuts.
+        session = TrainSession.build(
+            model, dp, plan, noise_seed=args.seed + 3,
+            skew=skew if plan.is_sharded else None,
+        )
+        trainer = session.trainer
+        result = session.fit(loader)
     else:
-        trainer = make_trainer(args.algorithm, model, dp,
-                               noise_seed=args.seed + 3)
-    result = trainer.fit(loader)
+        session = None
+        trainer = trainer_for(args.algorithm, model, dp,
+                              noise_seed=args.seed + 3)
+        result = trainer.fit(loader)
     per_iteration = result.wall_time / max(result.iterations, 1)
     print(f"algorithm        : {result.algorithm}")
+    if plan is not None:
+        print(f"plan             : {plan.canonical()}")
     print(f"iterations       : {result.iterations}")
     print(f"wall time        : {result.wall_time:.3f}s "
           f"({per_iteration * 1e3:.1f} ms/iter)")
@@ -173,17 +266,17 @@ def _run_train(args) -> int:
         ["stage", "seconds"], [[s, t] for s, t in stage_rows],
         title="stage breakdown",
     ))
-    if shard_config.is_sharded:
+    if plan is not None and plan.is_sharded:
         shard_rows = [
             [s, trainer.plan.table(0).shard_size(s), f"{seconds:.4f}"]
             for s, seconds in enumerate(trainer.shard_update_seconds())
         ]
         print(format_table(
             ["shard", "rows (table 0)", "update seconds"], shard_rows,
-            title=f"per-shard model update ({shard_config.partition}, "
-                  f"{shard_config.executor})",
+            title=f"per-shard model update ({plan.shards.partition}, "
+                  f"{plan.shards.executor})",
         ))
-    if pipeline_config.enabled:
+    if plan is not None and plan.is_pipelined:
         stats = trainer.pipeline_stats()
         print(format_table(
             ["metric", "value"],
@@ -197,7 +290,7 @@ def _run_train(args) -> int:
             title="noise prefetch pipeline (depth "
                   f"{trainer.prefetch_depth})",
         ))
-    if async_config.enabled:
+    if plan is not None and plan.is_async:
         stats = trainer.async_stats()
         trainer.audit_noise_ledger(result.iterations)
         print(format_table(
@@ -213,10 +306,10 @@ def _run_train(args) -> int:
                 ["noise ledger", "exact (applied once per row)"],
             ],
             title="async apply engine (max in flight "
-                  f"{async_config.max_in_flight})",
+                  f"{plan.async_.max_in_flight})",
         ))
-    if engine_selected:
-        trainer.close()
+    if session is not None:
+        session.close()
     return 0
 
 
@@ -250,7 +343,7 @@ def _run_audit(args) -> int:
         dataset = SyntheticClickDataset(config, seed=12)
         loader = DataLoader(dataset, batch_size=args.batch,
                             num_batches=args.iterations, seed=13)
-        trainer = make_trainer(algorithm, model, DPConfig(), noise_seed=14)
+        trainer = trainer_for(algorithm, model, DPConfig(), noise_seed=14)
         trainer.fit(loader)
         final_tables[algorithm] = model.embeddings[0].table.data
         if not rows_for_table:

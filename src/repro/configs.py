@@ -16,10 +16,28 @@ access indices drawn uniformly.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import asdict, dataclass, fields, replace
 
 
 FP32_BYTES = 4
+
+
+def _config_from_dict(cls, data: dict):
+    """Shared ``from_dict`` for the engine configs: reject unknown keys
+    with a message naming the accepted ones, let the dataclass
+    ``__post_init__`` validate values."""
+    if not isinstance(data, dict):
+        raise ValueError(
+            f"{cls.__name__} expects a mapping, got {type(data).__name__}"
+        )
+    known = {field.name for field in fields(cls)}
+    unknown = sorted(set(data) - known)
+    if unknown:
+        raise ValueError(
+            f"unknown {cls.__name__} keys: {', '.join(unknown)} "
+            f"(accepted: {', '.join(sorted(known))})"
+        )
+    return cls(**data)
 
 # Paper defaults (Section 6).
 PAPER_NUM_TABLES = 26
@@ -166,6 +184,14 @@ class ShardConfig:
             "max_workers": self.max_workers,
         }
 
+    def to_dict(self) -> dict:
+        """JSON-serializable form (``ExecutionPlan.to_dict`` nests it)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ShardConfig":
+        return _config_from_dict(cls, data)
+
 
 @dataclass(frozen=True)
 class PipelineConfig:
@@ -189,6 +215,14 @@ class PipelineConfig:
     def trainer_kwargs(self) -> dict:
         """Keyword arguments for the pipelined trainers."""
         return {"prefetch_depth": self.prefetch_depth}
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (``ExecutionPlan.to_dict`` nests it)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PipelineConfig":
+        return _config_from_dict(cls, data)
 
 
 #: Gradient-staleness modes understood by ``repro.async_`` (kept here so
@@ -240,6 +274,14 @@ class AsyncConfig:
             "max_in_flight": self.max_in_flight,
             "staleness": self.staleness,
         }
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (``ExecutionPlan.to_dict`` nests it)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "AsyncConfig":
+        return _config_from_dict(cls, data)
 
 
 def rows_for_model_bytes(model_bytes: int, num_tables: int = PAPER_NUM_TABLES,

@@ -49,12 +49,13 @@ class CatchupPlan:
 
     table_index: int
     iteration: int
-    rows: np.ndarray      # global row ids being caught up (unique)
-    delays: np.ndarray    # per-row count of deferred noise updates
+    rows: np.ndarray  # global row ids being caught up (unique)
+    delays: np.ndarray  # per-row count of deferred noise updates
 
 
-def plan_catchup(history, table_index: int, next_rows: np.ndarray,
-                 iteration: int, timer=None) -> CatchupPlan:
+def plan_catchup(
+    history, table_index: int, next_rows: np.ndarray, iteration: int, timer=None
+) -> CatchupPlan:
     """Plan the catch-up for ``next_rows``: read delays, advance history.
 
     This is Algorithm 1 lines 13-16 — the only part of the noise path
@@ -84,17 +85,27 @@ class ANSEngine:
     the prefetch worker lock-free.
     """
 
-    def __init__(self, noise_stream: NoiseStream, enabled: bool = True,
-                 arena: BufferArena | None = None):
+    def __init__(
+        self,
+        noise_stream: NoiseStream,
+        enabled: bool = True,
+        arena: BufferArena | None = None,
+    ):
         self.noise_stream = noise_stream
         self.enabled = bool(enabled)
         self.arena = arena if arena is not None else BufferArena()
         # Instrumentation: how many scalar Gaussian draws were requested.
         self.samples_drawn = 0
 
-    def catchup_noise(self, table_index: int, rows: np.ndarray,
-                      delays: np.ndarray, iteration: int, dim: int,
-                      std: float) -> np.ndarray:
+    def catchup_noise(
+        self,
+        table_index: int,
+        rows: np.ndarray,
+        delays: np.ndarray,
+        iteration: int,
+        dim: int,
+        std: float,
+    ) -> np.ndarray:
         """Noise equal (in value or in law) to the deferred per-iteration sum.
 
         Parameters
@@ -138,13 +149,18 @@ class ANSEngine:
         the contract the pipelined prefetch worker relies on.
         """
         return self.catchup_noise(
-            plan.table_index, plan.rows, plan.delays, plan.iteration,
-            dim, std,
+            plan.table_index, plan.rows, plan.delays, plan.iteration, dim, std
         )
 
-    def _exact_sum(self, table_index: int, rows: np.ndarray,
-                   delays: np.ndarray, iteration: int, dim: int,
-                   std: float) -> np.ndarray:
+    def _exact_sum(
+        self,
+        table_index: int,
+        rows: np.ndarray,
+        delays: np.ndarray,
+        iteration: int,
+        dim: int,
+        std: float,
+    ) -> np.ndarray:
         """Sum each row's individually-keyed deferred draws (no ANS).
 
         Every ``(row, lag)`` value is generated in one flattened Philox
@@ -154,8 +170,14 @@ class ANSEngine:
         the cost profile of LazyDP w/o ANS.
         """
         total = batched_catchup_sum(
-            self.noise_stream, table_index, rows, delays, iteration,
-            dim, std=std, arena=self.arena,
+            self.noise_stream,
+            table_index,
+            rows,
+            delays,
+            iteration,
+            dim,
+            std=std,
+            arena=self.arena,
         )
         self.samples_drawn += int(delays.sum()) * dim
         return total

@@ -38,13 +38,17 @@ class PrivateTrainingSession:
         return self.trainer.accountant.get_epsilon(target_delta)
 
 
-def make_private(module: DLRM, data_loader: DataLoader, *,
-                 noise_multiplier: float = 1.1,
-                 max_gradient_norm: float = 1.0,
-                 learning_rate: float = 0.05,
-                 delta: float = 1e-5,
-                 use_ans: bool = True,
-                 noise_seed: int = 1234) -> PrivateTrainingSession:
+def make_private(
+    module: DLRM,
+    data_loader: DataLoader,
+    *,
+    noise_multiplier: float = 1.1,
+    max_gradient_norm: float = 1.0,
+    learning_rate: float = 0.05,
+    delta: float = 1e-5,
+    use_ans: bool = True,
+    noise_seed: int = 1234,
+) -> PrivateTrainingSession:
     """Transform a model + loader into a LazyDP private training session.
 
     Parameters follow the paper's wrapper (Figure 9a): ``noise_multiplier``
@@ -58,9 +62,7 @@ def make_private(module: DLRM, data_loader: DataLoader, *,
         learning_rate=learning_rate,
         delta=delta,
     )
-    trainer = LazyDPTrainer(
-        module, config, noise_seed=noise_seed, use_ans=use_ans
-    )
+    trainer = LazyDPTrainer(module, config, noise_seed=noise_seed, use_ans=use_ans)
     return PrivateTrainingSession(
         model=module, data_loader=data_loader, trainer=trainer
     )

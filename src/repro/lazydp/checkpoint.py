@@ -37,9 +37,7 @@ def save_checkpoint(path, trainer: LazyDPTrainer, iteration: int) -> None:
         "meta/version": np.array([_FORMAT_VERSION], dtype=np.int64),
         "meta/iteration": np.array([iteration], dtype=np.int64),
         "meta/use_ans": np.array([int(trainer.use_ans)], dtype=np.int64),
-        "meta/noise_seed": np.array(
-            [trainer.noise_stream.seed], dtype=np.int64
-        ),
+        "meta/noise_seed": np.array([trainer.noise_stream.seed], dtype=np.int64),
     }
     for name, param in trainer.model.parameters().items():
         arrays[f"param/{name}"] = param.data
@@ -95,8 +93,9 @@ def load_checkpoint(path, trainer: LazyDPTrainer) -> int:
     return iteration
 
 
-def export_private_model(trainer: LazyDPTrainer, iteration: int,
-                         noise_std: float | None = None) -> dict:
+def export_private_model(
+    trainer: LazyDPTrainer, iteration: int, noise_std: float | None = None
+) -> dict:
     """A flushed copy of all parameters, safe to release at ``iteration``.
 
     Performs Algorithm 1's terminal catch-up on copies: every embedding
@@ -108,9 +107,7 @@ def export_private_model(trainer: LazyDPTrainer, iteration: int,
     if noise_std is None:
         noise_std = trainer._last_noise_std
     if noise_std is None:
-        raise ValueError(
-            "noise_std unknown: train at least one step or pass it in"
-        )
+        raise ValueError("noise_std unknown: train at least one step or pass it in")
     released = {
         name: param.data.copy()
         for name, param in trainer.model.parameters().items()

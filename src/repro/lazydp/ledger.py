@@ -57,8 +57,7 @@ class VersionVector:
         """Per-row applied-through iterations (diagnostics, tests)."""
         return self._applied_through[np.asarray(rows, dtype=np.int64)].copy()
 
-    def advance(self, rows: np.ndarray, delays: np.ndarray,
-                iteration: int) -> None:
+    def advance(self, rows: np.ndarray, delays: np.ndarray, iteration: int) -> None:
         """Record that ``rows`` just received noise for the spans
         ``(iteration - delays, iteration]`` — verifying each span starts
         exactly at the row's current applied-through version.

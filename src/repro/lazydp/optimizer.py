@@ -23,13 +23,16 @@ from .history import HistoryTable
 class LazyNoiseEngine:
     """Deferred-noise bookkeeping and catch-up for all embedding tables."""
 
-    def __init__(self, model: DLRM, noise_stream: NoiseStream,
-                 use_ans: bool = True, flush_chunk_rows: int = 65536):
+    def __init__(
+        self,
+        model: DLRM,
+        noise_stream: NoiseStream,
+        use_ans: bool = True,
+        flush_chunk_rows: int = 65536,
+    ):
         self.model = model
         self.ans = ANSEngine(noise_stream, enabled=use_ans)
-        self.histories = [
-            HistoryTable(bag.num_rows) for bag in model.embeddings
-        ]
+        self.histories = [HistoryTable(bag.num_rows) for bag in model.embeddings]
         self.flush_chunk_rows = int(flush_chunk_rows)
         self.flushed_through: int | None = None
         #: Scratch for the flush's slab writes; chunked walks reuse it.
@@ -43,10 +46,14 @@ class LazyNoiseEngine:
         """Total HistoryTable footprint (paper Section 7.2)."""
         return int(sum(history.nbytes for history in self.histories))
 
-    def catchup_for_next_access(self, table_index: int,
-                                next_rows: np.ndarray, iteration: int,
-                                dim: int, std: float
-                                ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    def catchup_for_next_access(
+        self,
+        table_index: int,
+        next_rows: np.ndarray,
+        iteration: int,
+        dim: int,
+        std: float,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Catch-up noise for rows the next iteration will gather.
 
         Returns ``(rows, delays, noise_values)`` where ``noise_values`` is
@@ -64,8 +71,7 @@ class LazyNoiseEngine:
         )
         return next_rows, delays, noise
 
-    def flush(self, final_iteration: int, learning_rate: float,
-              std: float) -> int:
+    def flush(self, final_iteration: int, learning_rate: float, std: float) -> int:
         """Apply all still-deferred noise so the model matches eager DP-SGD.
 
         Walks every table in bounded-size row chunks (the real system
@@ -77,15 +83,18 @@ class LazyNoiseEngine:
             history = self.histories[table_index]
             pending = history.pending_rows(final_iteration)
             for start in range(0, pending.size, self.flush_chunk_rows):
-                rows = pending[start:start + self.flush_chunk_rows]
+                rows = pending[start : start + self.flush_chunk_rows]
                 delays = history.delays(rows, final_iteration)
                 noise = self.ans.catchup_noise(
-                    table_index, rows, delays, final_iteration,
-                    bag.dim, std,
+                    table_index, rows, delays, final_iteration, bag.dim, std
                 )
                 apply_sparse_update(
-                    bag.table.data, rows, noise, learning_rate,
-                    arena=self.arena, values_writable=True,
+                    bag.table.data,
+                    rows,
+                    noise,
+                    learning_rate,
+                    arena=self.arena,
+                    values_writable=True,
                 )
                 history.mark_updated(rows, final_iteration)
             caught_up += int(pending.size)

@@ -29,7 +29,9 @@ subclasses can re-site the phases without reimplementing them:
 
 Both release bitwise-identical parameters to this serial trainer: the
 noise bits depend only on ``(seed, table, row, iteration)`` and the
-delays, never on where or when they are drawn.
+delays, never on where or when they are drawn.  This class is also the
+*core* the session builder (:mod:`repro.session`) stacks its capability
+layers on — every :class:`repro.session.ExecutionPlan` bottoms out here.
 """
 
 from __future__ import annotations
@@ -48,8 +50,9 @@ class LazyDPTrainer(DPSGDFTrainer):
 
     name = "lazydp"
 
-    def __init__(self, model, config: DPConfig, noise_seed: int = 1234,
-                 use_ans: bool = True):
+    def __init__(
+        self, model, config: DPConfig, noise_seed: int = 1234, use_ans: bool = True
+    ):
         super().__init__(model, config, noise_seed)
         self.engine = self._build_engine(model, use_ans)
         self.use_ans = use_ans
@@ -69,29 +72,55 @@ class LazyDPTrainer(DPSGDFTrainer):
 
     def train_step(self, iteration: int, batch, next_batch) -> float:
         self._next_batch = next_batch
-        return super().train_step(iteration, batch, next_batch)
+        loss = super().train_step(iteration, batch, next_batch)
+        # Recorded here (not only in fit) so manually-stepped trainers
+        # advance the marker attached serving engines watch.
+        self.last_iteration = int(iteration)
+        return loss
+
+    def current_iteration(self) -> int:
+        """The iteration the model stands at — the single definition the
+        release and serving paths share.
+
+        The max of the last stepped and last flushed iteration: after a
+        fit the flush marker leads the step marker, but when training
+        resumes past a flush the step marker leads again — releasing or
+        serving at the stale flush point would drop the resumed steps'
+        deferred-noise accounting.
+        """
+        current = int(self.last_iteration)
+        flushed = self.engine.flushed_through
+        if flushed is not None:
+            current = max(current, int(flushed))
+        return current
 
     # -- the three phases of the lazy catch-up -----------------------------
-    def _plan_catchup(self, table_index: int, next_rows, iteration: int,
-                      timer) -> CatchupPlan:
+    def _plan_catchup(
+        self, table_index: int, next_rows, iteration: int, timer
+    ) -> CatchupPlan:
         """Plan phase (stages 2-3): read delays, advance the history.
 
         Runs on whichever thread owns the HistoryTables — the trainer
         thread here, the prefetch worker in the pipelined subclass.
         """
         return plan_catchup(
-            self.engine.histories[table_index], table_index, next_rows,
-            iteration, timer=timer,
+            self.engine.histories[table_index],
+            table_index,
+            next_rows,
+            iteration,
+            timer=timer,
         )
 
-    def _sample_catchup(self, plan: CatchupPlan, dim: int,
-                        noise_std: float, timer) -> np.ndarray:
+    def _sample_catchup(
+        self, plan: CatchupPlan, dim: int, noise_std: float, timer
+    ) -> np.ndarray:
         """Sample phase (stage 4): draw the plan's catch-up noise."""
         with timer.time("noise_sampling"):
             return self.engine.ans.sample(plan, dim, noise_std)
 
-    def _apply_staged_noise(self, bag, sparse_grad, noise_rows,
-                            noise_values, timer=None) -> None:
+    def _apply_staged_noise(
+        self, bag, sparse_grad, noise_rows, noise_values, timer=None
+    ) -> None:
         """Apply phase (stages 5-6): merge with the clipped gradient and
         perform the one sparse write — one fused kernel call
         (:func:`repro.kernels.fused_noisy_update`), still attributed to
@@ -103,27 +132,27 @@ class LazyDPTrainer(DPSGDFTrainer):
         """
         timer = timer or self.timer
         fused_noisy_update(
-            bag.table.data, self.config.learning_rate,
-            sparse_grad.rows, sparse_grad.values,
-            noise_rows, noise_values,
-            arena=self.arena, timer=timer,
+            bag.table.data,
+            self.config.learning_rate,
+            sparse_grad.rows,
+            sparse_grad.values,
+            noise_rows,
+            noise_values,
+            arena=self.arena,
+            timer=timer,
         )
 
     # Override the dense noisy embedding update with the lazy sparse one.
-    def _apply_embedding_dense_noisy_update(self, table_index: int, bag,
-                                            sparse_grad, iteration: int,
-                                            noise_std: float) -> None:
+    def _apply_embedding_dense_noisy_update(
+        self, table_index: int, bag, sparse_grad, iteration: int, noise_std: float
+    ) -> None:
         self._last_noise_std = noise_std
 
         if self._next_batch is not None:
             with self.timer.time("lazydp_dedup"):
                 next_rows = self._next_batch.accessed_rows(table_index)
-            plan = self._plan_catchup(
-                table_index, next_rows, iteration, self.timer
-            )
-            noise_values = self._sample_catchup(
-                plan, bag.dim, noise_std, self.timer
-            )
+            plan = self._plan_catchup(table_index, next_rows, iteration, self.timer)
+            noise_values = self._sample_catchup(plan, bag.dim, noise_std, self.timer)
             noise_rows = plan.rows
         else:
             # Final iteration: no lookahead exists; the terminal flush
@@ -168,6 +197,4 @@ class LazyDPTrainer(DPSGDFTrainer):
         # *released* model match DP-SGD), so it gets its own stage rather
         # than polluting the per-iteration noise-sampling numbers.
         with self.timer.time("terminal_flush"):
-            self.engine.flush(
-                final_iteration, self.config.learning_rate, noise_std
-            )
+            self.engine.flush(final_iteration, self.config.learning_rate, noise_std)

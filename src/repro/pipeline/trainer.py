@@ -32,6 +32,22 @@ merge/write methods.  Prefetching changes *when* noise is computed,
 never *what* is computed.  ``tests/test_pipeline_equivalence.py`` pins
 this, and ``benchmarks/bench_pipeline_overlap.py`` measures how much
 catch-up time the overlap hides.
+
+**Layering.**  The pipelining capability is split into mixins so the
+session builder (:mod:`repro.session`) can compose it onto either base
+trainer instead of selecting among hand-enumerated cross-product
+classes:
+
+* :class:`_PipelineHost` — the execution-strategy lifecycle (worker +
+  staging buffer + stats), independent of table layout;
+* :class:`_FlatNoisePrefetch` / :class:`_ShardedNoisePrefetch` — the
+  layout-specific halves (what the worker computes and how the trainer
+  consumes it) for flat tables and partitioned slabs respectively.
+
+``PipelinedLazyDPTrainer`` and ``PipelinedShardedLazyDPTrainer`` remain
+as the named compositions for direct construction and back-compat;
+``repro.session.compose_trainer_class`` builds the same stacks (plus
+the async layer) from an :class:`repro.session.ExecutionPlan`.
 """
 
 from __future__ import annotations
@@ -172,23 +188,14 @@ class _PipelineHost:
         }
 
 
-class PipelinedLazyDPTrainer(_PipelineHost, LazyDPTrainer):
-    """LazyDP with background noise prefetch (flat tables).
+class _FlatNoisePrefetch:
+    """Flat-table half of the pipelining capability.
 
-    ``prefetch_depth`` sets both the input-queue lookahead and the
-    staging-buffer capacity: depth 1 overlaps the catch-up with the
-    *current* step's forward/backward; depth ≥ 2 (double buffering, the
-    default) adds a full iteration of runway.
+    Pairs with :class:`_PipelineHost` over :class:`LazyDPTrainer`: the
+    worker runs the serial trainer's plan+sample phases per table, the
+    trainer thread consumes the staged ``(rows, delays, values)``
+    triples in its apply phase.
     """
-
-    name = "pipelined_lazydp"
-
-    def __init__(self, model, config, noise_seed: int = 1234,
-                 use_ans: bool = True, prefetch_depth: int = 2):
-        super().__init__(model, config, noise_seed=noise_seed,
-                         use_ans=use_ans)
-        self.name = "pipelined_lazydp" if use_ans else "pipelined_lazydp_no_ans"
-        self._init_pipeline(prefetch_depth)
 
     # Runs on the worker thread.
     def _prefetch_noise(self, iteration: int, batch) -> StagedNoise:
@@ -228,46 +235,31 @@ class PipelinedLazyDPTrainer(_PipelineHost, LazyDPTrainer):
         self._apply_staged_noise(bag, sparse_grad, noise_rows, noise_values)
 
 
-class PipelinedShardedLazyDPTrainer(_PipelineHost, ShardedLazyDPTrainer):
-    """Sharded LazyDP with background per-shard noise prefetch.
+class _ShardedNoisePrefetch:
+    """Partitioned-slab half of the pipelining capability.
 
-    The worker fans the plan+sample phase out per shard on its own
-    executor (same backend as the trainer's apply executor), so shard
-    prefetch for iteration ``i+1`` overlaps the trainer's dense-layer
-    and apply work for iteration ``i``.  Thread-safety rests on strict
-    state partitioning: the worker owns HistoryTables and ANS counters,
-    the trainer thread owns parameter slabs, and the partition plan and
+    Pairs with :class:`_PipelineHost` over
+    :class:`repro.shard.trainer.ShardedLazyDPTrainer`: the worker fans
+    the plan+sample phase out per shard on its own executor (same
+    backend as the trainer's apply executor), so shard prefetch for
+    iteration ``i+1`` overlaps the trainer's dense-layer and apply work
+    for iteration ``i``.  Thread-safety rests on strict state
+    partitioning: the worker owns HistoryTables and ANS counters, the
+    trainer thread owns parameter slabs, and the partition plan and
     router are immutable.
     """
 
-    name = "pipelined_sharded_lazydp"
-
-    def __init__(self, model, config, noise_seed: int = 1234,
-                 use_ans: bool = True, num_shards: int = 2,
-                 partition: str = "row_range", executor="serial",
-                 plan=None, max_workers: int | None = None, skew=None,
-                 prefetch_depth: int = 2):
-        super().__init__(model, config, noise_seed=noise_seed,
-                         use_ans=use_ans, num_shards=num_shards,
-                         partition=partition, executor=executor, plan=plan,
-                         max_workers=max_workers, skew=skew)
-        self.name = ("pipelined_sharded_lazydp" if use_ans
-                     else "pipelined_sharded_lazydp_no_ans")
-        self._init_pipeline(prefetch_depth)
+    def _init_pipeline(self, prefetch_depth: int) -> None:
+        super()._init_pipeline(prefetch_depth)
         # The worker gets its own executor (same backend) so its shard
-        # fan-out never queues behind the trainer's apply tasks.  An
-        # executor *instance* is mirrored through its backend name;
-        # unknown custom backends fall back to serial prefetch.
-        if isinstance(executor, str):
-            spec = executor
-        else:
-            spec = (executor.name if executor.name in EXECUTOR_BACKENDS
-                    else "serial")
-            max_workers = max_workers or getattr(
-                executor, "max_workers", None
-            )
+        # fan-out never queues behind the trainer's apply tasks.  The
+        # trainer's executor *instance* is mirrored through its backend
+        # name; unknown custom backends fall back to serial prefetch.
+        spec = (self.executor.name
+                if self.executor.name in EXECUTOR_BACKENDS else "serial")
         self.prefetch_executor = make_executor(
-            spec, self.plan.num_shards, max_workers
+            spec, self.plan.num_shards,
+            getattr(self.executor, "max_workers", None),
         )
 
     def _reset_prefetch_timers(self) -> None:
@@ -358,3 +350,43 @@ class PipelinedShardedLazyDPTrainer(_PipelineHost, ShardedLazyDPTrainer):
     def close(self) -> None:
         super().close()                    # pipeline + apply executor
         self.prefetch_executor.shutdown()
+
+
+class PipelinedLazyDPTrainer(_FlatNoisePrefetch, _PipelineHost,
+                             LazyDPTrainer):
+    """LazyDP with background noise prefetch (flat tables).
+
+    ``prefetch_depth`` sets both the input-queue lookahead and the
+    staging-buffer capacity: depth 1 overlaps the catch-up with the
+    *current* step's forward/backward; depth ≥ 2 (double buffering, the
+    default) adds a full iteration of runway.
+    """
+
+    name = "pipelined_lazydp"
+
+    def __init__(self, model, config, noise_seed: int = 1234,
+                 use_ans: bool = True, prefetch_depth: int = 2):
+        super().__init__(model, config, noise_seed=noise_seed,
+                         use_ans=use_ans)
+        self.name = "pipelined_lazydp" if use_ans else "pipelined_lazydp_no_ans"
+        self._init_pipeline(prefetch_depth)
+
+
+class PipelinedShardedLazyDPTrainer(_ShardedNoisePrefetch, _PipelineHost,
+                                    ShardedLazyDPTrainer):
+    """Sharded LazyDP with background per-shard noise prefetch."""
+
+    name = "pipelined_sharded_lazydp"
+
+    def __init__(self, model, config, noise_seed: int = 1234,
+                 use_ans: bool = True, num_shards: int = 2,
+                 partition: str = "row_range", executor="serial",
+                 plan=None, max_workers: int | None = None, skew=None,
+                 prefetch_depth: int = 2):
+        super().__init__(model, config, noise_seed=noise_seed,
+                         use_ans=use_ans, num_shards=num_shards,
+                         partition=partition, executor=executor, plan=plan,
+                         max_workers=max_workers, skew=skew)
+        self.name = ("pipelined_sharded_lazydp" if use_ans
+                     else "pipelined_sharded_lazydp_no_ans")
+        self._init_pipeline(prefetch_depth)

@@ -25,6 +25,19 @@ parameters are referenced in place by default (zero-copy — correct for
 a finished or paused trainer and for checkpoints); pass
 ``snapshot=True`` to copy them when training resumes concurrently.
 
+A frozen snapshot is the right behaviour for checkpoints, but serving a
+*live* trainer used to go silently stale: once training resumed, the
+memo kept answering from the old iteration.  :meth:`attach` fixes that
+— an attached engine watches the trainer's ``last_iteration`` marker
+and, at the first operation after training resumed, re-snapshots the
+histories, re-copies the dense parameters and invalidates the
+read-through memo, so served rows again agree row-for-row with
+``export_private_model`` at the trainer's current iteration.  The
+trainer must be quiescent (between fits / manual steps) whenever
+serving calls run; :meth:`detach` freezes the engine at its current
+state.  ``TrainSession.serve`` (:mod:`repro.session`) hands out
+attached engines and detaches them on session close.
+
 Lookups are thread-safe (a single lock guards the memo), sized for the
 serving pattern of many small reads.
 """
@@ -112,12 +125,19 @@ class PrivateServingEngine:
         self._lock = threading.Lock()
         #: Catch-up scratch, guarded by the same lock as the memo.
         self._arena = BufferArena()
+        #: Whether tables were copied (refreshes must re-copy them too).
+        self._snapshot = bool(snapshot)
+        #: Trainer this engine follows (see :meth:`attach`); None =
+        #: frozen at construction, the default.
+        self._attached = None
         #: Rows privatized so far (catch-up draws actually performed).
         self.rows_caught_up = 0
         #: Rows returned across all lookups (includes memo hits).
         self.rows_served = 0
         #: Lookup rows answered straight from the memo.
         self.memo_hits = 0
+        #: Times the memo was invalidated because training resumed.
+        self.refreshes = 0
 
     # -- constructors ------------------------------------------------------
     @classmethod
@@ -188,6 +208,71 @@ class PrivateServingEngine:
             trainer, iteration=iteration, noise_std=noise_std
         )
 
+    # -- live-trainer attachment -------------------------------------------
+    def attach(self, trainer) -> None:
+        """Follow ``trainer``: refresh the memo when it resumes stepping.
+
+        The trainer must be the one this engine was built from (same
+        embedding tables); serving calls must not race its train steps
+        — quiesce, serve, resume.
+        """
+        names = getattr(trainer.model, "embedding_param_names", None)
+        if names != self.embedding_names:
+            raise ValueError(
+                "cannot attach: trainer's embedding tables do not match "
+                "the engine's"
+            )
+        with self._lock:
+            self._attached = trainer
+            self._maybe_refresh()
+
+    def detach(self) -> None:
+        """Stop following the trainer; freeze at the current snapshot."""
+        with self._lock:
+            self._attached = None
+
+    def _maybe_refresh(self) -> None:
+        """Re-snapshot from the attached trainer if it stepped past the
+        iteration this engine serves at (caller holds the lock)."""
+        trainer = self._attached
+        if trainer is None:
+            return
+        current = int(trainer.current_iteration())
+        if current <= self.iteration:
+            return
+        noise_std = trainer._last_noise_std
+        if noise_std is None:       # pragma: no cover - attach required a step
+            raise ValueError(
+                "cannot refresh: attached trainer has no observed noise std"
+            )
+        parameters = {
+            name: param.data
+            for name, param in trainer.model.parameters().items()
+        }
+        self.iteration = current
+        self.noise_std = float(noise_std)
+        self._dense = {
+            name: np.array(data, copy=True)
+            for name, data in parameters.items()
+            if name not in self.embedding_names
+        }
+        self._tables = [
+            (np.array(parameters[name], copy=True) if self._snapshot
+             else parameters[name])
+            for name in self.embedding_names
+        ]
+        self._history = [
+            np.asarray(history.snapshot(), dtype=np.int64).copy()
+            for history in trainer.engine.histories
+        ]
+        # The memo answered for an older iteration; invalidate it so
+        # every row is caught up against the new history snapshot.
+        self._served = [None] * len(self._tables)
+        self._caught_up = [
+            np.zeros(table.shape[0], dtype=bool) for table in self._tables
+        ]
+        self.refreshes += 1
+
     # -- serving -----------------------------------------------------------
     @property
     def num_tables(self) -> int:
@@ -196,6 +281,7 @@ class PrivateServingEngine:
     def pending_rows(self, table_index: int) -> np.ndarray:
         """Rows of one table still owed noise (not yet served/caught up)."""
         with self._lock:
+            self._maybe_refresh()
             behind = self._history[table_index] < self.iteration
             return np.nonzero(behind & ~self._caught_up[table_index])[0]
 
@@ -250,6 +336,7 @@ class PrivateServingEngine:
                 f"({table.shape[0]} rows)"
             )
         with self._lock:
+            self._maybe_refresh()
             unique = np.unique(rows)
             fresh = unique[~self._caught_up[table_index][unique]]
             if fresh.size:
@@ -274,9 +361,11 @@ class PrivateServingEngine:
         assembled incrementally: rows already served are taken from the
         memo, everything else is caught up now.
         """
-        released = {
-            name: data.copy() for name, data in self._dense.items()
-        }
+        with self._lock:
+            self._maybe_refresh()
+            released = {
+                name: data.copy() for name, data in self._dense.items()
+            }
         for table_index, name in enumerate(self.embedding_names):
             with self._lock:
                 remaining = np.nonzero(~self._caught_up[table_index])[0]
@@ -290,6 +379,7 @@ class PrivateServingEngine:
     def stats(self) -> dict:
         """Serving counters (memo effectiveness, catch-up progress)."""
         with self._lock:
+            self._maybe_refresh()
             total_pending = sum(
                 int(np.count_nonzero(
                     (self._history[t] < self.iteration)
@@ -303,4 +393,6 @@ class PrivateServingEngine:
             "rows_caught_up": self.rows_caught_up,
             "memo_hits": self.memo_hits,
             "rows_still_pending": total_pending,
+            "attached": self._attached is not None,
+            "refreshes": self.refreshes,
         }

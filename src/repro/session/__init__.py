@@ -1,0 +1,43 @@
+"""The session API: ExecutionPlan axes composed into one trainer.
+
+This package replaces the trainer-class cross-product
+(``PipelinedShardedLazyDPTrainer``-style names, one class and algorithm
+string per combination) with two pieces:
+
+* :class:`ExecutionPlan` — orthogonal execution axes (``ans``,
+  ``shards``, ``pipeline``, ``async_``, ``backend``) with dict/spec
+  round-trip serialization and the legacy-name mapping;
+* :class:`TrainSession` — ``TrainSession.build(model, dp, plan)``
+  composes the shard/pipeline/async capability layers over the core
+  :class:`repro.lazydp.trainer.LazyDPTrainer` and owns the resulting
+  trainer's lifecycle, private release, and serving attachment.
+
+Quickstart::
+
+    from repro import DLRM, DPConfig, configs
+    from repro.session import ExecutionPlan, TrainSession
+
+    plan = ExecutionPlan.from_spec("shards=4,pipeline=2,ans=on")
+    session = TrainSession.build(DLRM(configs.tiny_dlrm(), seed=0),
+                                 DPConfig(), plan)
+    result = session.fit(loader)
+    handle = session.serve()          # tracks the live trainer
+    session.close()
+"""
+
+from .builder import TrainSession, compose_trainer_class
+from .plan import (
+    BACKENDS,
+    ExecutionPlan,
+    LEGACY_ALGORITHMS,
+    plan_for_algorithm,
+)
+
+__all__ = [
+    "BACKENDS",
+    "ExecutionPlan",
+    "LEGACY_ALGORITHMS",
+    "TrainSession",
+    "compose_trainer_class",
+    "plan_for_algorithm",
+]

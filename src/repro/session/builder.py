@@ -1,0 +1,317 @@
+"""TrainSession: compose engines from an ExecutionPlan, no class picking.
+
+``compose_trainer_class`` assembles a trainer class from capability
+layers instead of selecting among hand-enumerated cross-product
+classes:
+
+* base — :class:`repro.lazydp.trainer.LazyDPTrainer` (flat tables) or
+  :class:`repro.shard.trainer.ShardedLazyDPTrainer` (partitioned
+  slabs), chosen by the plan's ``shards`` axis;
+* pipeline layer — :class:`repro.pipeline.trainer._PipelineHost` plus
+  the layout-matching prefetch half
+  (:class:`~repro.pipeline.trainer._FlatNoisePrefetch` /
+  :class:`~repro.pipeline.trainer._ShardedNoisePrefetch`);
+* async layer — :class:`repro.async_.trainer._AsyncHost` plus the
+  layout-matching apply half
+  (:class:`~repro.async_.trainer._FlatAsyncApply` /
+  :class:`~repro.async_.trainer._ShardedAsyncApply`).
+
+The composed MROs are exactly the stacks the legacy concrete classes
+(``PipelinedShardedLazyDPTrainer`` & co.) are built from, so a
+plan-built trainer is *bitwise identical* in behaviour to its legacy
+counterpart — ``tests/test_session_equivalence.py`` pins this across
+the whole historical matrix.  A future execution axis (the ``backend``
+hook's numba kernels, multi-process shards) lands as one more layer in
+``_LAYER_REGISTRY``-style composition, not as 2^n new classes.
+
+:class:`TrainSession` is the facade over a built trainer: ``fit``,
+privacy accounting, private release, and :meth:`serve` — which hands
+out a :class:`repro.serve.PrivateServingEngine` *attached* to the live
+trainer, so the serving memo refreshes when training resumes instead
+of freezing at construction.
+"""
+
+from __future__ import annotations
+
+from ..async_.trainer import _AsyncHost, _FlatAsyncApply, _ShardedAsyncApply
+from ..lazydp.trainer import LazyDPTrainer
+from ..pipeline.trainer import (
+    _FlatNoisePrefetch,
+    _PipelineHost,
+    _ShardedNoisePrefetch,
+)
+from ..shard.trainer import ShardedLazyDPTrainer
+from ..train.common import DPConfig, TrainResult
+from .plan import BACKENDS, ExecutionPlan
+
+#: Composed classes are cached per axis tuple: composition is
+#: deterministic, and a stable class identity keeps ``isinstance``
+#: checks meaningful across builds.
+_CLASS_CACHE: dict = {}
+
+
+def _layered_init(base, async_enabled):
+    """__init__ for a composed class: base construction, then one
+    ``_init_*`` call per stacked capability (mirroring how the legacy
+    concrete classes sequence their construction)."""
+
+    def __init__(
+        self,
+        model,
+        config,
+        noise_seed: int = 1234,
+        use_ans: bool = True,
+        prefetch_depth: int | None = None,
+        max_in_flight: int = 2,
+        staleness="strict",
+        **base_kwargs,
+    ):
+        base.__init__(
+            self,
+            model,
+            config,
+            noise_seed=noise_seed,
+            use_ans=use_ans,
+            **base_kwargs,
+        )
+        if prefetch_depth is None:
+            # Async runs need enough noise runway for the in-flight
+            # window; plain pipelining double-buffers.
+            prefetch_depth = max(2, max_in_flight) if async_enabled else 2
+        self._init_pipeline(prefetch_depth)
+        if async_enabled:
+            self._init_async(max_in_flight, staleness)
+
+    return __init__
+
+
+def compose_trainer_class(
+    *,
+    sharded: bool = False,
+    pipelined: bool = False,
+    async_: bool = False,
+    backend: str = "numpy",
+):
+    """The trainer class for one combination of capability axes."""
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"unknown backend: {backend!r} (registered: {', '.join(BACKENDS)})"
+        )
+    pipelined = pipelined or async_  # async rides on the prefetch pipeline
+    key = (sharded, pipelined, async_, backend)
+    cached = _CLASS_CACHE.get(key)
+    if cached is not None:
+        return cached
+
+    base = ShardedLazyDPTrainer if sharded else LazyDPTrainer
+    if not pipelined:
+        cls = base  # no layers: the core trainer is the composition
+    else:
+        layers: tuple = ()
+        tags = []
+        if async_:
+            layers += (
+                _ShardedAsyncApply if sharded else _FlatAsyncApply,
+                _AsyncHost,
+            )
+            tags.append("Async")
+        layers += (
+            _ShardedNoisePrefetch if sharded else _FlatNoisePrefetch,
+            _PipelineHost,
+        )
+        tags.append("Pipelined")
+        if sharded:
+            tags.append("Sharded")
+        cls = type(
+            f"Composed{''.join(tags)}LazyDPTrainer",
+            layers + (base,),
+            {
+                "__init__": _layered_init(base, async_),
+                "__module__": __name__,
+                "__doc__": (
+                    "Plan-composed LazyDP trainer "
+                    f"(layers: {' + '.join(tags).lower()}); built by "
+                    "repro.session.compose_trainer_class."
+                ),
+            },
+        )
+    _CLASS_CACHE[key] = cls
+    return cls
+
+
+class TrainSession:
+    """A model + DP config + ExecutionPlan, composed and ready to run.
+
+    Build one with :meth:`build`; afterwards the session owns the
+    trainer's lifecycle (``fit`` ... ``close``) and is the hub the
+    serving engine attaches to.  The underlying trainer stays reachable
+    as ``session.trainer`` for instrumentation
+    (``pipeline_stats`` / ``async_stats`` / ``kernel_stats``).
+    """
+
+    def __init__(self, model, dp: DPConfig, plan: ExecutionPlan, trainer):
+        self.model = model
+        self.dp = dp
+        self.plan = plan
+        self.trainer = trainer
+        self._serving: list = []
+
+    @classmethod
+    def build(
+        cls,
+        model,
+        dp: DPConfig,
+        plan: ExecutionPlan | None = None,
+        *,
+        noise_seed: int = 1234,
+        skew=None,
+        partition_plan=None,
+        executor=None,
+    ) -> "TrainSession":
+        """Compose a trainer for ``plan`` (default: serial flat LazyDP).
+
+        ``skew`` (trace skew for the frequency partitioner),
+        ``partition_plan`` (a prebuilt
+        :class:`repro.shard.PartitionPlan`) and ``executor`` (a live
+        :class:`repro.shard.ShardExecutor` instance overriding the
+        plan's backend name) are live-object escape hatches that only
+        make sense for sharded plans.
+        """
+        plan = plan if plan is not None else ExecutionPlan()
+        trainer_cls = compose_trainer_class(
+            sharded=plan.is_sharded,
+            pipelined=plan.is_pipelined,
+            async_=plan.is_async,
+            backend=plan.backend,
+        )
+        kwargs: dict = {}
+        if plan.is_sharded:
+            kwargs.update(plan.shards.trainer_kwargs())
+            if executor is not None:
+                kwargs["executor"] = executor
+            if partition_plan is not None:
+                kwargs["plan"] = partition_plan
+            if skew is not None:
+                kwargs["skew"] = skew
+        elif skew is not None or partition_plan is not None or executor is not None:
+            raise ValueError(
+                "skew / partition_plan / executor only apply to sharded "
+                "plans (set plan.shards)"
+            )
+        if plan.pipeline is not None:
+            kwargs["prefetch_depth"] = plan.pipeline.prefetch_depth
+        if plan.is_async:
+            kwargs.update(plan.async_.trainer_kwargs())
+        trainer = trainer_cls(
+            model, dp, noise_seed=noise_seed, use_ans=plan.ans, **kwargs
+        )
+        # Plan-built trainers report under the canonical legacy name,
+        # so TrainResult.algorithm stays comparable across the old and
+        # new construction paths.
+        trainer.name = plan.legacy_name()
+        trainer.execution_plan = plan
+        return cls(model, dp, plan, trainer)
+
+    # -- training ----------------------------------------------------------
+    def fit(self, loader) -> TrainResult:
+        return self.trainer.fit(loader)
+
+    def train_step(self, iteration: int, batch, next_batch) -> float:
+        """Manual stepping passthrough (benchmark harnesses)."""
+        return self.trainer.train_step(iteration, batch, next_batch)
+
+    def finalize(self, final_iteration: int) -> None:
+        self.trainer.finalize(final_iteration)
+
+    def epsilon(self, delta: float | None = None) -> float:
+        """Privacy spent so far at the given (or configured) delta."""
+        accountant = self.trainer.accountant
+        if accountant is None or accountant.steps == 0:
+            raise RuntimeError("no private steps have been taken yet")
+        return accountant.get_epsilon(
+            self.dp.delta if delta is None else delta
+        )
+
+    def current_iteration(self) -> int:
+        """The iteration the model stands at (see
+        :meth:`repro.lazydp.trainer.LazyDPTrainer.current_iteration` —
+        the one definition release and serving share)."""
+        return self.trainer.current_iteration()
+
+    # -- release and serving -----------------------------------------------
+    def export_private_model(self, iteration: int | None = None) -> dict:
+        """A flushed copy of all parameters, safe to release."""
+        from ..lazydp.checkpoint import export_private_model
+
+        if iteration is None:
+            iteration = self.current_iteration()
+        return export_private_model(self.trainer, iteration)
+
+    def serve(
+        self,
+        iteration: int | None = None,
+        noise_std: float | None = None,
+        snapshot: bool = False,
+        follow: bool = True,
+    ):
+        """A :class:`repro.serve.PrivateServingEngine` over this session.
+
+        With ``follow=True`` (default) the engine is *attached*: when
+        the (quiescent) trainer steps again, the engine notices at the
+        next lookup, re-snapshots the histories and invalidates its
+        read-through memo, so served rows always agree with
+        ``export_private_model`` at the trainer's current iteration.
+        ``follow=False`` freezes the engine at construction, the
+        pre-session behaviour.  Handles are detached automatically by
+        :meth:`close`.
+        """
+        from ..serve.engine import PrivateServingEngine
+
+        engine = PrivateServingEngine.from_trainer(
+            self.trainer,
+            iteration=(
+                self.current_iteration() if iteration is None else iteration
+            ),
+            noise_std=noise_std,
+            snapshot=snapshot,
+        )
+        if follow:
+            engine.attach(self.trainer)
+            self._serving.append(engine)
+        return engine
+
+    def detach_serving(self) -> None:
+        """Freeze every attached serving handle at its current state."""
+        for engine in self._serving:
+            engine.detach()
+        self._serving.clear()
+
+    # -- lifecycle and reporting -------------------------------------------
+    def stats(self) -> dict:
+        """Every engine-stats surface the plan's layers expose."""
+        stats = {
+            "plan": self.plan.canonical(),
+            "algorithm": self.trainer.name,
+            "kernel": self.trainer.kernel_stats(),
+        }
+        if self.plan.is_sharded:
+            stats["shard_update_seconds"] = self.trainer.shard_update_seconds()
+        if self.plan.is_pipelined:
+            stats["pipeline"] = self.trainer.pipeline_stats()
+        if self.plan.is_async:
+            stats["async"] = self.trainer.async_stats()
+        return stats
+
+    def close(self) -> None:
+        """Detach serving handles and release engine resources."""
+        self.detach_serving()
+        close = getattr(self.trainer, "close", None)
+        if close is not None:
+            close()
+
+    def __enter__(self) -> "TrainSession":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        self.close()
+        return False

@@ -1,0 +1,414 @@
+"""ExecutionPlan: the orthogonal execution axes of a LazyDP training run.
+
+The paper's contributions — lazy deferred noise, aggregated noise
+sampling, prefetch pipelining — and the engines this repo grew around
+them (sharded tables, async in-flight applies) are *orthogonal
+execution concerns*: any combination trains the same model to the same
+bits.  Historically every combination was its own trainer class and
+algorithm string (``pipelined_sharded_lazydp_no_ans``, ...); an
+:class:`ExecutionPlan` names the combination by its axes instead:
+
+``ans``
+    Aggregated noise sampling on/off (the algorithmic ablation axis).
+``shards``
+    ``None`` for flat tables, or a :class:`repro.configs.ShardConfig`
+    for the partitioned embedding engine (``repro.shard``).
+``pipeline``
+    ``None`` for inline catch-up, or a
+    :class:`repro.configs.PipelineConfig` for background noise prefetch
+    (``repro.pipeline``).
+``async_``
+    ``None`` for synchronous applies, or a
+    :class:`repro.configs.AsyncConfig` for multi-in-flight applies
+    (``repro.async_``; implies the pipeline axis — when ``pipeline`` is
+    ``None`` the prefetch depth defaults to ``max(2, max_in_flight)``).
+``backend``
+    Kernel backend hook.  Only ``"numpy"`` exists today; a SIMD/numba
+    variant (ROADMAP) lands as a new registry entry, not a new trainer
+    class.
+
+Plans serialize three ways: :meth:`to_dict`/:meth:`from_dict` (nested
+JSON, for configs and BENCH_*.json metadata), :meth:`to_spec`/
+:meth:`from_spec` (the flat ``"shards=4,pipeline=2,async=bounded:2"``
+mini-language the CLI's ``--plan`` flag speaks), and
+:meth:`legacy_name` (the historical algorithm string, still accepted by
+``make_trainer`` through a deprecation shim).  ``from_spec(to_spec(p))
+== p`` and ``from_dict(to_dict(p)) == p`` hold for every valid plan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..configs import AsyncConfig, PipelineConfig, ShardConfig
+
+#: Kernel backends the session builder can compose.  The tuple is the
+#: extension point for the ROADMAP's SIMD/numba variants: a new backend
+#: registers here plus (optionally) a layer mixin in
+#: ``repro.session.builder`` — no new trainer classes.
+BACKENDS = ("numpy",)
+
+_SPEC_KEYS = (
+    "ans",
+    "shards",
+    "partition",
+    "executor",
+    "workers",
+    "pipeline",
+    "async",
+    "inflight",
+    "backend",
+)
+
+_TRUE_WORDS = ("on", "true", "yes", "1")
+_FALSE_WORDS = ("off", "false", "no", "0")
+
+
+def _parse_bool(key: str, value: str) -> bool:
+    word = value.strip().lower()
+    if word in _TRUE_WORDS:
+        return True
+    if word in _FALSE_WORDS:
+        return False
+    raise ValueError(
+        f"invalid plan spec: {key}={value!r} is not a boolean "
+        f"(use one of {'/'.join(_TRUE_WORDS)} or {'/'.join(_FALSE_WORDS)})"
+    )
+
+
+def _parse_int(key: str, value: str) -> int:
+    try:
+        return int(value)
+    except ValueError:
+        raise ValueError(
+            f"invalid plan spec: {key}={value!r} is not an integer"
+        ) from None
+
+
+@dataclass(frozen=True)
+class ExecutionPlan:
+    """One training run's execution strategy, one field per axis."""
+
+    ans: bool = True
+    shards: ShardConfig | None = None
+    pipeline: PipelineConfig | None = None
+    async_: AsyncConfig | None = None
+    backend: str = "numpy"
+
+    def __post_init__(self):
+        if self.backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend: {self.backend!r} (registered: "
+                f"{', '.join(BACKENDS)}; SIMD/numba variants land here)"
+            )
+        if self.shards is not None and not isinstance(self.shards, ShardConfig):
+            raise ValueError("shards must be a ShardConfig or None")
+        if self.pipeline is not None:
+            if not isinstance(self.pipeline, PipelineConfig):
+                raise ValueError("pipeline must be a PipelineConfig or None")
+            if not self.pipeline.enabled:
+                raise ValueError(
+                    "pipeline axis is present but disabled; use pipeline=None "
+                    "for the inline catch-up path"
+                )
+        if self.async_ is not None:
+            if not isinstance(self.async_, AsyncConfig):
+                raise ValueError("async_ must be an AsyncConfig or None")
+            if not self.async_.enabled:
+                raise ValueError(
+                    "async axis is present but disabled; use async_=None "
+                    "for synchronous applies"
+                )
+
+    # -- derived shape -----------------------------------------------------
+    @property
+    def is_sharded(self) -> bool:
+        """Partitioned embedding engine (any shard count, including 1)."""
+        return self.shards is not None
+
+    @property
+    def is_async(self) -> bool:
+        return self.async_ is not None
+
+    @property
+    def is_pipelined(self) -> bool:
+        """Background noise prefetch (explicit, or implied by async)."""
+        return self.pipeline is not None or self.is_async
+
+    def legacy_name(self) -> str:
+        """The historical algorithm string for this combination."""
+        prefix = "async_" if self.is_async else (
+            "pipelined_" if self.is_pipelined else ""
+        )
+        sharded = "sharded_" if self.is_sharded else ""
+        suffix = "" if self.ans else "_no_ans"
+        return f"{prefix}{sharded}lazydp{suffix}"
+
+    # -- dict round trip ---------------------------------------------------
+    def to_dict(self) -> dict:
+        """Nested JSON-serializable form; ``from_dict`` inverts it."""
+        return {
+            "ans": self.ans,
+            "shards": None if self.shards is None else self.shards.to_dict(),
+            "pipeline": (
+                None if self.pipeline is None else self.pipeline.to_dict()
+            ),
+            "async": None if self.async_ is None else self.async_.to_dict(),
+            "backend": self.backend,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ExecutionPlan":
+        if not isinstance(data, dict):
+            raise ValueError(
+                f"ExecutionPlan expects a mapping, got {type(data).__name__}"
+            )
+        known = {"ans", "shards", "pipeline", "async", "backend"}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown ExecutionPlan keys: {', '.join(unknown)} "
+                f"(accepted: {', '.join(sorted(known))})"
+            )
+        shards = data.get("shards")
+        pipeline = data.get("pipeline")
+        async_ = data.get("async")
+        return cls(
+            ans=bool(data.get("ans", True)),
+            shards=None if shards is None else ShardConfig.from_dict(shards),
+            pipeline=(
+                None if pipeline is None else PipelineConfig.from_dict(pipeline)
+            ),
+            async_=None if async_ is None else AsyncConfig.from_dict(async_),
+            backend=data.get("backend", "numpy"),
+        )
+
+    # -- spec round trip (the CLI's --plan mini-language) -------------------
+    @classmethod
+    def from_spec(cls, spec: str) -> "ExecutionPlan":
+        """Parse ``"shards=4,pipeline=2,async=bounded:2,ans=off"``.
+
+        Every key is optional (an empty spec is the serial flat plan);
+        axis value ``0`` (or ``async=off``) switches an axis off
+        explicitly.  Contradictory combinations — sub-keys without
+        their axis, or ``async`` with ``pipeline=0`` — are rejected
+        with a message naming the contradiction.
+        """
+        values: dict = {}
+        for item in spec.split(","):
+            item = item.strip()
+            if not item:
+                continue
+            key, separator, value = item.partition("=")
+            key = key.strip().lower()
+            if not separator:
+                raise ValueError(
+                    f"invalid plan spec: {item!r} is not key=value "
+                    f"(known keys: {', '.join(_SPEC_KEYS)})"
+                )
+            if key not in _SPEC_KEYS:
+                raise ValueError(
+                    f"invalid plan spec: unknown key {key!r} "
+                    f"(known keys: {', '.join(_SPEC_KEYS)})"
+                )
+            if key in values:
+                raise ValueError(f"invalid plan spec: duplicate key {key!r}")
+            values[key] = value.strip()
+
+        ans = _parse_bool("ans", values["ans"]) if "ans" in values else True
+        backend = values.get("backend", "numpy")
+
+        num_shards = (
+            _parse_int("shards", values["shards"]) if "shards" in values else 0
+        )
+        if num_shards < 0:
+            raise ValueError("invalid plan spec: shards must be >= 0")
+        shard_subkeys = [
+            key for key in ("partition", "executor", "workers") if key in values
+        ]
+        if num_shards == 0:
+            if shard_subkeys:
+                raise ValueError(
+                    "contradictory plan spec: "
+                    f"{', '.join(shard_subkeys)} require(s) shards>=1, but "
+                    "the shards axis is off"
+                )
+            shards = None
+        else:
+            shards = ShardConfig(
+                num_shards=num_shards,
+                partition=values.get("partition", "row_range"),
+                executor=values.get("executor", "serial"),
+                max_workers=(
+                    _parse_int("workers", values["workers"])
+                    if "workers" in values
+                    else None
+                ),
+            )
+
+        depth = (
+            _parse_int("pipeline", values["pipeline"])
+            if "pipeline" in values
+            else None
+        )
+        if depth is not None and depth < 0:
+            raise ValueError("invalid plan spec: pipeline must be >= 0")
+        pipeline = (
+            PipelineConfig(enabled=True, prefetch_depth=depth)
+            if depth
+            else None
+        )
+
+        async_word = values.get("async", "off").lower()
+        # Accept the same off-spellings the boolean keys do (plus
+        # "none"), so "async=false" switches the axis off instead of
+        # parsing as a staleness mode.
+        async_off = async_word in _FALSE_WORDS + ("none",)
+        if async_off:
+            if "inflight" in values:
+                raise ValueError(
+                    "contradictory plan spec: inflight requires the async "
+                    "axis (async=strict or async=bounded[:k])"
+                )
+            async_ = None
+        else:
+            if depth == 0:
+                raise ValueError(
+                    f"contradictory plan spec: async={async_word} needs the "
+                    "noise-prefetch pipeline, but pipeline=0 disables it "
+                    "(drop pipeline=0 or set a depth >= 1)"
+                )
+            async_ = AsyncConfig(
+                enabled=True,
+                max_in_flight=(
+                    _parse_int("inflight", values["inflight"])
+                    if "inflight" in values
+                    else 2
+                ),
+                staleness=async_word,
+            )
+
+        return cls(
+            ans=ans,
+            shards=shards,
+            pipeline=pipeline,
+            async_=async_,
+            backend=backend,
+        )
+
+    def to_spec(self) -> str:
+        """The canonical flat spec string; ``from_spec`` inverts it.
+
+        Canonical form: ``ans`` always present, axis sub-keys spelled
+        out whenever the axis is on, defaults (``workers``, the numpy
+        backend) omitted.  This is the string benchmarks put in
+        BENCH_*.json metadata, so plan identity is comparable across
+        reports.
+        """
+        parts = [f"ans={'on' if self.ans else 'off'}"]
+        if self.shards is not None:
+            # ShardConfig only admits backend *names*; live executor
+            # instances travel via TrainSession.build's escape hatch.
+            parts.append(f"shards={self.shards.num_shards}")
+            parts.append(f"partition={self.shards.partition}")
+            parts.append(f"executor={self.shards.executor}")
+            if self.shards.max_workers is not None:
+                parts.append(f"workers={self.shards.max_workers}")
+        if self.pipeline is not None:
+            parts.append(f"pipeline={self.pipeline.prefetch_depth}")
+        if self.async_ is not None:
+            parts.append(f"async={self.async_.staleness}")
+            parts.append(f"inflight={self.async_.max_in_flight}")
+        if self.backend != "numpy":
+            parts.append(f"backend={self.backend}")
+        return ",".join(parts)
+
+    def canonical(self) -> str:
+        """Alias for :meth:`to_spec` (the canonical plan string)."""
+        return self.to_spec()
+
+
+# ---------------------------------------------------------------------------
+# Legacy algorithm strings -> plans (the make_trainer shim's mapping).
+# ---------------------------------------------------------------------------
+
+#: Every algorithm string the trainer-class cross-product used to
+#: enumerate.  ``make_trainer`` still accepts them (with a
+#: DeprecationWarning); each maps onto exactly one ExecutionPlan shape.
+LEGACY_ALGORITHMS = tuple(
+    f"{prefix}{sharded}lazydp{suffix}"
+    for prefix in ("", "pipelined_", "async_")
+    for sharded in ("", "sharded_")
+    for suffix in ("", "_no_ans")
+)
+
+
+def plan_for_algorithm(algorithm: str, trainer_kwargs: dict | None = None):
+    """Map a legacy algorithm string (+ its trainer kwargs) to a plan.
+
+    Returns ``(plan, extras)`` where ``extras`` carries the kwargs a
+    plan cannot express because they are live objects rather than
+    configuration — ``skew`` (trace skew for the frequency
+    partitioner), ``partition_plan`` (a prebuilt
+    :class:`repro.shard.PartitionPlan`) and ``executor`` (a
+    :class:`repro.shard.ShardExecutor` *instance*).  Pass both to
+    :meth:`repro.session.TrainSession.build`.
+    """
+    if algorithm not in LEGACY_ALGORITHMS:
+        raise ValueError(
+            f"unknown lazydp algorithm: {algorithm!r} "
+            f"(legacy names: {', '.join(LEGACY_ALGORITHMS)})"
+        )
+    kwargs = dict(trainer_kwargs or {})
+    ans = not algorithm.endswith("_no_ans")
+    is_sharded = "sharded" in algorithm
+    is_async = algorithm.startswith("async_")
+    is_pipelined = algorithm.startswith("pipelined_")
+
+    extras: dict = {}
+    shards = None
+    if is_sharded:
+        executor = kwargs.pop("executor", "serial")
+        if not isinstance(executor, str):
+            # A live executor instance travels in extras; the plan
+            # records its backend name (or serial for custom ones).
+            extras["executor"] = executor
+            name = getattr(executor, "name", "serial")
+            executor = name if name in ("serial", "threads") else "serial"
+        shards = ShardConfig(
+            num_shards=kwargs.pop("num_shards", 2),
+            partition=kwargs.pop("partition", "row_range"),
+            executor=executor,
+            max_workers=kwargs.pop("max_workers", None),
+        )
+        if "plan" in kwargs:
+            extras["partition_plan"] = kwargs.pop("plan")
+        if "skew" in kwargs:
+            extras["skew"] = kwargs.pop("skew")
+
+    pipeline = None
+    if is_pipelined:
+        pipeline = PipelineConfig(
+            enabled=True, prefetch_depth=kwargs.pop("prefetch_depth", 2)
+        )
+
+    async_ = None
+    if is_async:
+        async_ = AsyncConfig(
+            enabled=True,
+            max_in_flight=kwargs.pop("max_in_flight", 2),
+            staleness=kwargs.pop("staleness", "strict"),
+        )
+        depth = kwargs.pop("prefetch_depth", None)
+        if depth is not None:
+            pipeline = PipelineConfig(enabled=True, prefetch_depth=depth)
+
+    if kwargs:
+        raise TypeError(
+            f"unexpected trainer kwargs for {algorithm!r}: "
+            f"{', '.join(sorted(kwargs))}"
+        )
+    plan = ExecutionPlan(
+        ans=ans, shards=shards, pipeline=pipeline, async_=async_
+    )
+    return plan, extras

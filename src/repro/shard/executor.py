@@ -92,8 +92,9 @@ class ThreadPoolShardExecutor(ShardExecutor):
         self._pool.shutdown(wait=True)
 
 
-def make_executor(spec, num_shards: int,
-                  max_workers: int | None = None) -> ShardExecutor:
+def make_executor(
+    spec, num_shards: int, max_workers: int | None = None
+) -> ShardExecutor:
     """Build an executor from a backend name (or pass one through).
 
     ``max_workers`` defaults to one worker per shard — tasks are

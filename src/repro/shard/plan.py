@@ -52,9 +52,9 @@ class TablePartition:
 
     table_index: int
     num_rows: int
-    shard_rows: tuple            # tuple of np.ndarray, one per shard
-    shard_of: np.ndarray         # (num_rows,) int32
-    local_of: np.ndarray         # (num_rows,) int64
+    shard_rows: tuple  # tuple of np.ndarray, one per shard
+    shard_of: np.ndarray  # (num_rows,) int32
+    local_of: np.ndarray  # (num_rows,) int64
     contiguous: bool
     weights_balanced: float = 1.0  # max shard mass / mean shard mass
 
@@ -67,8 +67,11 @@ class TablePartition:
 
     def validate(self) -> None:
         """Every row owned exactly once, lookups consistent (tests)."""
-        seen = np.concatenate([rows for rows in self.shard_rows]) \
-            if self.shard_rows else np.empty(0, dtype=np.int64)
+        seen = (
+            np.concatenate([rows for rows in self.shard_rows])
+            if self.shard_rows
+            else np.empty(0, dtype=np.int64)
+        )
         if np.unique(seen).size != self.num_rows or seen.size != self.num_rows:
             raise AssertionError("rows must partition the table exactly")
         for s, rows in enumerate(self.shard_rows):
@@ -84,7 +87,7 @@ class PartitionPlan:
 
     num_shards: int
     strategy: str
-    tables: tuple = field(default_factory=tuple)   # TablePartition per table
+    tables: tuple = field(default_factory=tuple)  # TablePartition per table
 
     @property
     def num_tables(self) -> int:
@@ -101,8 +104,7 @@ class PartitionPlan:
         )
 
     def describe(self) -> str:
-        lines = [f"PartitionPlan: {self.num_shards} shards, "
-                 f"strategy={self.strategy}"]
+        lines = [f"PartitionPlan: {self.num_shards} shards, strategy={self.strategy}"]
         for part in self.tables:
             sizes = [rows.size for rows in part.shard_rows]
             lines.append(
@@ -112,9 +114,13 @@ class PartitionPlan:
         return "\n".join(lines)
 
 
-def _partition_from_shard_of(table_index: int, shard_of: np.ndarray,
-                             num_shards: int, contiguous: bool,
-                             weights: np.ndarray | None) -> TablePartition:
+def _partition_from_shard_of(
+    table_index: int,
+    shard_of: np.ndarray,
+    num_shards: int,
+    contiguous: bool,
+    weights: np.ndarray | None,
+) -> TablePartition:
     num_rows = shard_of.shape[0]
     local_of = np.zeros(num_rows, dtype=np.int64)
     shard_rows = []
@@ -139,22 +145,24 @@ def _partition_from_shard_of(table_index: int, shard_of: np.ndarray,
     )
 
 
-def partition_row_range(table_index: int, num_rows: int,
-                        num_shards: int) -> TablePartition:
+def partition_row_range(
+    table_index: int, num_rows: int, num_shards: int
+) -> TablePartition:
     """Contiguous equal-row ranges (the first ``num_rows % num_shards``
     shards get one extra row, numpy ``array_split`` style)."""
     bounds = np.linspace(0, num_rows, num_shards + 1).round().astype(np.int64)
     shard_of = np.zeros(num_rows, dtype=np.int32)
     for s in range(num_shards):
-        shard_of[bounds[s]:bounds[s + 1]] = s
+        shard_of[bounds[s] : bounds[s + 1]] = s
     uniform = np.ones(num_rows, dtype=np.float64)
     return _partition_from_shard_of(
         table_index, shard_of, num_shards, contiguous=True, weights=uniform
     )
 
 
-def partition_frequency(table_index: int, weights: np.ndarray,
-                        num_shards: int) -> TablePartition:
+def partition_frequency(
+    table_index: int, weights: np.ndarray, num_shards: int
+) -> TablePartition:
     """Contiguous ranges cut at equal access-mass quantiles.
 
     ``weights[r]`` is row ``r``'s observed (or modelled) access frequency;
@@ -183,11 +191,12 @@ def partition_frequency(table_index: int, weights: np.ndarray,
         target = consumed + (total - consumed) / remaining_shards
         cut = int(np.searchsorted(cumulative, target, side="left"))
         # Include the boundary row when that lands closer to the target.
-        if cut < num_rows and (cut < start + 1 or
-                               (cumulative[cut] - target)
-                               <= (target - cumulative[cut - 1])):
+        if cut < num_rows and (
+            cut < start + 1
+            or (cumulative[cut] - target) <= (target - cumulative[cut - 1])
+        ):
             cut += 1
-        cut = max(cut, start + 1)                      # non-empty shard
+        cut = max(cut, start + 1)  # non-empty shard
         cut = min(cut, num_rows - (remaining_shards - 1))  # leave rows over
         bounds.append(cut)
         consumed = cumulative[cut - 1]
@@ -195,14 +204,15 @@ def partition_frequency(table_index: int, weights: np.ndarray,
     bounds = np.maximum.accumulate(np.asarray(bounds, dtype=np.int64))
     shard_of = np.zeros(num_rows, dtype=np.int32)
     for s in range(num_shards):
-        shard_of[bounds[s]:bounds[s + 1]] = s
+        shard_of[bounds[s] : bounds[s + 1]] = s
     return _partition_from_shard_of(
         table_index, shard_of, num_shards, contiguous=True, weights=weights
     )
 
 
-def partition_hash(table_index: int, num_rows: int,
-                   num_shards: int) -> TablePartition:
+def partition_hash(
+    table_index: int, num_rows: int, num_shards: int
+) -> TablePartition:
     """Scatter rows across shards by a splitmix64 hash of the row id."""
     rows = np.arange(num_rows, dtype=np.uint64)
     hashed = splitmix64(rows ^ (_HASH_SALT + np.uint64(table_index)))
@@ -213,8 +223,7 @@ def partition_hash(table_index: int, num_rows: int,
     )
 
 
-def access_weights_from_trace(per_iteration_rows: list,
-                              num_rows: int) -> np.ndarray:
+def access_weights_from_trace(per_iteration_rows: list, num_rows: int) -> np.ndarray:
     """Per-row access counts from a raw lookup trace.
 
     ``per_iteration_rows`` is the output of
@@ -227,8 +236,7 @@ def access_weights_from_trace(per_iteration_rows: list,
     return counts
 
 
-def access_weights_from_skew(num_rows: int,
-                             skew: SkewSpec | None) -> np.ndarray:
+def access_weights_from_skew(num_rows: int, skew: SkewSpec | None) -> np.ndarray:
     """Modelled per-row access weights when no trace is available.
 
     Uniform traces weigh every row equally; Zipf traces use the calibrated
@@ -240,10 +248,13 @@ def access_weights_from_skew(num_rows: int,
     return zipf_weights(num_rows, skew.exponent)
 
 
-def build_partition_plan(config: DLRMConfig, num_shards: int,
-                         strategy: str = "row_range",
-                         weights_per_table: list | None = None,
-                         skew: SkewSpec | None = None) -> PartitionPlan:
+def build_partition_plan(
+    config: DLRMConfig,
+    num_shards: int,
+    strategy: str = "row_range",
+    weights_per_table: list | None = None,
+    skew: SkewSpec | None = None,
+) -> PartitionPlan:
     """A :class:`PartitionPlan` for every table of ``config``.
 
     ``weights_per_table`` (one array per table, e.g. from
@@ -280,8 +291,7 @@ def build_partition_plan(config: DLRMConfig, num_shards: int,
             # Pad with empty shards so every table exposes the same shard
             # count to the router and executor.
             empty = tuple(
-                np.empty(0, dtype=np.int64)
-                for _ in range(num_shards - shards)
+                np.empty(0, dtype=np.int64) for _ in range(num_shards - shards)
             )
             part = TablePartition(
                 table_index=part.table_index,
@@ -298,8 +308,9 @@ def build_partition_plan(config: DLRMConfig, num_shards: int,
     )
 
 
-def plan_from_loader(config: DLRMConfig, num_shards: int, loader,
-                     strategy: str = "frequency") -> PartitionPlan:
+def plan_from_loader(
+    config: DLRMConfig, num_shards: int, loader, strategy: str = "frequency"
+) -> PartitionPlan:
     """Build a plan balanced by the access frequencies a loader produces.
 
     Walks the loader once per table via
@@ -310,9 +321,7 @@ def plan_from_loader(config: DLRMConfig, num_shards: int, loader,
     from ..data.tracestats import collect_trace
 
     weights = [
-        access_weights_from_trace(
-            collect_trace(loader, t), config.table_rows[t]
-        )
+        access_weights_from_trace(collect_trace(loader, t), config.table_rows[t])
         for t in range(config.num_tables)
     ]
     return build_partition_plan(

@@ -30,9 +30,9 @@ class RoutedIndices:
 
     table_index: int
     input_size: int
-    local: tuple          # per shard: (n_s,) int64 local row ids
-    global_rows: tuple    # per shard: (n_s,) int64 global row ids
-    origin: tuple         # per shard: (n_s,) int64 input positions
+    local: tuple  # per shard: (n_s,) int64 local row ids
+    global_rows: tuple  # per shard: (n_s,) int64 global row ids
+    origin: tuple  # per shard: (n_s,) int64 input positions
 
     @property
     def num_shards(self) -> int:
@@ -96,8 +96,9 @@ class ShardRouter:
             origin=tuple(origin),
         )
 
-    def gather(self, routed: RoutedIndices, per_shard_values: list,
-               dim: int | None = None) -> np.ndarray:
+    def gather(
+        self, routed: RoutedIndices, per_shard_values: list, dim: int | None = None
+    ) -> np.ndarray:
         """Reassemble per-shard row results into input order.
 
         ``per_shard_values[s]`` is ``(n_s, dim)`` (or ``(n_s,)``), aligned
@@ -112,8 +113,9 @@ class ShardRouter:
                 reference = np.asarray(values)
                 break
         if reference is None:
-            shape = (routed.input_size,) if dim is None \
-                else (routed.input_size, dim)
+            shape = (
+                (routed.input_size,) if dim is None else (routed.input_size, dim)
+            )
             return np.zeros(shape, dtype=np.float64)
         out_shape = (routed.input_size,) + reference.shape[1:]
         out = np.empty(out_shape, dtype=reference.dtype)

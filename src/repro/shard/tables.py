@@ -47,8 +47,7 @@ class ShardSlab:
     and writes through its global row list instead.
     """
 
-    def __init__(self, table: Parameter, partition: TablePartition,
-                 shard_index: int):
+    def __init__(self, table: Parameter, partition: TablePartition, shard_index: int):
         self.table = table
         self.shard_index = int(shard_index)
         self.rows = partition.shard_rows[shard_index]
@@ -70,8 +69,9 @@ class ShardSlab:
 
     @property
     def nbytes(self) -> int:
-        return int(self.rows.size * self.table.data.shape[1]
-                   * self.table.data.itemsize)
+        return int(
+            self.rows.size * self.table.data.shape[1] * self.table.data.itemsize
+        )
 
     def read_rows(self, global_rows: np.ndarray) -> np.ndarray:
         """Values of shard-owned rows, addressed by global id."""
@@ -91,8 +91,9 @@ class ShardSlab:
             return self.param.data, self._start
         return self.table.data, 0
 
-    def write_rows(self, global_rows: np.ndarray, values: np.ndarray,
-                   learning_rate: float) -> None:
+    def write_rows(
+        self, global_rows: np.ndarray, values: np.ndarray, learning_rate: float
+    ) -> None:
         """``row -= lr * value`` for shard-owned rows (global ids).
 
         Bitwise identical to the flat table's update: a contiguous slab
@@ -102,8 +103,7 @@ class ShardSlab:
         if global_rows.size == 0:
             return
         if self.param is not None:
-            self.param.data[global_rows - self._start] -= \
-                learning_rate * values
+            self.param.data[global_rows - self._start] -= learning_rate * values
         else:
             self.table.data[global_rows] -= learning_rate * values
 
@@ -133,13 +133,13 @@ class ShardedEmbeddingBag(EmbeddingBag):
             )
         self.partition = partition
         self.slabs = [
-            ShardSlab(table, partition, s)
-            for s in range(partition.num_shards)
+            ShardSlab(table, partition, s) for s in range(partition.num_shards)
         ]
 
     @classmethod
-    def adopt(cls, bag: EmbeddingBag,
-              partition: TablePartition) -> "ShardedEmbeddingBag":
+    def adopt(
+        cls, bag: EmbeddingBag, partition: TablePartition
+    ) -> "ShardedEmbeddingBag":
         """Wrap an existing bag's table (shared storage, no copy)."""
         return cls(bag.table, partition)
 
@@ -186,14 +186,16 @@ class ShardedHistoryTable:
     def shard(self, shard: int) -> HistoryTable | None:
         return self.shards[shard]
 
-    def shard_delays(self, shard: int, local_rows: np.ndarray,
-                     iteration: int) -> np.ndarray:
+    def shard_delays(
+        self, shard: int, local_rows: np.ndarray, iteration: int
+    ) -> np.ndarray:
         if local_rows.size == 0:
             return np.zeros(0, dtype=np.int64)
         return self.shards[shard].delays(local_rows, iteration)
 
-    def shard_mark_updated(self, shard: int, local_rows: np.ndarray,
-                           iteration: int) -> None:
+    def shard_mark_updated(
+        self, shard: int, local_rows: np.ndarray, iteration: int
+    ) -> None:
         if local_rows.size:
             self.shards[shard].mark_updated(local_rows, iteration)
 
@@ -206,8 +208,7 @@ class ShardedHistoryTable:
     # -- flat-compatible API (global row ids) ------------------------------
     def _route(self, rows: np.ndarray) -> tuple:
         rows = np.asarray(rows, dtype=np.int64)
-        return (self.partition.shard_of[rows],
-                self.partition.local_of[rows], rows)
+        return (self.partition.shard_of[rows], self.partition.local_of[rows], rows)
 
     def last_updated(self, rows: np.ndarray) -> np.ndarray:
         owners, locals_, rows = self._route(rows)

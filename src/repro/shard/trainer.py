@@ -37,7 +37,8 @@ both back-to-back per shard;
 first half onto a background prefetch worker and hands the results
 across a staging buffer — legal because the two halves share no state
 beyond the immutable plan, so the split point is also a safe thread
-boundary.
+boundary.  This class is the sharded *base* the session builder
+(:mod:`repro.session`) stacks the pipeline/async capability layers on.
 """
 
 from __future__ import annotations
@@ -67,29 +68,30 @@ class ShardedLazyNoiseEngine:
     need no cross-thread synchronisation).
     """
 
-    def __init__(self, model: DLRM, noise_stream: NoiseStream,
-                 plan: PartitionPlan, use_ans: bool = True,
-                 flush_chunk_rows: int = 65536):
+    def __init__(
+        self,
+        model: DLRM,
+        noise_stream: NoiseStream,
+        plan: PartitionPlan,
+        use_ans: bool = True,
+        flush_chunk_rows: int = 65536,
+    ):
         self.model = model
         self.plan = plan
         # Flat facade engine: used by export_private_model, which walks
         # global pending rows outside the per-shard hot path.
         self.ans = ANSEngine(noise_stream, enabled=use_ans)
         self.shard_ans = [
-            ANSEngine(noise_stream, enabled=use_ans)
-            for _ in range(plan.num_shards)
+            ANSEngine(noise_stream, enabled=use_ans) for _ in range(plan.num_shards)
         ]
         self.histories = [
-            ShardedHistoryTable(plan.table(t))
-            for t in range(len(model.embeddings))
+            ShardedHistoryTable(plan.table(t)) for t in range(len(model.embeddings))
         ]
         self.flush_chunk_rows = int(flush_chunk_rows)
         self.flushed_through: int | None = None
         #: Per-shard flush scratch — one arena per shard so the
         #: shard-parallel flush stays lock-free.
-        self.shard_arenas = [
-            BufferArena() for _ in range(plan.num_shards)
-        ]
+        self.shard_arenas = [BufferArena() for _ in range(plan.num_shards)]
 
     @property
     def use_ans(self) -> bool:
@@ -106,9 +108,16 @@ class ShardedLazyNoiseEngine:
         """Total HistoryTable footprint — identical to the flat engine's."""
         return int(sum(history.nbytes for history in self.histories))
 
-    def _flush_shard(self, table_index: int, bag: ShardedEmbeddingBag,
-                     shard: int, final_iteration: int, learning_rate: float,
-                     std: float, timer: StageTimer | None = None) -> int:
+    def _flush_shard(
+        self,
+        table_index: int,
+        bag: ShardedEmbeddingBag,
+        shard: int,
+        final_iteration: int,
+        learning_rate: float,
+        std: float,
+        timer: StageTimer | None = None,
+    ) -> int:
         history = self.histories[table_index]
         pending_local = history.shard_pending_rows(shard, final_iteration)
         if pending_local.size == 0:
@@ -118,25 +127,38 @@ class ShardedLazyNoiseEngine:
         timer = timer or StageTimer()
         with timer.time("terminal_flush"):
             for start in range(0, pending_local.size, self.flush_chunk_rows):
-                local = pending_local[start:start + self.flush_chunk_rows]
+                local = pending_local[start : start + self.flush_chunk_rows]
                 global_rows = slab.rows[local]
                 delays = shard_history.delays(local, final_iteration)
                 noise = self.shard_ans[shard].catchup_noise(
-                    table_index, global_rows, delays, final_iteration,
-                    bag.dim, std,
+                    table_index,
+                    global_rows,
+                    delays,
+                    final_iteration,
+                    bag.dim,
+                    std,
                 )
                 target, row_base = slab.update_target()
                 apply_sparse_update(
-                    target, global_rows, noise, learning_rate,
-                    arena=self.shard_arenas[shard], row_base=row_base,
+                    target,
+                    global_rows,
+                    noise,
+                    learning_rate,
+                    arena=self.shard_arenas[shard],
+                    row_base=row_base,
                     values_writable=True,
                 )
                 shard_history.mark_updated(local, final_iteration)
         return int(pending_local.size)
 
-    def flush(self, final_iteration: int, learning_rate: float, std: float,
-              executor: ShardExecutor | None = None,
-              timers: list | None = None) -> int:
+    def flush(
+        self,
+        final_iteration: int,
+        learning_rate: float,
+        std: float,
+        executor: ShardExecutor | None = None,
+        timers: list | None = None,
+    ) -> int:
         """Apply all deferred noise, shard-parallel; returns rows caught up.
 
         Bitwise identical to the flat engine's flush: each pending row
@@ -147,10 +169,17 @@ class ShardedLazyNoiseEngine:
         caught_up = 0
         for table_index, bag in enumerate(self.model.embeddings):
             tasks = [
-                (lambda t=table_index, b=bag, s=s: self._flush_shard(
-                    t, b, s, final_iteration, learning_rate, std,
-                    timer=timers[s] if timers else None,
-                ))
+                (
+                    lambda t=table_index, b=bag, s=s: self._flush_shard(
+                        t,
+                        b,
+                        s,
+                        final_iteration,
+                        learning_rate,
+                        std,
+                        timer=timers[s] if timers else None,
+                    )
+                )
                 for s in range(self.plan.num_shards)
             ]
             caught_up += sum(executor.run(tasks))
@@ -174,19 +203,26 @@ class ShardedLazyDPTrainer(LazyDPTrainer):
 
     name = "sharded_lazydp"
 
-    def __init__(self, model: DLRM, config: DPConfig, noise_seed: int = 1234,
-                 use_ans: bool = True, num_shards: int = 2,
-                 partition: str = "row_range", executor="serial",
-                 plan: PartitionPlan | None = None,
-                 max_workers: int | None = None, skew=None):
+    def __init__(
+        self,
+        model: DLRM,
+        config: DPConfig,
+        noise_seed: int = 1234,
+        use_ans: bool = True,
+        num_shards: int = 2,
+        partition: str = "row_range",
+        executor="serial",
+        plan: PartitionPlan | None = None,
+        max_workers: int | None = None,
+        skew=None,
+    ):
         if plan is None:
             plan = build_partition_plan(
                 model.config, num_shards, strategy=partition, skew=skew
             )
         self._validate_plan(model, plan)
-        self.plan = plan          # before super().__init__: _build_engine reads it
-        super().__init__(model, config, noise_seed=noise_seed,
-                         use_ans=use_ans)
+        self.plan = plan  # before super().__init__: _build_engine reads it
+        super().__init__(model, config, noise_seed=noise_seed, use_ans=use_ans)
         self.name = "sharded_lazydp" if use_ans else "sharded_lazydp_no_ans"
         self.num_shards = plan.num_shards
         self.router = ShardRouter(plan)
@@ -194,18 +230,14 @@ class ShardedLazyDPTrainer(LazyDPTrainer):
             # Always re-adopt: a bag sharded by an *earlier* trainer
             # carries that plan's slabs, which would silently misaddress
             # rows under this trainer's partition.
-            model.embeddings[t] = ShardedEmbeddingBag(
-                bag.table, plan.table(t)
-            )
+            model.embeddings[t] = ShardedEmbeddingBag(bag.table, plan.table(t))
         self.executor = make_executor(executor, plan.num_shards, max_workers)
         #: One StageTimer per shard, accumulating that shard's model-update
         #: stage times across all tables and iterations.
         self.shard_timers = [StageTimer() for _ in range(plan.num_shards)]
         #: One apply-kernel arena per shard (shard tasks may run
         #: concurrently; arenas are single-threaded by contract).
-        self.shard_apply_arenas = [
-            BufferArena() for _ in range(plan.num_shards)
-        ]
+        self.shard_apply_arenas = [BufferArena() for _ in range(plan.num_shards)]
 
     def _build_engine(self, model: DLRM, use_ans: bool):
         """Hook from LazyDPTrainer: build the sharded engine directly
@@ -229,11 +261,17 @@ class ShardedLazyDPTrainer(LazyDPTrainer):
                 )
 
     # -- the sharded lazy model update ------------------------------------
-    def _shard_plan_and_sample(self, table_index: int, shard: int,
-                               next_global: np.ndarray,
-                               next_local: np.ndarray, iteration: int,
-                               dim: int, noise_std: float,
-                               timer) -> tuple:
+    def _shard_plan_and_sample(
+        self,
+        table_index: int,
+        shard: int,
+        next_global: np.ndarray,
+        next_local: np.ndarray,
+        iteration: int,
+        dim: int,
+        noise_std: float,
+        timer,
+    ) -> tuple:
         """Stages 2-4 for one shard: history read/advance + noise draw.
 
         Touches only shard-owned state (that shard's HistoryTable and
@@ -254,46 +292,77 @@ class ShardedLazyDPTrainer(LazyDPTrainer):
             # Keyed by *global* row ids: the draw is bitwise the one the
             # flat trainer makes for the same row at the same iteration.
             noise_values = self.engine.shard_ans[shard].catchup_noise(
-                table_index, next_global, delays, iteration,
-                dim, noise_std,
+                table_index, next_global, delays, iteration, dim, noise_std
             )
         return delays, noise_values
 
-    def _shard_apply(self, bag: ShardedEmbeddingBag, shard: int,
-                     noise_rows: np.ndarray, noise_values: np.ndarray,
-                     grad_rows: np.ndarray, grad_values: np.ndarray,
-                     learning_rate: float, timer) -> None:
+    def _shard_apply(
+        self,
+        bag: ShardedEmbeddingBag,
+        shard: int,
+        noise_rows: np.ndarray,
+        noise_values: np.ndarray,
+        grad_rows: np.ndarray,
+        grad_values: np.ndarray,
+        learning_rate: float,
+        timer,
+    ) -> None:
         """Stages 5-6 for one shard: merge with the gradient slice and
         write through the shard's parameter slab — one fused kernel
         call against shard-owned scratch, so concurrent shard tasks
         stay allocation- and lock-free."""
         target, row_base = bag.slabs[shard].update_target()
         fused_noisy_update(
-            target, learning_rate, grad_rows, grad_values,
-            noise_rows, noise_values,
-            arena=self.shard_apply_arenas[shard], row_base=row_base,
+            target,
+            learning_rate,
+            grad_rows,
+            grad_values,
+            noise_rows,
+            noise_values,
+            arena=self.shard_apply_arenas[shard],
+            row_base=row_base,
             timer=timer,
         )
 
-    def _shard_update_task(self, table_index: int, bag: ShardedEmbeddingBag,
-                           shard: int, next_global: np.ndarray,
-                           next_local: np.ndarray, grad_rows: np.ndarray,
-                           grad_values: np.ndarray, iteration: int,
-                           noise_std: float, learning_rate: float) -> None:
+    def _shard_update_task(
+        self,
+        table_index: int,
+        bag: ShardedEmbeddingBag,
+        shard: int,
+        next_global: np.ndarray,
+        next_local: np.ndarray,
+        grad_rows: np.ndarray,
+        grad_values: np.ndarray,
+        iteration: int,
+        noise_std: float,
+        learning_rate: float,
+    ) -> None:
         """Stages 2-6 of Algorithm 1 for one shard of one table."""
         timer = self.shard_timers[shard]
         _, noise_values = self._shard_plan_and_sample(
-            table_index, shard, next_global, next_local, iteration,
-            bag.dim, noise_std, timer,
+            table_index,
+            shard,
+            next_global,
+            next_local,
+            iteration,
+            bag.dim,
+            noise_std,
+            timer,
         )
         self._shard_apply(
-            bag, shard, next_global, noise_values, grad_rows, grad_values,
-            learning_rate, timer,
+            bag,
+            shard,
+            next_global,
+            noise_values,
+            grad_rows,
+            grad_values,
+            learning_rate,
+            timer,
         )
 
-    def _apply_embedding_dense_noisy_update(self, table_index: int, bag,
-                                            sparse_grad, iteration: int,
-                                            noise_std: float) -> None:
+    def _apply_embedding_dense_noisy_update(
+        self, table_index: int, bag, sparse_grad, iteration: int, noise_std: float
+    ) -> None:
         self._last_noise_std = noise_std
         lr = self.config.learning_rate
 
@@ -314,12 +383,20 @@ class ShardedLazyDPTrainer(LazyDPTrainer):
             ]
 
         tasks = [
-            (lambda s=s: self._shard_update_task(
-                table_index, bag, s,
-                routed_next.global_rows[s], routed_next.local[s],
-                routed_grad.global_rows[s], grad_values[s],
-                iteration, noise_std, lr,
-            ))
+            (
+                lambda s=s: self._shard_update_task(
+                    table_index,
+                    bag,
+                    s,
+                    routed_next.global_rows[s],
+                    routed_next.local[s],
+                    routed_grad.global_rows[s],
+                    grad_values[s],
+                    iteration,
+                    noise_std,
+                    lr,
+                )
+            )
             for s in range(self.num_shards)
         ]
         with self.timer.time("shard_model_update"):
@@ -332,8 +409,11 @@ class ShardedLazyDPTrainer(LazyDPTrainer):
         noise_std = self._flush_noise_std()
         with self.timer.time("terminal_flush"):
             self.engine.flush(
-                final_iteration, self.config.learning_rate, noise_std,
-                executor=self.executor, timers=self.shard_timers,
+                final_iteration,
+                self.config.learning_rate,
+                noise_std,
+                executor=self.executor,
+                timers=self.shard_timers,
             )
 
     # -- reporting ---------------------------------------------------------

@@ -181,6 +181,11 @@ class TrainerBase:
         # DP convention (Opacus) averages and scales noise by the expected
         # lot size; ``fit`` pins this from the loader.
         self.expected_batch_size: int | None = None
+        # Highest iteration trained so far (0 = untrained).  ``fit``
+        # maintains it; LazyDP's ``train_step`` also records it so
+        # manually-stepped trainers stay trackable — attached serving
+        # engines (``repro.serve``) watch it to detect resumed training.
+        self.last_iteration: int = 0
         # Optional learning-rate schedule.  Plain trainers leave this None
         # (constant lr from config); the scheduled trainers in
         # ``repro.train.schedules`` install one.  LazyDP must NOT be given
@@ -226,6 +231,7 @@ class TrainerBase:
                     self.config.noise_multiplier, loader.sample_rate
                 )
             final_iteration = iteration
+            self.last_iteration = iteration
         self.finalize(final_iteration)
         epsilon = None
         if self.accountant is not None and final_iteration > 0:

@@ -16,7 +16,7 @@ import numpy as np
 import pytest
 
 from repro import configs
-from repro.async_ import AsyncLazyDPTrainer, AsyncShardedLazyDPTrainer
+from repro.async_ import AsyncLazyDPTrainer
 from repro.lazydp import LedgerError
 from repro.testing import make_loader, max_param_diff, train_algorithm
 
@@ -270,7 +270,11 @@ class TestTrainerBehaviour:
         _, _, trainer = train_async(
             config, sharded=True, num_shards=2, executor="threads",
         )
-        assert isinstance(trainer, AsyncShardedLazyDPTrainer)
+        # train_async goes through TrainSession.build, which composes
+        # the same async+pipeline+sharded stack the legacy class names.
+        assert trainer.execution_plan.is_async
+        assert trainer.execution_plan.is_sharded
+        assert trainer.name == "async_sharded_lazydp"
         assert trainer.apply_timer.totals["shard_model_update"] > 0.0
         for timer in trainer.shard_timers:
             assert timer.totals["noisy_grad_update"] >= 0.0

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro import configs
-from repro.bench.experiments import make_trainer
+from repro.testing import trainer_for
 from repro.data import DataLoader, LookaheadLoader, SyntheticClickDataset
 from repro.lazydp.checkpoint import (
     export_private_model,
@@ -24,7 +24,7 @@ def config():
 
 def build(config, use_ans=True, noise_seed=99):
     model = DLRM(config, seed=7)
-    trainer = make_trainer(
+    trainer = trainer_for(
         "lazydp" if use_ans else "lazydp_no_ans", model, DPConfig(),
         noise_seed=noise_seed,
     )
@@ -156,7 +156,7 @@ class TestExportPrivateModel:
         released = export_private_model(lazy_trainer, iteration=4)
 
         eager_model = DLRM(config, seed=7)
-        eager_trainer = make_trainer("dpsgd_f", eager_model, DPConfig(),
+        eager_trainer = trainer_for("dpsgd_f", eager_model, DPConfig(),
                                      noise_seed=99)
         eager_trainer.expected_batch_size = 16
         drive(eager_trainer, entries, stop=4)

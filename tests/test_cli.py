@@ -43,6 +43,15 @@ class TestTrainCommand:
         assert "per-shard model update" in out
         assert "shard_model_update" in out
 
+    def test_noop_default_engine_flag_allowed_with_baselines(self, capsys):
+        """Explicitly passing a flag at its no-op default selects no
+        engine, so it stays legal with any algorithm."""
+        code = main([
+            "train", "--algorithm", "sgd", "--rows", "256",
+            "--batch", "16", "--iterations", "2", "--num-shards", "1",
+        ])
+        assert code == 0
+
     def test_sharding_requires_lazydp(self, capsys):
         code = main([
             "train", "--algorithm", "dpsgd_f", "--rows", "256",
@@ -92,9 +101,125 @@ class TestTrainCommand:
         assert code == 2
         assert "prefetch_depth" in capsys.readouterr().err
 
+    def test_rejects_bad_engine_flag_even_with_axis_off(self, capsys):
+        """A bad value is an error, not silently dropped, even when its
+        engine axis is disabled (pre-plan CLI behaviour)."""
+        code = main([
+            "train", "--algorithm", "lazydp", "--rows", "256",
+            "--batch", "16", "--iterations", "2", "--max-workers", "0",
+        ])
+        assert code == 2
+        assert "max_workers" in capsys.readouterr().err
+        code = main([
+            "train", "--algorithm", "lazydp", "--rows", "256",
+            "--batch", "16", "--iterations", "2", "--max-in-flight", "0",
+        ])
+        assert code == 2
+        assert "max_in_flight" in capsys.readouterr().err
+
     def test_rejects_unknown_algorithm(self):
         with pytest.raises(SystemExit):
             main(["train", "--algorithm", "adam"])
+
+
+class TestPlanFlag:
+    """The unified --plan spec: parse, run, reject, round-trip."""
+
+    def test_plan_spec_trains_and_reports_canonically(self, capsys):
+        code = main([
+            "train", "--rows", "512", "--batch", "32", "--iterations", "3",
+            "--plan", "shards=2,pipeline=2,executor=threads",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "pipelined_sharded_lazydp" in out
+        assert ("plan             : ans=on,shards=2,partition=row_range,"
+                "executor=threads,pipeline=2") in out
+        assert "per-shard model update" in out
+        assert "noise prefetch pipeline" in out
+
+    def test_async_plan_spec(self, capsys):
+        code = main([
+            "train", "--rows", "512", "--batch", "32", "--iterations", "3",
+            "--plan", "async=strict,inflight=2,ans=off",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "async_lazydp_no_ans" in out
+        assert "async apply engine" in out
+
+    def test_reported_plan_round_trips(self, capsys):
+        """The canonical string the CLI prints parses back to the same
+        plan — the spec <-> to_dict/from_dict <-> canonical loop."""
+        from repro.session import ExecutionPlan
+
+        main([
+            "train", "--rows", "256", "--batch", "16", "--iterations", "2",
+            "--plan", "shards=3,partition=hash,async=bounded:1,inflight=3",
+        ])
+        out = capsys.readouterr().out
+        printed = next(
+            line.split(":", 1)[1].strip() for line in out.splitlines()
+            if line.startswith("plan ")
+        )
+        plan = ExecutionPlan.from_spec(printed)
+        assert plan.canonical() == printed
+        assert ExecutionPlan.from_dict(plan.to_dict()) == plan
+
+    def test_legacy_flags_still_print_canonical_plan(self, capsys):
+        code = main([
+            "train", "--algorithm", "lazydp", "--rows", "256",
+            "--batch", "16", "--iterations", "2",
+            "--num-shards", "2", "--pipeline",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert ("plan             : ans=on,shards=2,partition=row_range,"
+                "executor=serial,pipeline=2") in out
+
+    def test_rejects_contradictory_spec(self, capsys):
+        code = main([
+            "train", "--rows", "256", "--batch", "16", "--iterations", "2",
+            "--plan", "async=strict,pipeline=0",
+        ])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "contradictory" in err
+        assert "pipeline=0" in err
+
+    def test_rejects_unknown_spec_key(self, capsys):
+        code = main([
+            "train", "--rows", "256", "--batch", "16", "--iterations", "2",
+            "--plan", "turbo=on",
+        ])
+        assert code == 2
+        assert "unknown key" in capsys.readouterr().err
+
+    def test_rejects_plan_combined_with_engine_flags(self, capsys):
+        code = main([
+            "train", "--rows", "256", "--batch", "16", "--iterations", "2",
+            "--plan", "shards=2", "--num-shards", "4",
+        ])
+        assert code == 2
+        assert "--num-shards" in capsys.readouterr().err
+
+    def test_rejects_plan_with_explicitly_passed_default_flag(self, capsys):
+        """Even a flag passed at its default value conflicts with --plan
+        (the None-sentinel defaults make explicit usage detectable)."""
+        code = main([
+            "train", "--rows", "256", "--batch", "16", "--iterations", "2",
+            "--plan", "shards=2", "--max-in-flight", "2",
+        ])
+        assert code == 2
+        assert "--max-in-flight" in capsys.readouterr().err
+
+    def test_rejects_plan_combined_with_algorithm(self, capsys):
+        code = main([
+            "train", "--algorithm", "lazydp_no_ans", "--rows", "256",
+            "--batch", "16", "--iterations", "2", "--plan", "ans=off",
+        ])
+        assert code == 2
+        assert "ans" in capsys.readouterr().err
 
 
 class TestFiguresCommand:

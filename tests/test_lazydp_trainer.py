@@ -54,8 +54,8 @@ class TestLazyDPTrainer:
         dp = DPConfig()
         model = DLRM(config, seed=7)
         reference = DLRM(config, seed=7)
-        from repro.bench.experiments import make_trainer
-        trainer = make_trainer("lazydp", model, dp, noise_seed=99)
+        from repro.testing import trainer_for
+        trainer = trainer_for("lazydp", model, dp, noise_seed=99)
         dataset = SyntheticClickDataset(config, seed=3)
         loader = DataLoader(dataset, batch_size=4, num_batches=2, seed=5)
         trainer.expected_batch_size = 4
@@ -74,8 +74,8 @@ class TestLazyDPTrainer:
 
         def run(chunk):
             model = DLRM(config, seed=7)
-            from repro.bench.experiments import make_trainer
-            trainer = make_trainer("lazydp_no_ans", model, dp, noise_seed=99)
+            from repro.testing import trainer_for
+            trainer = trainer_for("lazydp_no_ans", model, dp, noise_seed=99)
             trainer.engine.flush_chunk_rows = chunk
             dataset = SyntheticClickDataset(config, seed=3)
             loader = DataLoader(dataset, batch_size=8, num_batches=4, seed=5)
@@ -128,8 +128,8 @@ class TestLazyDPTrainer:
         model = DLRM(config, seed=7)
         dataset = SyntheticClickDataset(config, seed=3)
         loader = DataLoader(dataset, batch_size=8, num_batches=1, seed=5)
-        from repro.bench.experiments import make_trainer
-        trainer = make_trainer("lazydp", model, DPConfig(), noise_seed=99)
+        from repro.testing import trainer_for
+        trainer = trainer_for("lazydp", model, DPConfig(), noise_seed=99)
         result = trainer.fit(loader)
         assert result.iterations == 1
 

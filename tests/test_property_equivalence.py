@@ -13,7 +13,7 @@ from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.configs import DLRMConfig
-from repro.bench.experiments import make_trainer
+from repro.testing import trainer_for
 from repro.data import DataLoader, LookaheadLoader, SyntheticClickDataset
 from repro.nn import DLRM
 from repro.train import DPConfig
@@ -54,7 +54,7 @@ def train(algorithm, params, dp=None):
         dataset, batch_size=min(params["batch"], 512),
         num_batches=params["iterations"], seed=params["seed"] + 3,
     )
-    trainer = make_trainer(
+    trainer = trainer_for(
         algorithm, model, dp or DPConfig(), noise_seed=params["seed"] + 4
     )
     trainer.fit(loader)
@@ -112,9 +112,9 @@ def test_visible_rows_current_at_access(params):
     dp = DPConfig()
     eager_model = DLRM(config, seed=params["seed"] + 1)
     lazy_model = DLRM(config, seed=params["seed"] + 1)
-    eager = make_trainer("dpsgd_f", eager_model, dp,
+    eager = trainer_for("dpsgd_f", eager_model, dp,
                          noise_seed=params["seed"] + 4)
-    lazy = make_trainer("lazydp_no_ans", lazy_model, dp,
+    lazy = trainer_for("lazydp_no_ans", lazy_model, dp,
                         noise_seed=params["seed"] + 4)
     dataset = SyntheticClickDataset(
         config, seed=params["seed"] + 2, num_examples=512

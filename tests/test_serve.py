@@ -214,6 +214,121 @@ class TestReadThroughSemantics:
         assert engine.rows_caught_up <= rows.size
 
 
+class TestAttachedServing:
+    """The staleness fix: an attached engine tracks the live trainer.
+
+    Train -> serve -> train -> serve must agree row-for-row with
+    ``export_private_model`` at each point; a frozen (detached) engine
+    keeps the old behaviour.
+    """
+
+    def continue_drive(self, trainer, config, start, steps, batch_size=16):
+        """Step ``steps`` more iterations, numbered after ``start``."""
+        loader = make_loader(config, batch_size=batch_size,
+                             num_batches=steps, seed=start + 31)
+        for index, batch, upcoming in LookaheadLoader(loader):
+            trainer.train_step(start + index + 1, batch, upcoming)
+
+    def test_train_serve_train_serve_row_for_row(self, config, trainer):
+        engine = PrivateServingEngine.from_trainer(trainer, iteration=4)
+        engine.attach(trainer)
+
+        reference = export_private_model(trainer, iteration=4)
+        rows = np.arange(16)
+        for table_index, name in enumerate(engine.embedding_names):
+            np.testing.assert_array_equal(
+                engine.lookup(table_index, rows), reference[name][rows]
+            )
+        assert engine.stats()["iteration"] == 4
+
+        # Training resumes: the memo must invalidate, not go stale.
+        self.continue_drive(trainer, config, start=4, steps=2)
+        reference = export_private_model(trainer, iteration=6)
+        for table_index, name in enumerate(engine.embedding_names):
+            np.testing.assert_array_equal(
+                engine.lookup(table_index, rows), reference[name][rows]
+            )
+        stats = engine.stats()
+        assert stats["iteration"] == 6
+        assert stats["refreshes"] == 1
+        assert stats["attached"]
+
+        served = engine.export()
+        for name in reference:
+            np.testing.assert_array_equal(served[name], reference[name])
+
+    def test_refresh_covers_dense_parameters(self, config, trainer):
+        engine = PrivateServingEngine.from_trainer(trainer, iteration=4)
+        engine.attach(trainer)
+        engine.lookup(0, np.arange(4))
+        self.continue_drive(trainer, config, start=4, steps=1)
+        served = engine.export()
+        reference = export_private_model(trainer, iteration=5)
+        dense = [name for name in reference
+                 if name not in engine.embedding_names]
+        assert dense
+        for name in dense:
+            np.testing.assert_array_equal(served[name], reference[name])
+
+    def test_detached_engine_stays_frozen(self, config, trainer):
+        engine = PrivateServingEngine.from_trainer(
+            trainer, iteration=4, snapshot=True
+        )
+        engine.attach(trainer)
+        engine.detach()
+        frozen = export_private_model(trainer, iteration=4)
+        self.continue_drive(trainer, config, start=4, steps=1)
+        served = engine.export()
+        for name in frozen:
+            np.testing.assert_array_equal(served[name], frozen[name])
+        assert engine.stats()["refreshes"] == 0
+        assert not engine.stats()["attached"]
+
+    def test_attach_requires_matching_trainer(self, config, trainer):
+        other_config = configs.tiny_dlrm(num_tables=2, rows=32, dim=8)
+        other = LazyDPTrainer(DLRM(other_config, seed=3), DPConfig(),
+                              noise_seed=5)
+        engine = PrivateServingEngine.from_trainer(trainer, iteration=4)
+        with pytest.raises(ValueError, match="attach"):
+            engine.attach(other)
+
+    def test_pending_rows_reflect_refresh(self, config, trainer):
+        engine = PrivateServingEngine.from_trainer(trainer, iteration=4)
+        engine.attach(trainer)
+        engine.lookup(0, engine.pending_rows(0))
+        assert engine.pending_rows(0).size == 0
+        self.continue_drive(trainer, config, start=4, steps=1)
+        # New deferred noise accrued; the refreshed memo owes it again.
+        assert engine.pending_rows(0).size > 0
+
+    def test_session_serve_attaches_and_detaches(self, config):
+        """TrainSession.serve hands out attached handles; close detaches."""
+        from repro.session import ExecutionPlan, TrainSession
+
+        model = DLRM(config, seed=7)
+        session = TrainSession.build(model, DPConfig(), ExecutionPlan(),
+                                     noise_seed=99)
+        drive(session.trainer, config, 3)
+        engine = session.serve()
+        assert engine.stats()["attached"]
+        reference = session.export_private_model()
+        served = engine.export()
+        for name in reference:
+            np.testing.assert_array_equal(served[name], reference[name])
+        session.close()
+        assert not engine.stats()["attached"]
+
+    def test_session_serve_unfollowed_freezes(self, config):
+        from repro.session import ExecutionPlan, TrainSession
+
+        session = TrainSession.build(DLRM(config, seed=7), DPConfig(),
+                                     ExecutionPlan(), noise_seed=99)
+        drive(session.trainer, config, 3)
+        engine = session.serve(follow=False)
+        assert not engine.stats()["attached"]
+        session.close()
+
+
 class TestConstructionAndErrors:
     def test_from_checkpoint_round_trip(self, config, trainer, tmp_path):
         path = tmp_path / "ckpt.npz"

@@ -1,0 +1,359 @@
+"""The session API: plan axes, serialization round trips, composition.
+
+``ExecutionPlan`` must round-trip through both serialized forms
+(``to_dict``/``from_dict`` and the ``--plan`` spec mini-language) and
+reject contradictory specs with messages naming the contradiction;
+``TrainSession.build`` must compose the same capability stacks the
+legacy classes hard-code; ``make_trainer`` must keep accepting every
+legacy algorithm string while emitting exactly one DeprecationWarning.
+"""
+
+import warnings
+
+import pytest
+
+from repro import configs
+from repro.bench.experiments import make_trainer
+from repro.configs import AsyncConfig, PipelineConfig, ShardConfig
+from repro.nn import DLRM
+from repro.session import (
+    ExecutionPlan,
+    LEGACY_ALGORITHMS,
+    TrainSession,
+    compose_trainer_class,
+    plan_for_algorithm,
+)
+from repro.train import DPConfig
+
+
+@pytest.fixture
+def config():
+    return configs.tiny_dlrm(num_tables=2, rows=48, dim=8, lookups=2)
+
+
+def plan_matrix():
+    """A representative plan per legacy shape, plus non-default axes."""
+    return [
+        ExecutionPlan(),
+        ExecutionPlan(ans=False),
+        ExecutionPlan(shards=ShardConfig(num_shards=3)),
+        ExecutionPlan(shards=ShardConfig(
+            num_shards=4, partition="frequency", executor="threads",
+            max_workers=2,
+        )),
+        ExecutionPlan(pipeline=PipelineConfig(enabled=True,
+                                              prefetch_depth=3)),
+        ExecutionPlan(async_=AsyncConfig(enabled=True, max_in_flight=4,
+                                         staleness="bounded:2")),
+        ExecutionPlan(
+            ans=False,
+            shards=ShardConfig(num_shards=2, partition="hash"),
+            pipeline=PipelineConfig(enabled=True, prefetch_depth=4),
+            async_=AsyncConfig(enabled=True, max_in_flight=3),
+        ),
+    ]
+
+
+class TestPlanValidation:
+    def test_default_plan_is_serial_flat(self):
+        plan = ExecutionPlan()
+        assert plan.ans
+        assert not plan.is_sharded
+        assert not plan.is_pipelined
+        assert not plan.is_async
+        assert plan.legacy_name() == "lazydp"
+
+    def test_async_implies_pipelined(self):
+        plan = ExecutionPlan(async_=AsyncConfig(enabled=True))
+        assert plan.is_pipelined
+        assert plan.pipeline is None       # depth defaults at build time
+        assert plan.legacy_name() == "async_lazydp"
+
+    def test_rejects_disabled_axis_configs(self):
+        with pytest.raises(ValueError, match="pipeline axis"):
+            ExecutionPlan(pipeline=PipelineConfig(enabled=False))
+        with pytest.raises(ValueError, match="async axis"):
+            ExecutionPlan(async_=AsyncConfig(enabled=False))
+
+    def test_rejects_unknown_backend(self):
+        with pytest.raises(ValueError, match="backend"):
+            ExecutionPlan(backend="numba")
+
+    def test_rejects_wrong_axis_types(self):
+        with pytest.raises(ValueError, match="ShardConfig"):
+            ExecutionPlan(shards=4)
+
+    def test_legacy_names_cover_the_cross_product(self):
+        assert len(LEGACY_ALGORITHMS) == 12
+        for plan in plan_matrix():
+            assert plan.legacy_name() in LEGACY_ALGORITHMS
+
+
+class TestDictRoundTrip:
+    @pytest.mark.parametrize("plan", plan_matrix(),
+                             ids=lambda plan: plan.canonical())
+    def test_round_trip(self, plan):
+        assert ExecutionPlan.from_dict(plan.to_dict()) == plan
+
+    def test_dict_is_json_serializable(self):
+        import json
+
+        for plan in plan_matrix():
+            encoded = json.dumps(plan.to_dict())
+            assert ExecutionPlan.from_dict(json.loads(encoded)) == plan
+
+    def test_rejects_unknown_keys(self):
+        with pytest.raises(ValueError, match="unknown ExecutionPlan keys"):
+            ExecutionPlan.from_dict({"ans": True, "sharding": {}})
+        with pytest.raises(ValueError, match="unknown ShardConfig keys"):
+            ExecutionPlan.from_dict({"shards": {"count": 2}})
+
+
+class TestSpecRoundTrip:
+    @pytest.mark.parametrize("plan", plan_matrix(),
+                             ids=lambda plan: plan.canonical())
+    def test_round_trip(self, plan):
+        assert ExecutionPlan.from_spec(plan.to_spec()) == plan
+        assert plan.canonical() == plan.to_spec()
+
+    def test_issue_example_spec(self):
+        plan = ExecutionPlan.from_spec(
+            "shards=4,pipeline=2,async=bounded:2,ans=off"
+        )
+        assert not plan.ans
+        assert plan.shards.num_shards == 4
+        assert plan.pipeline.prefetch_depth == 2
+        assert plan.async_.staleness == "bounded:2"
+        assert plan.legacy_name() == "async_sharded_lazydp_no_ans"
+
+    def test_empty_spec_is_default_plan(self):
+        assert ExecutionPlan.from_spec("") == ExecutionPlan()
+
+    def test_axis_zero_switches_off(self):
+        assert ExecutionPlan.from_spec("shards=0,pipeline=0") == \
+            ExecutionPlan()
+        for word in ("off", "false", "no", "0", "none"):
+            assert ExecutionPlan.from_spec(f"async={word}") == ExecutionPlan()
+
+    @pytest.mark.parametrize("spec, message", [
+        ("async=strict,pipeline=0", "contradictory"),
+        ("async=bounded:1,pipeline=0", "contradictory"),
+        ("partition=hash", "shards>=1"),
+        ("executor=threads,shards=0", "shards>=1"),
+        ("inflight=4", "async"),
+        ("inflight=4,async=off", "async"),
+        ("shards=two", "integer"),
+        ("ans=maybe", "boolean"),
+        ("turbo=on", "unknown key"),
+        ("shards", "key=value"),
+        ("ans=on,ans=off", "duplicate"),
+        ("async=eventual", "staleness"),
+        ("async=bounded:-1", "bound"),
+        ("pipeline=-1", ">= 0"),
+        ("workers=0,shards=2", "max_workers"),
+        ("backend=numba", "backend"),
+    ])
+    def test_rejections_name_the_problem(self, spec, message):
+        with pytest.raises(ValueError, match=message):
+            ExecutionPlan.from_spec(spec)
+
+
+class TestLegacyMapping:
+    def test_every_legacy_name_maps_and_round_trips(self):
+        for algorithm in LEGACY_ALGORITHMS:
+            plan, extras = plan_for_algorithm(algorithm)
+            assert extras == {}
+            assert plan.legacy_name() == algorithm
+            assert ExecutionPlan.from_spec(plan.to_spec()) == plan
+            assert ExecutionPlan.from_dict(plan.to_dict()) == plan
+
+    def test_kwargs_land_on_the_right_axes(self):
+        plan, extras = plan_for_algorithm(
+            "async_sharded_lazydp_no_ans",
+            {"num_shards": 7, "partition": "hash", "executor": "threads",
+             "max_in_flight": 4, "staleness": "bounded:1",
+             "prefetch_depth": 3, "skew": "SKEW"},
+        )
+        assert plan.shards == ShardConfig(num_shards=7, partition="hash",
+                                          executor="threads")
+        assert plan.pipeline.prefetch_depth == 3
+        assert plan.async_ == AsyncConfig(enabled=True, max_in_flight=4,
+                                          staleness="bounded:1")
+        assert not plan.ans
+        assert extras == {"skew": "SKEW"}
+
+    def test_executor_instance_travels_in_extras(self):
+        from repro.shard import ThreadPoolShardExecutor
+
+        executor = ThreadPoolShardExecutor(max_workers=3)
+        try:
+            plan, extras = plan_for_algorithm(
+                "sharded_lazydp", {"num_shards": 3, "executor": executor}
+            )
+            assert plan.shards.executor == "threads"
+            assert extras["executor"] is executor
+        finally:
+            executor.shutdown()
+
+    def test_rejects_unknown_algorithm_and_kwargs(self):
+        with pytest.raises(ValueError, match="unknown lazydp algorithm"):
+            plan_for_algorithm("eager_lazydp")
+        with pytest.raises(TypeError, match="unexpected trainer kwargs"):
+            plan_for_algorithm("lazydp", {"num_shards": 2})
+
+
+class TestComposition:
+    def test_layerless_plans_are_the_core_trainers(self):
+        from repro.lazydp import LazyDPTrainer
+        from repro.shard import ShardedLazyDPTrainer
+
+        assert compose_trainer_class() is LazyDPTrainer
+        assert compose_trainer_class(sharded=True) is ShardedLazyDPTrainer
+
+    def test_composed_mro_matches_the_legacy_stack(self):
+        """Same capability layers in the same resolution order; the
+        legacy concrete classes only add __init__ + a name on top."""
+        from repro.async_ import AsyncLazyDPTrainer, AsyncShardedLazyDPTrainer
+        from repro.pipeline import (
+            PipelinedLazyDPTrainer,
+            PipelinedShardedLazyDPTrainer,
+        )
+
+        thin_shims = {
+            AsyncLazyDPTrainer, AsyncShardedLazyDPTrainer,
+            PipelinedLazyDPTrainer, PipelinedShardedLazyDPTrainer,
+        }
+
+        def layers(cls):
+            return [entry for entry in cls.__mro__
+                    if entry not in thin_shims and "Composed" not in
+                    entry.__name__]
+
+        assert layers(compose_trainer_class(pipelined=True)) == \
+            layers(PipelinedLazyDPTrainer)
+        assert layers(compose_trainer_class(sharded=True, async_=True)) == \
+            layers(AsyncShardedLazyDPTrainer)
+
+    def test_composition_is_cached(self):
+        assert compose_trainer_class(pipelined=True) is \
+            compose_trainer_class(pipelined=True)
+
+    def test_async_gets_default_prefetch_runway(self, config):
+        plan = ExecutionPlan(async_=AsyncConfig(enabled=True,
+                                                max_in_flight=4))
+        session = TrainSession.build(DLRM(config, seed=7), DPConfig(), plan)
+        assert session.trainer.prefetch_depth == 4
+        assert session.trainer.max_in_flight == 4
+        session.close()
+
+    def test_trainer_carries_plan_and_legacy_name(self, config):
+        plan = ExecutionPlan(shards=ShardConfig(num_shards=2), ans=False)
+        session = TrainSession.build(DLRM(config, seed=7), DPConfig(), plan)
+        assert session.trainer.execution_plan is plan
+        assert session.trainer.name == "sharded_lazydp_no_ans"
+        session.close()
+
+    def test_live_escape_hatches_require_sharded_plan(self, config):
+        with pytest.raises(ValueError, match="sharded"):
+            TrainSession.build(DLRM(config, seed=7), DPConfig(),
+                               ExecutionPlan(), skew="SKEW")
+
+
+class TestSessionLifecycle:
+    def test_fit_reports_under_the_legacy_name(self, config):
+        from repro.testing import make_loader
+
+        plan = ExecutionPlan.from_spec("shards=2,pipeline=2")
+        with TrainSession.build(DLRM(config, seed=7), DPConfig(),
+                                plan, noise_seed=99) as session:
+            result = session.fit(
+                make_loader(config, batch_size=16, num_batches=3)
+            )
+            assert result.algorithm == "pipelined_sharded_lazydp"
+            assert session.current_iteration() == 3
+            assert session.epsilon() > 0.0
+            stats = session.stats()
+            assert stats["plan"] == plan.canonical()
+            assert "pipeline" in stats
+            assert "shard_update_seconds" in stats
+
+    def test_current_iteration_tracks_resumed_training(self, config):
+        """Resuming past a flush must advance the release point: serving
+        or exporting at the stale flushed_through would drop the resumed
+        steps' deferred-noise accounting."""
+        import numpy as np
+
+        from repro.data import LookaheadLoader
+        from repro.lazydp import export_private_model
+        from repro.testing import make_loader
+
+        session = TrainSession.build(DLRM(config, seed=7), DPConfig(),
+                                     ExecutionPlan(), noise_seed=99)
+        session.fit(make_loader(config, batch_size=16, num_batches=3))
+        assert session.current_iteration() == 3
+        loader = make_loader(config, batch_size=16, num_batches=2, seed=123)
+        for index, batch, upcoming in LookaheadLoader(loader):
+            session.train_step(4 + index, batch, upcoming)
+        assert session.current_iteration() == 5
+        released = session.export_private_model()
+        reference = export_private_model(session.trainer, iteration=5)
+        for name in reference:
+            np.testing.assert_array_equal(released[name], reference[name])
+        handle = session.serve()          # must not raise "serve the past"
+        assert handle.stats()["iteration"] == 5
+        session.close()
+
+    def test_export_matches_trainer_export(self, config):
+        import numpy as np
+
+        from repro.lazydp import export_private_model
+        from repro.testing import make_loader
+
+        session = TrainSession.build(DLRM(config, seed=7), DPConfig(),
+                                     ExecutionPlan(), noise_seed=99)
+        session.fit(make_loader(config, batch_size=16, num_batches=3))
+        released = session.export_private_model()
+        reference = export_private_model(session.trainer, iteration=3)
+        for name in reference:
+            np.testing.assert_array_equal(released[name], reference[name])
+
+
+class TestMakeTrainerShim:
+    def test_warning_names_the_actual_plan(self, config):
+        """The "equivalent plan spec" in the warning reflects the call's
+        kwargs, not the algorithm's defaults."""
+        with pytest.warns(DeprecationWarning,
+                          match="shards=7,partition=hash"):
+            trainer = make_trainer(
+                "sharded_lazydp", DLRM(config, seed=7), DPConfig(),
+                noise_seed=99, num_shards=7, partition="hash",
+            )
+        trainer.close()
+
+    @pytest.mark.parametrize("algorithm", LEGACY_ALGORITHMS)
+    def test_exactly_one_deprecation_warning(self, config, algorithm):
+        model = DLRM(config, seed=7)
+        with pytest.warns(DeprecationWarning,
+                          match="ExecutionPlan") as record:
+            trainer = make_trainer(algorithm, model, DPConfig(),
+                                   noise_seed=99)
+        deprecations = [entry for entry in record
+                        if entry.category is DeprecationWarning]
+        assert len(deprecations) == 1
+        assert trainer.name == algorithm
+        assert trainer.execution_plan.legacy_name() == algorithm
+        close = getattr(trainer, "close", None)
+        if close is not None:
+            close()
+
+    def test_baseline_algorithms_do_not_warn(self, config):
+        model = DLRM(config, seed=7)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            trainer = make_trainer("dpsgd_f", model, DPConfig(),
+                                   noise_seed=99)
+        assert trainer.name == "dpsgd_f"
+
+    def test_unknown_algorithm_still_rejected(self, config):
+        with pytest.raises(ValueError, match="unknown algorithm"):
+            make_trainer("adam", DLRM(config, seed=7), DPConfig())

@@ -1,0 +1,173 @@
+"""The session builder's acceptance bar: plan-built == legacy class.
+
+For every legacy algorithm string, ``TrainSession.build`` with the
+mapped :class:`ExecutionPlan` must release *bitwise identical*
+embedding tables (and dense parameters) to the hand-written legacy
+trainer class over the equivalence-test workload — fixed and Poisson
+sampling, ANS on/off, 1/2/7 shards, prefetch depths 1/2/4, in-flight
+1/2/4.  This is the re-parameterization of the historical equivalence
+matrix over plans: the composed capability stacks and the legacy
+classes must be the same execution, constructed two ways.
+
+``bounded:k`` staleness is excluded from bitwise comparison (its reads
+are schedule-dependent by design); for it the ledger audit is the bar,
+as in ``tests/test_async_equivalence.py``.
+"""
+
+import pytest
+
+from repro import configs
+from repro.async_ import AsyncLazyDPTrainer, AsyncShardedLazyDPTrainer
+from repro.lazydp import LazyDPTrainer
+from repro.nn import DLRM
+from repro.pipeline import (
+    PipelinedLazyDPTrainer,
+    PipelinedShardedLazyDPTrainer,
+)
+from repro.session import ExecutionPlan, TrainSession, plan_for_algorithm
+from repro.shard import ShardedLazyDPTrainer
+from repro.testing import make_loader, max_param_diff
+from repro.train import DPConfig
+
+LEGACY_CLASSES = {
+    "lazydp": LazyDPTrainer,
+    "sharded_lazydp": ShardedLazyDPTrainer,
+    "pipelined_lazydp": PipelinedLazyDPTrainer,
+    "pipelined_sharded_lazydp": PipelinedShardedLazyDPTrainer,
+    "async_lazydp": AsyncLazyDPTrainer,
+    "async_sharded_lazydp": AsyncShardedLazyDPTrainer,
+}
+
+#: The historical matrix, one row per (algorithm, trainer kwargs,
+#: sampling) combination.  Kwargs are exactly what the legacy class
+#: constructor takes; the plan mapping must translate them loss-free.
+MATRIX = [
+    ("lazydp", {}, "fixed"),
+    ("lazydp", {}, "poisson"),
+    ("lazydp_no_ans", {}, "fixed"),
+    ("sharded_lazydp", {"num_shards": 1}, "fixed"),
+    ("sharded_lazydp", {"num_shards": 2}, "poisson"),
+    ("sharded_lazydp", {"num_shards": 7, "partition": "hash",
+                        "executor": "threads"}, "fixed"),
+    ("sharded_lazydp_no_ans", {"num_shards": 2,
+                               "partition": "frequency"}, "fixed"),
+    ("pipelined_lazydp", {"prefetch_depth": 1}, "fixed"),
+    ("pipelined_lazydp", {"prefetch_depth": 2}, "poisson"),
+    ("pipelined_lazydp", {"prefetch_depth": 4}, "fixed"),
+    ("pipelined_lazydp_no_ans", {"prefetch_depth": 2}, "fixed"),
+    ("pipelined_sharded_lazydp", {"num_shards": 2,
+                                  "prefetch_depth": 2}, "fixed"),
+    ("pipelined_sharded_lazydp", {"num_shards": 7,
+                                  "executor": "threads",
+                                  "prefetch_depth": 4}, "poisson"),
+    ("pipelined_sharded_lazydp_no_ans", {"num_shards": 2,
+                                         "partition": "hash"}, "fixed"),
+    ("async_lazydp", {"max_in_flight": 1}, "fixed"),
+    ("async_lazydp", {"max_in_flight": 2}, "poisson"),
+    ("async_lazydp", {"max_in_flight": 4, "prefetch_depth": 4}, "fixed"),
+    ("async_lazydp_no_ans", {"max_in_flight": 2}, "fixed"),
+    ("async_sharded_lazydp", {"num_shards": 2,
+                              "max_in_flight": 2}, "fixed"),
+    ("async_sharded_lazydp", {"num_shards": 7, "executor": "threads",
+                              "max_in_flight": 4}, "poisson"),
+    ("async_sharded_lazydp_no_ans", {"num_shards": 2,
+                                     "max_in_flight": 2}, "fixed"),
+]
+
+
+def matrix_id(case):
+    algorithm, kwargs, sampling = case
+    details = ",".join(f"{k}={v}" for k, v in sorted(kwargs.items()))
+    return f"{algorithm}[{details}]-{sampling}"
+
+
+@pytest.fixture
+def config():
+    return configs.tiny_dlrm(num_tables=3, rows=64, dim=8, lookups=2)
+
+
+def train(config, trainer_factory, sampling):
+    """Fresh model + the shared deterministic workload; returns model."""
+    model = DLRM(config, seed=7)
+    trainer = trainer_factory(model)
+    loader = make_loader(config, batch_size=16, num_batches=6,
+                         sampling=sampling)
+    trainer.fit(loader)
+    close = getattr(trainer, "close", None)
+    if close is not None:
+        close()
+    return model, trainer
+
+
+@pytest.mark.parametrize("case", MATRIX, ids=matrix_id)
+def test_plan_matches_legacy_class_bitwise(config, case):
+    algorithm, kwargs, sampling = case
+    dp = DPConfig(noise_multiplier=1.1, max_grad_norm=1.0,
+                  learning_rate=0.05)
+    base_name = algorithm.removesuffix("_no_ans")
+    use_ans = not algorithm.endswith("_no_ans")
+
+    legacy_model, legacy_trainer = train(
+        config,
+        lambda model: LEGACY_CLASSES[base_name](
+            model, dp, noise_seed=99, use_ans=use_ans, **kwargs
+        ),
+        sampling,
+    )
+
+    plan, extras = plan_for_algorithm(algorithm, dict(kwargs))
+    assert extras == {}
+    assert ExecutionPlan.from_dict(plan.to_dict()) == plan
+    assert ExecutionPlan.from_spec(plan.to_spec()) == plan
+
+    def build(model):
+        return TrainSession.build(model, dp, plan, noise_seed=99).trainer
+
+    plan_model, plan_trainer = train(config, build, sampling)
+
+    assert max_param_diff(legacy_model, plan_model) == 0.0
+    assert plan_trainer.name == legacy_trainer.name
+
+
+def test_bounded_staleness_plan_keeps_ledger_exact(config):
+    """bounded:k may reorder reads (no bitwise bar); the plan-built
+    trainer must still account every noise value exactly once."""
+    dp = DPConfig(noise_multiplier=1.1, max_grad_norm=1.0,
+                  learning_rate=0.05)
+    plan, _ = plan_for_algorithm(
+        "async_lazydp", {"max_in_flight": 4, "staleness": "bounded:2"}
+    )
+    _, trainer = train(
+        config,
+        lambda model: TrainSession.build(model, dp, plan,
+                                         noise_seed=99).trainer,
+        "fixed",
+    )
+    trainer.audit_noise_ledger(6)
+
+
+def test_plan_built_histories_match_legacy(config):
+    """Beyond parameters: the deferred-noise bookkeeping agrees too."""
+    import numpy as np
+
+    dp = DPConfig(noise_multiplier=1.1, max_grad_norm=1.0,
+                  learning_rate=0.05)
+    _, legacy_trainer = train(
+        config,
+        lambda model: PipelinedShardedLazyDPTrainer(
+            model, dp, noise_seed=99, num_shards=3, prefetch_depth=2
+        ),
+        "fixed",
+    )
+    plan, _ = plan_for_algorithm(
+        "pipelined_sharded_lazydp", {"num_shards": 3, "prefetch_depth": 2}
+    )
+    _, plan_trainer = train(
+        config,
+        lambda model: TrainSession.build(model, dp, plan,
+                                         noise_seed=99).trainer,
+        "fixed",
+    )
+    for legacy, built in zip(legacy_trainer.engine.histories,
+                             plan_trainer.engine.histories):
+        np.testing.assert_array_equal(legacy.snapshot(), built.snapshot())

@@ -1,0 +1,59 @@
+"""Plan-matrix smoke: every legacy-equivalent plan builds and steps.
+
+For each legacy algorithm string, map it to its ExecutionPlan
+(:func:`repro.session.plan_for_algorithm`), check both serialization
+round trips, build a trainer through ``TrainSession.build``, and run a
+short fit (one lookahead step plus the terminal flush) at a tiny
+geometry.  CI runs this as the ``plan-matrix`` step so a plan that
+stops composing — or stops round-tripping — fails fast, independently
+of the (slower) tier-1 equivalence matrix.
+
+Run:  PYTHONPATH=src python tools/plan_matrix.py
+"""
+
+import sys
+
+
+def main() -> int:
+    from repro import configs
+    from repro.nn import DLRM
+    from repro.session import (
+        ExecutionPlan,
+        LEGACY_ALGORITHMS,
+        TrainSession,
+        plan_for_algorithm,
+    )
+    from repro.testing import make_loader
+    from repro.train import DPConfig
+
+    config = configs.tiny_dlrm(num_tables=2, rows=48, dim=8, lookups=2)
+    dp = DPConfig()
+    failures = 0
+    for algorithm in sorted(LEGACY_ALGORITHMS):
+        try:
+            plan, extras = plan_for_algorithm(algorithm)
+            assert extras == {}, f"unexpected extras: {extras}"
+            assert ExecutionPlan.from_dict(plan.to_dict()) == plan
+            assert ExecutionPlan.from_spec(plan.to_spec()) == plan
+            assert plan.legacy_name() == algorithm
+            with TrainSession.build(DLRM(config, seed=7), dp, plan,
+                                    noise_seed=99) as session:
+                result = session.fit(
+                    make_loader(config, batch_size=16, num_batches=2)
+                )
+                assert result.iterations == 2, result.iterations
+                assert result.algorithm == algorithm, result.algorithm
+            print(f"ok   {algorithm:35s} -> {plan.canonical()}")
+        except Exception as error:  # noqa: BLE001 - smoke surface
+            failures += 1
+            print(f"FAIL {algorithm:35s} -> {error!r}", file=sys.stderr)
+    if failures:
+        print(f"{failures} plan(s) failed", file=sys.stderr)
+        return 1
+    print(f"\nplan matrix: {len(LEGACY_ALGORITHMS)} legacy-equivalent "
+          "plans built, stepped and round-tripped")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
