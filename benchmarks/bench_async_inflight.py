@@ -42,6 +42,12 @@ from repro.train import DPConfig
 
 IN_FLIGHT_DEPTHS = (1, 2, 4)
 
+#: Metrics snapshot of the most recent instrumented run — embedded into
+#: the report's ``meta`` so BENCH_*.json carries the engine gauges
+#: (in-flight depth, staleness lag, ...) alongside the gated relative
+#: metrics.
+_last_metrics: dict = {}
+
 
 def _injected_slowdown_seconds() -> float:
     return float(os.environ.get("BENCH_ASYNC_INJECT_MS", "0")) / 1e3
@@ -50,7 +56,9 @@ def _injected_slowdown_seconds() -> float:
 def _train(config, *, variant="serial", max_in_flight=2, staleness="strict",
            num_shards=2, batch=64, iterations=6, seed=11):
     """Train one variant; returns (model, trainer, wall_seconds)."""
+    from repro.configs import ObservabilityConfig
     from repro.nn import DLRM
+    from repro.obs import Observability
 
     model = DLRM(config, seed=seed)
     dataset = SyntheticClickDataset(config, seed=seed + 1)
@@ -80,9 +88,12 @@ def _train(config, *, variant="serial", max_in_flight=2, staleness="strict",
             return original_step(iteration, current, upcoming)
 
         trainer.train_step = slowed_step
+    obs = trainer.instrument(Observability(ObservabilityConfig(metrics=True)))
     start = time.perf_counter()
     trainer.fit(loader)
     elapsed = time.perf_counter() - start
+    _last_metrics.clear()
+    _last_metrics.update(obs.metrics.snapshot())
     if variant != "serial":
         trainer.close()
     return model, trainer, elapsed
@@ -200,7 +211,7 @@ def run_report(smoke: bool = False) -> int:
     return _jsonreport.gate(
         "async_inflight", metrics,
         meta={"rows": rows, "iterations": iterations, "plans": plans,
-              "smoke": smoke,
+              "smoke": smoke, "metrics": dict(_last_metrics),
               "injected_slowdown_ms":
                   _injected_slowdown_seconds() * 1e3},
     )

@@ -1,0 +1,264 @@
+"""Observability overhead benchmark: tracing must be free when off.
+
+Three claims, all load-bearing for ``repro.obs``:
+
+* **Disabled overhead < 2%** — the StageTimer tracer adapter with no
+  tracer bound costs (per event, measured against a seed-style
+  reference timer with the identical accumulation arithmetic) so
+  little that a whole smoke run's worth of events stays under 2% of
+  that run's wall time.
+* **Bitwise equivalence** — a traced run produces exactly the same
+  model parameters as an untraced run: observation never perturbs the
+  noise schedule or update order.
+* **Trace/timer agreement** — the hidden fraction derived from the
+  exported trace (``tools/trace_report.py``, interval intersection of
+  worker busy spans with the main loop's ``pipeline_wait`` spans)
+  agrees with the timer-derived ``pipeline_stats()["hidden_fraction"]``
+  within 10 points: the two instrumentation paths see the same
+  pipeline.
+
+Runs under pytest (``pytest benchmarks/bench_obs_overhead.py``) and as
+a plain script (``python benchmarks/bench_obs_overhead.py [--smoke]``)
+for the CI trace-smoke step.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib.util
+import pathlib
+import sys
+import time
+from contextlib import contextmanager
+
+import numpy as np
+
+from repro import configs
+from repro.bench.reporting import format_table
+from repro.configs import ObservabilityConfig, PipelineConfig
+from repro.data import DataLoader, SyntheticClickDataset
+from repro.nn import DLRM
+from repro.session import ExecutionPlan, TrainSession
+from repro.train import DPConfig
+from repro.train.common import StageTimer
+
+#: The acceptance bound on the disabled-path overhead fraction.
+MAX_DISABLED_OVERHEAD = 0.02
+
+#: Trace-derived and timer-derived hidden fractions must agree this
+#: closely (absolute, both live in [0, 1]).
+MAX_HIDDEN_FRACTION_GAP = 0.10
+
+_TRACE_REPORT_PATH = (
+    pathlib.Path(__file__).resolve().parent.parent / "tools" / "trace_report.py"
+)
+
+
+def _load_trace_report():
+    spec = importlib.util.spec_from_file_location(
+        "trace_report", _TRACE_REPORT_PATH
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def timer_overhead_per_event(calls: int = 50_000) -> float:
+    """Per-event cost (seconds) the tracer adapter adds over the seed
+    timer, measured with no tracer bound — the disabled path every
+    un-instrumented run takes."""
+    timer = StageTimer()
+    start = time.perf_counter()
+    for _ in range(calls):
+        with timer.time("stage"):
+            pass
+    adapter_seconds = time.perf_counter() - start
+
+    totals: dict = {}
+
+    @contextmanager
+    def reference(stage):
+        # The seed-era timer body: one clock read on entry, one on
+        # exit, dict accumulate.  Identical arithmetic, no tracer hook.
+        begin = time.perf_counter()
+        try:
+            yield
+        finally:
+            totals[stage] = totals.get(stage, 0.0) + (
+                time.perf_counter() - begin
+            )
+
+    start = time.perf_counter()
+    for _ in range(calls):
+        with reference("stage"):
+            pass
+    reference_seconds = time.perf_counter() - start
+    return max(adapter_seconds - reference_seconds, 0.0) / calls
+
+
+def _train(config, *, obs, depth=2, batch=64, iterations=6, seed=11):
+    """One pipelined run; returns (session, result, wall_seconds)."""
+    model = DLRM(config, seed=seed)
+    dataset = SyntheticClickDataset(config, seed=seed + 1)
+    loader = DataLoader(dataset, batch_size=batch, num_batches=iterations,
+                        seed=seed + 2)
+    plan = ExecutionPlan(
+        pipeline=PipelineConfig(enabled=True, prefetch_depth=depth),
+        obs=obs,
+    )
+    session = TrainSession.build(model, DPConfig(), plan,
+                                 noise_seed=seed + 3)
+    start = time.perf_counter()
+    result = session.fit(loader)
+    wall = time.perf_counter() - start
+    session.close()
+    return session, result, wall
+
+
+def overhead_sweep(rows=2000, batch=64, iterations=6):
+    """Measure all three claims once.
+
+    Returns ``(metrics, max_diff, snapshot)``: the report metrics, the
+    worst traced-vs-untraced parameter difference (must be exactly
+    0.0), and the traced run's metrics snapshot (embedded in the
+    artifact's meta).
+    """
+    config = configs.small_dlrm(rows=rows)
+    off_session, off_result, off_wall = _train(
+        config, obs=None, batch=batch, iterations=iterations
+    )
+    reference = {
+        name: param.data.copy()
+        for name, param in off_session.model.parameters().items()
+    }
+
+    traced_session, traced_result, traced_wall = _train(
+        config, obs=ObservabilityConfig(trace=True, metrics=True),
+        batch=batch, iterations=iterations,
+    )
+    max_diff = max(
+        float(np.max(np.abs(param.data - reference[name])))
+        for name, param in traced_session.model.parameters().items()
+    )
+    obs = traced_session.observability
+    events = obs.tracer.events_recorded
+
+    per_event = timer_overhead_per_event()
+    disabled_overhead = (per_event * events) / off_wall if off_wall else 0.0
+
+    trace_report = _load_trace_report()
+    summary = trace_report.summarize(obs.export_trace())
+    trace_hidden = [
+        stats["hidden_fraction"]
+        for name, stats in summary.get("overlap", {}).items()
+        if name.startswith("noise-prefetch")
+    ]
+    timer_hidden = traced_session.trainer.pipeline_stats()["hidden_fraction"]
+    hidden_gap = (
+        abs(trace_hidden[0] - timer_hidden) if trace_hidden else 1.0
+    )
+
+    metrics = {
+        "disabled_overhead_fraction": disabled_overhead,
+        "adapter_ns_per_event": per_event * 1e9,
+        "events_per_run": float(events),
+        "traced_wall_ratio": traced_wall / off_wall if off_wall else 1.0,
+        "timer_hidden_fraction": timer_hidden,
+        "trace_hidden_fraction": trace_hidden[0] if trace_hidden else -1.0,
+        "hidden_fraction_gap": hidden_gap,
+    }
+    assert off_result.stage_times.keys() == traced_result.stage_times.keys()
+    return metrics, max_diff, obs.metrics.snapshot()
+
+
+def overhead_sweep_with_retry(retries: int = 2, **kwargs):
+    """Run the sweep, retrying the wall-clock-dependent checks.
+
+    ``max_diff`` is deterministic and never retried.  The overhead
+    fraction and the trace/timer hidden-fraction gap are scheduling
+    properties: a loaded runner can starve the prefetch worker or
+    inflate one microbench leg.  A clean re-run separates that noise
+    from a real regression (which fails every time).
+    """
+    metrics, max_diff, snapshot = overhead_sweep(**kwargs)
+    for _ in range(retries):
+        if max_diff != 0.0:
+            break
+        if (metrics["disabled_overhead_fraction"] < MAX_DISABLED_OVERHEAD
+                and metrics["hidden_fraction_gap"] <= MAX_HIDDEN_FRACTION_GAP):
+            break
+        metrics, max_diff, snapshot = overhead_sweep(**kwargs)
+    return metrics, max_diff, snapshot
+
+
+def run_report(smoke: bool = False) -> int:
+    import _jsonreport
+
+    iterations = 4 if smoke else 8
+    rows = 2000 if smoke else 4000
+    metrics, max_diff, snapshot = overhead_sweep_with_retry(
+        rows=rows, iterations=iterations
+    )
+    print(format_table(
+        ["metric", "value"],
+        [
+            ["adapter cost (ns/event)",
+             f"{metrics['adapter_ns_per_event']:.0f}"],
+            ["events per run", f"{metrics['events_per_run']:.0f}"],
+            ["disabled overhead",
+             f"{metrics['disabled_overhead_fraction']:.3%}"],
+            ["traced wall ratio", f"{metrics['traced_wall_ratio']:.2f}x"],
+            ["hidden fraction (timer)",
+             f"{metrics['timer_hidden_fraction']:.1%}"],
+            ["hidden fraction (trace)",
+             f"{metrics['trace_hidden_fraction']:.1%}"],
+            ["agreement gap", f"{metrics['hidden_fraction_gap']:.3f}"],
+        ],
+        title=f"observability overhead ({rows} rows/table, "
+              f"{iterations} iterations)",
+    ))
+    if max_diff != 0.0:
+        print(f"ERROR: traced model diverged from untraced by {max_diff}",
+              file=sys.stderr)
+        return 1
+    if metrics["disabled_overhead_fraction"] >= MAX_DISABLED_OVERHEAD:
+        print("ERROR: disabled-observability overhead "
+              f"{metrics['disabled_overhead_fraction']:.3%} >= "
+              f"{MAX_DISABLED_OVERHEAD:.0%}", file=sys.stderr)
+        return 1
+    if metrics["hidden_fraction_gap"] > MAX_HIDDEN_FRACTION_GAP:
+        print("ERROR: trace-derived hidden fraction "
+              f"{metrics['trace_hidden_fraction']:.3f} disagrees with the "
+              f"timer-derived {metrics['timer_hidden_fraction']:.3f} by "
+              f"more than {MAX_HIDDEN_FRACTION_GAP}", file=sys.stderr)
+        return 1
+    print("\nequivalence: traced == untraced (bitwise) for every "
+          "parameter; disabled overhead "
+          f"{metrics['disabled_overhead_fraction']:.3%}")
+    return _jsonreport.gate(
+        "obs_overhead", metrics,
+        meta={"rows": rows, "iterations": iterations, "smoke": smoke,
+              "metrics": snapshot},
+    )
+
+
+# ---------------------------------------------------------------------------
+# pytest entry point
+# ---------------------------------------------------------------------------
+
+def test_obs_overhead(benchmark):
+    metrics, max_diff, _ = benchmark.pedantic(
+        overhead_sweep_with_retry,
+        kwargs={"rows": 2000, "iterations": 4},
+        rounds=1, iterations=1,
+    )
+    assert max_diff == 0.0
+    assert metrics["disabled_overhead_fraction"] < MAX_DISABLED_OVERHEAD
+    assert metrics["hidden_fraction_gap"] <= MAX_HIDDEN_FRACTION_GAP
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="small fast run for CI")
+    raise SystemExit(run_report(smoke=parser.parse_args().smoke))

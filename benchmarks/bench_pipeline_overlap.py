@@ -38,11 +38,19 @@ PREFETCH_DEPTHS = (1, 2, 4)
 CATCHUP_STAGES = ("lazydp_dedup", "lazydp_history_read",
                   "lazydp_history_update", "noise_sampling")
 
+#: Metrics snapshot of the most recent instrumented run — embedded into
+#: the report's ``meta`` so BENCH_*.json carries the engine gauges
+#: (staging occupancy, hidden fractions, ...) alongside the gated
+#: relative metrics.
+_last_metrics: dict = {}
+
 
 def _train(config, *, variant="serial", depth=2, num_shards=2, batch=64,
            iterations=6, seed=11):
     """Train one variant; returns (model, trainer, wall_seconds)."""
+    from repro.configs import ObservabilityConfig
     from repro.nn import DLRM
+    from repro.obs import Observability
 
     model = DLRM(config, seed=seed)
     dataset = SyntheticClickDataset(config, seed=seed + 1)
@@ -61,9 +69,12 @@ def _train(config, *, variant="serial", depth=2, num_shards=2, batch=64,
         )
     else:
         raise ValueError(f"unknown variant: {variant}")
+    obs = trainer.instrument(Observability(ObservabilityConfig(metrics=True)))
     start = time.perf_counter()
     trainer.fit(loader)
     elapsed = time.perf_counter() - start
+    _last_metrics.clear()
+    _last_metrics.update(obs.metrics.snapshot())
     if variant != "serial":
         trainer.close()
     return model, trainer, elapsed
@@ -194,7 +205,7 @@ def run_report(smoke: bool = False) -> int:
     return _jsonreport.gate(
         "pipeline_overlap", metrics,
         meta={"rows": rows, "iterations": iterations, "plans": plans,
-              "smoke": smoke},
+              "smoke": smoke, "metrics": dict(_last_metrics)},
     )
 
 

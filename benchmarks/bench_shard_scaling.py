@@ -34,10 +34,18 @@ from repro.train import DPConfig
 SHARD_COUNTS = (1, 2, 4)
 EXECUTORS = ("serial", "threads")
 
+#: Metrics snapshot of the most recent instrumented run — embedded into
+#: the report's ``meta`` so BENCH_*.json carries the engine gauges
+#: (arena hits, shard skew, ...) alongside the gated relative metrics.
+_last_metrics: dict = {}
+
 
 def _train(config, *, num_shards=None, executor="serial", batch=64,
            iterations=6, seed=11):
     """Train flat (num_shards=None) or sharded; return (model, trainer, s)."""
+    from repro.configs import ObservabilityConfig
+    from repro.obs import Observability
+
     model = DLRM(config, seed=seed)
     dataset = SyntheticClickDataset(config, seed=seed + 1)
     loader = DataLoader(dataset, batch_size=batch, num_batches=iterations,
@@ -49,9 +57,12 @@ def _train(config, *, num_shards=None, executor="serial", batch=64,
             model, DPConfig(), noise_seed=seed + 3,
             num_shards=num_shards, executor=executor,
         )
+    obs = trainer.instrument(Observability(ObservabilityConfig(metrics=True)))
     start = time.perf_counter()
     trainer.fit(loader)
     elapsed = time.perf_counter() - start
+    _last_metrics.clear()
+    _last_metrics.update(obs.metrics.snapshot())
     if num_shards is not None:
         trainer.close()
     return model, trainer, elapsed
@@ -158,7 +169,7 @@ def run_report(smoke: bool = False) -> int:
     return _jsonreport.gate(
         "shard_scaling", metrics,
         meta={"rows": rows, "iterations": iterations, "plans": plans,
-              "smoke": smoke},
+              "smoke": smoke, "metrics": dict(_last_metrics)},
     )
 
 

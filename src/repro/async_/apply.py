@@ -35,9 +35,15 @@ import time
 class ApplyWorker:
     """Single background thread applying iteration updates FIFO."""
 
-    def __init__(self, max_in_flight: int, name: str = "lazydp-apply"):
+    def __init__(
+        self, max_in_flight: int, name: str = "lazydp-apply", tracer=None
+    ):
         if max_in_flight < 1:
             raise ValueError("max_in_flight must be at least 1")
+        #: Optional repro.obs.Tracer.  Each apply task is reported as an
+        #: ``apply_iteration`` span from the same perf_counter pair that
+        #: feeds ``busy_seconds``, so trace and accounting agree.
+        self._tracer = tracer
         self.max_in_flight = int(max_in_flight)
         self._slots = threading.Semaphore(self.max_in_flight)
         self._inbox: queue.Queue = queue.Queue()
@@ -102,8 +108,7 @@ class ApplyWorker:
         with self._done:
             start = time.perf_counter()
             deadline = start + timeout
-            while (self._applied_through < iteration
-                   and self._error is None):
+            while self._applied_through < iteration and self._error is None:
                 remaining = deadline - time.perf_counter()
                 if remaining <= 0.0 or not self._done.wait(remaining):
                     raise RuntimeError(
@@ -129,7 +134,13 @@ class ApplyWorker:
                         self._error = error
                         self._done.notify_all()
                 else:
-                    self.busy_seconds += time.perf_counter() - start
+                    end = time.perf_counter()
+                    self.busy_seconds += end - start
+                    if self._tracer is not None:
+                        self._tracer.add_complete(
+                            "apply_iteration", start, end,
+                            {"iteration": iteration},
+                        )
                     with self._done:
                         self._applied_through = iteration
                         self.applies_completed += 1

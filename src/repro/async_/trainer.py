@@ -57,7 +57,6 @@ from ..pipeline.trainer import (
     PipelinedLazyDPTrainer,
     PipelinedShardedLazyDPTrainer,
 )
-from ..train.common import StageTimer
 from .apply import ApplyWorker
 from .policy import StalenessPolicy
 
@@ -89,17 +88,22 @@ class _AsyncHost:
         self._collected: list | None = None
         #: Apply-thread stage breakdown (merge + slab write), kept apart
         #: from ``self.timer`` so two threads never share a StageTimer.
-        self.apply_timer = StageTimer()
+        self.apply_timer = self._make_timer()
 
     # -- session lifecycle -------------------------------------------------
     def _start_pipeline(self, loader) -> None:
         super()._start_pipeline(loader)
         self._shutdown_apply()
-        self.apply_timer = StageTimer()
+        self.apply_timer = self._make_timer()
         self._last_submitted = 0
-        self._apply_worker = ApplyWorker(self.max_in_flight)
+        self._apply_worker = ApplyWorker(
+            self.max_in_flight, tracer=self.obs.timer_tracer()
+        )
         self._apply_worker.start()
         self._apply_running = True
+
+    def _auxiliary_timers(self) -> tuple:
+        return super()._auxiliary_timers() + (self.apply_timer,)
 
     def _shutdown_apply(self) -> None:
         if self._apply_worker is not None and self._apply_worker.is_alive:
@@ -120,6 +124,15 @@ class _AsyncHost:
     # -- the async step ----------------------------------------------------
     def train_step(self, iteration: int, batch, next_batch) -> float:
         if self._apply_running:
+            obs = self.obs
+            if obs.enabled:
+                # In-flight depth and staleness lag at step entry (i.e.
+                # before the policy wait below narrows them).
+                applied = self._apply_worker.applied_through
+                obs.observe_inflight(
+                    self._last_submitted - applied,
+                    max(iteration - 1 - applied, 0),
+                )
             # The staleness policy's wait: strict -> all prior applies;
             # bounded(k) -> allow the k most recent to still be in
             # flight when forward reads the slabs.
@@ -153,8 +166,11 @@ class _AsyncHost:
             for table_index, _ in enumerate(self.model.embeddings):
                 history = self.engine.histories[table_index]
                 pending = history.pending_rows(final_iteration)
-                delays = (history.delays(pending, final_iteration)
-                          if pending.size else np.empty(0, dtype=np.int64))
+                delays = (
+                    history.delays(pending, final_iteration)
+                    if pending.size
+                    else np.empty(0, dtype=np.int64)
+                )
                 flush_plans.append((table_index, pending, delays))
         super().finalize(final_iteration)
         # The flush caught those rows up; the ledger must agree.
@@ -258,9 +274,11 @@ class _ShardedAsyncApply:
         self._last_noise_std = noise_std
         if self._next_batch is None:
             per_shard = [
-                (np.empty(0, dtype=np.int64),
-                 np.empty(0, dtype=np.int64),
-                 np.zeros((0, bag.dim), dtype=np.float64))
+                (
+                    np.empty(0, dtype=np.int64),
+                    np.empty(0, dtype=np.int64),
+                    np.zeros((0, bag.dim), dtype=np.float64),
+                )
                 for _ in range(self.num_shards)
             ]
         else:
@@ -308,35 +326,64 @@ class AsyncLazyDPTrainer(_FlatAsyncApply, _AsyncHost, PipelinedLazyDPTrainer):
 
     name = "async_lazydp"
 
-    def __init__(self, model, config, noise_seed: int = 1234,
-                 use_ans: bool = True, max_in_flight: int = 2,
-                 staleness="strict", prefetch_depth: int | None = None):
+    def __init__(
+        self,
+        model,
+        config,
+        noise_seed: int = 1234,
+        use_ans: bool = True,
+        max_in_flight: int = 2,
+        staleness="strict",
+        prefetch_depth: int | None = None,
+    ):
         super().__init__(
-            model, config, noise_seed=noise_seed, use_ans=use_ans,
+            model,
+            config,
+            noise_seed=noise_seed,
+            use_ans=use_ans,
             prefetch_depth=prefetch_depth or max(2, max_in_flight),
         )
         self.name = "async_lazydp" if use_ans else "async_lazydp_no_ans"
         self._init_async(max_in_flight, staleness)
 
 
-class AsyncShardedLazyDPTrainer(_ShardedAsyncApply, _AsyncHost,
-                                PipelinedShardedLazyDPTrainer):
+class AsyncShardedLazyDPTrainer(
+    _ShardedAsyncApply, _AsyncHost, PipelinedShardedLazyDPTrainer
+):
     """Sharded LazyDP with async in-flight iterations."""
 
     name = "async_sharded_lazydp"
 
-    def __init__(self, model, config, noise_seed: int = 1234,
-                 use_ans: bool = True, num_shards: int = 2,
-                 partition: str = "row_range", executor="serial",
-                 plan=None, max_workers: int | None = None, skew=None,
-                 max_in_flight: int = 2, staleness="strict",
-                 prefetch_depth: int | None = None):
+    def __init__(
+        self,
+        model,
+        config,
+        noise_seed: int = 1234,
+        use_ans: bool = True,
+        num_shards: int = 2,
+        partition: str = "row_range",
+        executor="serial",
+        plan=None,
+        max_workers: int | None = None,
+        skew=None,
+        max_in_flight: int = 2,
+        staleness="strict",
+        prefetch_depth: int | None = None,
+    ):
         super().__init__(
-            model, config, noise_seed=noise_seed, use_ans=use_ans,
-            num_shards=num_shards, partition=partition, executor=executor,
-            plan=plan, max_workers=max_workers, skew=skew,
+            model,
+            config,
+            noise_seed=noise_seed,
+            use_ans=use_ans,
+            num_shards=num_shards,
+            partition=partition,
+            executor=executor,
+            plan=plan,
+            max_workers=max_workers,
+            skew=skew,
             prefetch_depth=prefetch_depth or max(2, max_in_flight),
         )
-        self.name = ("async_sharded_lazydp" if use_ans
-                     else "async_sharded_lazydp_no_ans")
+        self.name = (
+            "async_sharded_lazydp" if use_ans else "async_sharded_lazydp_no_ans"
+        )
         self._init_async(max_in_flight, staleness)

@@ -16,6 +16,7 @@ Commands
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 
 import numpy as np
@@ -26,6 +27,7 @@ from .bench.report import build_report
 from .bench.reporting import format_table
 from .data import DataLoader, SyntheticClickDataset, paper_skew_spec
 from .nn import DLRM
+from .obs import Observability
 from .perfmodel import ALGORITHMS
 from .privacy import audit_untouched_rows
 from .session import ExecutionPlan, TrainSession
@@ -54,8 +56,15 @@ def _add_train_parser(subparsers) -> None:
         help="unified execution-plan spec, e.g. "
              "'shards=4,pipeline=2,async=bounded:2,ans=off' "
              "(keys: ans, shards, partition, executor, workers, pipeline, "
-             "async, inflight, backend).  Replaces the per-engine flags "
-             "below; combining it with them is an error.",
+             "async, inflight, obs, backend).  Replaces the per-engine "
+             "flags below; combining it with them is an error.",
+    )
+    parser.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="record a thread-aware span timeline and write it as "
+             "Chrome trace-event JSON (open in Perfetto or "
+             "chrome://tracing); implies obs=trace on top of whatever "
+             "the plan's obs axis enables",
     )
     # Value flags default to the None sentinel (their effective defaults
     # live in _ENGINE_FLAGS) so the --plan conflict check can tell an
@@ -233,6 +242,15 @@ def _run_train(args) -> int:
             print(f"invalid engine options: {error}", file=sys.stderr)
             return 2
 
+    if args.trace is not None and plan is not None:
+        # --trace turns the tracer on without clobbering a metrics
+        # setting the plan spec already chose.
+        plan = dataclasses.replace(plan, obs=configs.ObservabilityConfig(
+            trace=True,
+            metrics=plan.obs.metrics if plan.obs is not None else True,
+        ))
+
+    obs = None
     if plan is not None:
         # The trace skew also feeds the frequency partitioner, so a
         # skewed run gets mass-balanced shards, not equal-row cuts.
@@ -241,11 +259,16 @@ def _run_train(args) -> int:
             skew=skew if plan.is_sharded else None,
         )
         trainer = session.trainer
+        obs = session.observability
         result = session.fit(loader)
     else:
         session = None
         trainer = trainer_for(args.algorithm, model, dp,
                               noise_seed=args.seed + 3)
+        if args.trace is not None:
+            obs = trainer.instrument(
+                Observability(configs.ObservabilityConfig(trace=True))
+            )
         result = trainer.fit(loader)
     per_iteration = result.wall_time / max(result.iterations, 1)
     print(f"algorithm        : {result.algorithm}")
@@ -266,6 +289,12 @@ def _run_train(args) -> int:
         ["stage", "seconds"], [[s, t] for s, t in stage_rows],
         title="stage breakdown",
     ))
+    if result.counters:
+        print(format_table(
+            ["counter", "count"],
+            [[name, count] for name, count in sorted(result.counters.items())],
+            title="event counters",
+        ))
     if plan is not None and plan.is_sharded:
         shard_rows = [
             [s, trainer.plan.table(0).shard_size(s), f"{seconds:.4f}"]
@@ -276,6 +305,19 @@ def _run_train(args) -> int:
             title=f"per-shard model update ({plan.shards.partition}, "
                   f"{plan.shards.executor})",
         ))
+        if result.shard_times is not None:
+            summed = sorted(result.shard_times["summed"].items(),
+                            key=lambda item: -item[1])
+            print(format_table(
+                ["stage", "seconds (all shards)"],
+                [[s, f"{t:.4f}"] for s, t in summed],
+                title="per-shard stage totals",
+            ))
+            shard_skew = result.shard_times.get("skew")
+            if shard_skew is not None:
+                print(f"shard update skew: max {shard_skew['max']:.4f}s, "
+                      f"min {shard_skew['min']:.4f}s, "
+                      f"spread {shard_skew['spread']:.4f}s")
     if plan is not None and plan.is_pipelined:
         stats = trainer.pipeline_stats()
         print(format_table(
@@ -308,6 +350,11 @@ def _run_train(args) -> int:
             title="async apply engine (max in flight "
                   f"{plan.async_.max_in_flight})",
         ))
+    if args.trace is not None:
+        events = obs.save_trace(args.trace)
+        tracks = ", ".join(obs.tracer.track_names())
+        print(f"trace            : wrote {events} events to {args.trace} "
+              f"(tracks: {tracks})")
     if session is not None:
         session.close()
     return 0

@@ -284,6 +284,48 @@ class AsyncConfig:
         return _config_from_dict(cls, data)
 
 
+#: Observability modes the ``obs=`` plan axis understands
+#: (``trace``/``metrics``, joined with ``+`` for both).
+OBS_MODES = ("trace", "metrics")
+
+
+@dataclass(frozen=True)
+class ObservabilityConfig:
+    """What the run's observability hub records (``repro.obs``).
+
+    ``metrics`` populates the in-process :class:`repro.obs.
+    MetricsRegistry` (engine gauges, counters, histograms);
+    ``trace`` additionally records thread-aware spans for a Chrome
+    trace-event export.  At least one must be on — a config with both
+    off is the ``obs=None`` axis, spelled ``None`` on the plan like
+    every other disabled axis.
+    """
+
+    trace: bool = False
+    metrics: bool = True
+
+    def __post_init__(self):
+        if not (self.trace or self.metrics):
+            raise ValueError(
+                "observability axis is present but records nothing; "
+                "enable trace and/or metrics, or use obs=None"
+            )
+
+    def modes(self) -> tuple:
+        """The enabled modes, in canonical (spec) order."""
+        return tuple(
+            mode for mode in OBS_MODES if getattr(self, mode)
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (``ExecutionPlan.to_dict`` nests it)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ObservabilityConfig":
+        return _config_from_dict(cls, data)
+
+
 def rows_for_model_bytes(model_bytes: int, num_tables: int = PAPER_NUM_TABLES,
                          dim: int = PAPER_EMBEDDING_DIM,
                          bytes_per_param: int = FP32_BYTES) -> int:

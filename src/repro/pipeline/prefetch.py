@@ -39,11 +39,18 @@ import time
 class NoisePrefetchWorker:
     """Single background thread precomputing catch-up noise plans."""
 
-    def __init__(self, compute, buffer, name: str = "noise-prefetch"):
+    def __init__(
+        self, compute, buffer, name: str = "noise-prefetch", tracer=None
+    ):
         self._compute = compute      # (iteration, batch) -> StagedNoise
         self._buffer = buffer
         self._inbox: queue.Queue = queue.Queue()
         self._stopping = False
+        #: Optional repro.obs.Tracer.  The worker reports each compute
+        #: as a ``prefetch_compute`` span from the same perf_counter
+        #: pair that feeds ``busy_seconds``, so the trace's worker-track
+        #: busy time and the benchmark's overlap accounting agree.
+        self._tracer = tracer
         #: Seconds spent inside ``compute`` (the work available to hide).
         self.busy_seconds = 0.0
         #: Number of iteration plans staged.
@@ -80,7 +87,13 @@ class NoisePrefetchWorker:
                 iteration, batch = item
                 start = time.perf_counter()
                 staged = self._compute(iteration, batch)
-                self.busy_seconds += time.perf_counter() - start
+                end = time.perf_counter()
+                self.busy_seconds += end - start
+                if self._tracer is not None:
+                    self._tracer.add_complete(
+                        "prefetch_compute", start, end,
+                        {"iteration": iteration},
+                    )
                 self._buffer.put(staged)
                 self.plans_computed += 1
         except BaseException as error:  # noqa: BLE001 - forwarded to trainer

@@ -81,8 +81,11 @@ class StagingBuffer:
         """Stage one iteration's noise; blocks while the buffer is full."""
         with self._state_changed:
             start = time.perf_counter()
-            while (len(self._entries) >= self.capacity
-                   and not self._closed and self._error is None):
+            while (
+                len(self._entries) >= self.capacity
+                and not self._closed
+                and self._error is None
+            ):
                 self._state_changed.wait()
             self.stall_seconds += time.perf_counter() - start
             if self._closed:
@@ -99,8 +102,9 @@ class StagingBuffer:
         """
         with self._state_changed:
             start = time.perf_counter()
-            while (not self._entries and self._error is None
-                   and not self._closed):
+            while (
+                not self._entries and self._error is None and not self._closed
+            ):
                 self._state_changed.wait()
             self.wait_seconds += time.perf_counter() - start
             if self._error is not None:

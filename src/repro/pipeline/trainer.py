@@ -58,7 +58,6 @@ from ..data.loader import DataLoader, LookaheadLoader
 from ..lazydp.trainer import LazyDPTrainer
 from ..shard.executor import EXECUTOR_BACKENDS, make_executor
 from ..shard.trainer import ShardedLazyDPTrainer
-from ..train.common import StageTimer
 from .prefetch import NoisePrefetchWorker
 from .staging import StagedNoise, StagingBuffer
 
@@ -100,7 +99,7 @@ class _PipelineHost:
     def _reset_prefetch_timers(self) -> None:
         """Fresh worker-side timers, so ``pipeline_stats`` stays per-fit
         (the buffer/worker counters it reads are per-fit too)."""
-        self.worker_timer = StageTimer()
+        self.worker_timer = self._make_timer()
 
     def _start_pipeline(self, loader: DataLoader) -> None:
         self._shutdown_pipeline()
@@ -110,7 +109,10 @@ class _PipelineHost:
         # Poisson sampling, so the worker can draw ahead of time.
         self._pipeline_noise_std = self.config.noise_std(loader.batch_size)
         self._buffer = StagingBuffer(capacity=self.prefetch_depth)
-        self._worker = NoisePrefetchWorker(self._prefetch_noise, self._buffer)
+        self._worker = NoisePrefetchWorker(
+            self._prefetch_noise, self._buffer,
+            tracer=self.obs.timer_tracer(),
+        )
         self._staged = None
         self._pipeline_running = True
         self._worker.start()
@@ -155,6 +157,12 @@ class _PipelineHost:
                     f"({noise_std} != {self._pipeline_noise_std}); "
                     "staged noise would be wrong"
                 )
+            obs = self.obs
+            if obs.enabled:
+                # Occupancy > 0 means the plan is already staged — the
+                # pop below returns without a meaningful wait (a
+                # prefetch hit).
+                obs.observe_staging(len(self._buffer))
             with self.timer.time("pipeline_wait"):
                 self._staged = self._buffer.pop(iteration)
         return self._staged
@@ -186,6 +194,9 @@ class _PipelineHost:
             # steady state is observable from here too.
             "kernel": self.kernel_stats(),
         }
+
+    def _auxiliary_timers(self) -> tuple:
+        return super()._auxiliary_timers() + (self.worker_timer,)
 
 
 class _FlatNoisePrefetch:
@@ -268,8 +279,13 @@ class _ShardedNoisePrefetch:
         #: (kept apart from ``shard_timers`` — the apply side — so the
         #: two threads never write the same StageTimer concurrently).
         self.prefetch_shard_timers = [
-            StageTimer() for _ in range(self.plan.num_shards)
+            self._make_timer() for _ in range(self.plan.num_shards)
         ]
+
+    def _auxiliary_timers(self) -> tuple:
+        return super()._auxiliary_timers() + tuple(
+            self.prefetch_shard_timers
+        )
 
     # Runs on the worker thread.
     def _prefetch_noise(self, iteration: int, batch) -> StagedNoise:
@@ -281,12 +297,19 @@ class _ShardedNoisePrefetch:
             with self.worker_timer.time("shard_routing"):
                 routed = self.router.scatter(table_index, next_rows)
             tasks = [
-                (lambda s=s: (routed.global_rows[s],)
-                 + self._shard_plan_and_sample(
-                     table_index, s, routed.global_rows[s],
-                     routed.local[s], iteration, bag.dim, std,
-                     self.prefetch_shard_timers[s],
-                 ))
+                (
+                    lambda s=s: (routed.global_rows[s],)
+                    + self._shard_plan_and_sample(
+                        table_index,
+                        s,
+                        routed.global_rows[s],
+                        routed.local[s],
+                        iteration,
+                        bag.dim,
+                        std,
+                        self.prefetch_shard_timers[s],
+                    )
+                )
                 for s in range(self.num_shards)
             ]
             # Wall-clock of the per-shard fan-out; the history-vs-
@@ -309,9 +332,11 @@ class _ShardedNoisePrefetch:
 
         if self._next_batch is None:
             per_shard_noise = [
-                (np.empty(0, dtype=np.int64),
-                 np.empty(0, dtype=np.int64),
-                 np.zeros((0, bag.dim), dtype=np.float64))
+                (
+                    np.empty(0, dtype=np.int64),
+                    np.empty(0, dtype=np.int64),
+                    np.zeros((0, bag.dim), dtype=np.float64),
+                )
                 for _ in range(self.num_shards)
             ]
         else:
@@ -352,8 +377,7 @@ class _ShardedNoisePrefetch:
         self.prefetch_executor.shutdown()
 
 
-class PipelinedLazyDPTrainer(_FlatNoisePrefetch, _PipelineHost,
-                             LazyDPTrainer):
+class PipelinedLazyDPTrainer(_FlatNoisePrefetch, _PipelineHost, LazyDPTrainer):
     """LazyDP with background noise prefetch (flat tables).
 
     ``prefetch_depth`` sets both the input-queue lookahead and the
@@ -364,29 +388,55 @@ class PipelinedLazyDPTrainer(_FlatNoisePrefetch, _PipelineHost,
 
     name = "pipelined_lazydp"
 
-    def __init__(self, model, config, noise_seed: int = 1234,
-                 use_ans: bool = True, prefetch_depth: int = 2):
-        super().__init__(model, config, noise_seed=noise_seed,
-                         use_ans=use_ans)
+    def __init__(
+        self,
+        model,
+        config,
+        noise_seed: int = 1234,
+        use_ans: bool = True,
+        prefetch_depth: int = 2,
+    ):
+        super().__init__(model, config, noise_seed=noise_seed, use_ans=use_ans)
         self.name = "pipelined_lazydp" if use_ans else "pipelined_lazydp_no_ans"
         self._init_pipeline(prefetch_depth)
 
 
-class PipelinedShardedLazyDPTrainer(_ShardedNoisePrefetch, _PipelineHost,
-                                    ShardedLazyDPTrainer):
+class PipelinedShardedLazyDPTrainer(
+    _ShardedNoisePrefetch, _PipelineHost, ShardedLazyDPTrainer
+):
     """Sharded LazyDP with background per-shard noise prefetch."""
 
     name = "pipelined_sharded_lazydp"
 
-    def __init__(self, model, config, noise_seed: int = 1234,
-                 use_ans: bool = True, num_shards: int = 2,
-                 partition: str = "row_range", executor="serial",
-                 plan=None, max_workers: int | None = None, skew=None,
-                 prefetch_depth: int = 2):
-        super().__init__(model, config, noise_seed=noise_seed,
-                         use_ans=use_ans, num_shards=num_shards,
-                         partition=partition, executor=executor, plan=plan,
-                         max_workers=max_workers, skew=skew)
-        self.name = ("pipelined_sharded_lazydp" if use_ans
-                     else "pipelined_sharded_lazydp_no_ans")
+    def __init__(
+        self,
+        model,
+        config,
+        noise_seed: int = 1234,
+        use_ans: bool = True,
+        num_shards: int = 2,
+        partition: str = "row_range",
+        executor="serial",
+        plan=None,
+        max_workers: int | None = None,
+        skew=None,
+        prefetch_depth: int = 2,
+    ):
+        super().__init__(
+            model,
+            config,
+            noise_seed=noise_seed,
+            use_ans=use_ans,
+            num_shards=num_shards,
+            partition=partition,
+            executor=executor,
+            plan=plan,
+            max_workers=max_workers,
+            skew=skew,
+        )
+        self.name = (
+            "pipelined_sharded_lazydp"
+            if use_ans
+            else "pipelined_sharded_lazydp_no_ans"
+        )
         self._init_pipeline(prefetch_depth)

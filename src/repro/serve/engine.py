@@ -50,15 +50,24 @@ import numpy as np
 
 from ..kernels import BufferArena, apply_sparse_update
 from ..lazydp.ans import ANSEngine
+from ..obs import NULL_OBS
 
 
 class PrivateServingEngine:
     """Serve privatized embeddings with read-through noise catch-up."""
 
-    def __init__(self, parameters: dict, embedding_names: list,
-                 history_snapshots: list, noise_stream, iteration: int,
-                 learning_rate: float, noise_std: float,
-                 use_ans: bool = True, snapshot: bool = False):
+    def __init__(
+        self,
+        parameters: dict,
+        embedding_names: list,
+        history_snapshots: list,
+        noise_stream,
+        iteration: int,
+        learning_rate: float,
+        noise_std: float,
+        use_ans: bool = True,
+        snapshot: bool = False,
+    ):
         """Wrap raw model state for serving.
 
         Parameters
@@ -138,12 +147,28 @@ class PrivateServingEngine:
         self.memo_hits = 0
         #: Times the memo was invalidated because training resumed.
         self.refreshes = 0
+        #: Observability hub (``repro.obs``); the shared null object
+        #: until :meth:`instrument` swaps a live one in.
+        self.obs = NULL_OBS
+
+    def instrument(self, obs) -> None:
+        """Mirror the serving counters into an Observability hub.
+
+        ``TrainSession.serve`` calls this with the session's hub so
+        serving shows up beside the training metrics; the counters on
+        ``self`` keep working either way.
+        """
+        self.obs = obs if obs is not None else NULL_OBS
 
     # -- constructors ------------------------------------------------------
     @classmethod
-    def from_trainer(cls, trainer, iteration: int | None = None,
-                     noise_std: float | None = None,
-                     snapshot: bool = False) -> "PrivateServingEngine":
+    def from_trainer(
+        cls,
+        trainer,
+        iteration: int | None = None,
+        noise_std: float | None = None,
+        snapshot: bool = False,
+    ) -> "PrivateServingEngine":
         """Serve a (quiescent) trainer's model at ``iteration``.
 
         ``iteration`` defaults to the trainer's flushed-through point if
@@ -171,8 +196,7 @@ class PrivateServingEngine:
         return cls(
             parameters,
             trainer.model.embedding_param_names,
-            [history.snapshot()
-             for history in trainer.engine.histories],
+            [history.snapshot() for history in trainer.engine.histories],
             trainer.noise_stream,
             iteration,
             trainer.config.learning_rate,
@@ -257,8 +281,11 @@ class PrivateServingEngine:
             if name not in self.embedding_names
         }
         self._tables = [
-            (np.array(parameters[name], copy=True) if self._snapshot
-             else parameters[name])
+            (
+                np.array(parameters[name], copy=True)
+                if self._snapshot
+                else parameters[name]
+            )
             for name in self.embedding_names
         ]
         self._history = [
@@ -272,6 +299,13 @@ class PrivateServingEngine:
             np.zeros(table.shape[0], dtype=bool) for table in self._tables
         ]
         self.refreshes += 1
+        obs = self.obs
+        if obs.enabled:
+            if obs.metrics_enabled:
+                obs.metrics.inc("serve.memo_invalidations")
+            tracer = obs.tracer
+            if tracer.enabled:
+                tracer.add_instant("serve_refresh", iteration=current)
 
     # -- serving -----------------------------------------------------------
     @property
@@ -317,6 +351,9 @@ class PrivateServingEngine:
                 arena=self._arena, out=served, values_writable=True,
             )
             self.rows_caught_up += int(pending.size)
+            obs = self.obs
+            if obs.enabled and obs.metrics_enabled:
+                obs.metrics.inc("serve.rows_caught_up", int(pending.size))
         self._caught_up[table_index][rows] = True
 
     def lookup(self, table_index: int, rows) -> np.ndarray:
@@ -343,6 +380,12 @@ class PrivateServingEngine:
                 self._catch_up(table_index, fresh)
             self.rows_served += int(rows.size)
             self.memo_hits += int(rows.size - fresh.size)
+            obs = self.obs
+            if obs.enabled and obs.metrics_enabled:
+                obs.metrics.inc("serve.rows_served", int(rows.size))
+                obs.metrics.inc(
+                    "serve.memo_hits", int(rows.size - fresh.size)
+                )
             return self._served_table(table_index)[rows].copy()
 
     def lookup_batch(self, batch) -> list:

@@ -155,6 +155,9 @@ class TrainSession:
         self.plan = plan
         self.trainer = trainer
         self._serving: list = []
+        #: The run's Observability hub when the plan's ``obs`` axis is
+        #: on (``build`` instruments the trainer); None otherwise.
+        self.observability = None
 
     @classmethod
     def build(
@@ -210,7 +213,14 @@ class TrainSession:
         # new construction paths.
         trainer.name = plan.legacy_name()
         trainer.execution_plan = plan
-        return cls(model, dp, plan, trainer)
+        session = cls(model, dp, plan, trainer)
+        if plan.obs is not None:
+            from ..obs import Observability
+
+            session.observability = trainer.instrument(
+                Observability(plan.obs)
+            )
+        return session
 
     # -- training ----------------------------------------------------------
     def fit(self, loader) -> TrainResult:
@@ -275,6 +285,8 @@ class TrainSession:
             noise_std=noise_std,
             snapshot=snapshot,
         )
+        if self.observability is not None:
+            engine.instrument(self.observability)
         if follow:
             engine.attach(self.trainer)
             self._serving.append(engine)
@@ -300,7 +312,20 @@ class TrainSession:
             stats["pipeline"] = self.trainer.pipeline_stats()
         if self.plan.is_async:
             stats["async"] = self.trainer.async_stats()
+        if self.observability is not None and self.observability.metrics_enabled:
+            stats["metrics"] = self.observability.metrics.snapshot()
         return stats
+
+    def save_trace(self, path) -> int:
+        """Write the run's Chrome trace-event JSON (requires a plan with
+        ``obs=trace``); returns the number of events written."""
+        if self.observability is None or not self.observability.tracing:
+            raise RuntimeError(
+                "tracing is not enabled for this session; build with an "
+                "ExecutionPlan whose obs axis has trace=True "
+                "(plan spec: obs=trace)"
+            )
+        return self.observability.save_trace(path)
 
     def close(self) -> None:
         """Detach serving handles and release engine resources."""

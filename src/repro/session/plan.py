@@ -26,6 +26,13 @@ algorithm string (``pipelined_sharded_lazydp_no_ans``, ...); an
     Kernel backend hook.  Only ``"numpy"`` exists today; a SIMD/numba
     variant (ROADMAP) lands as a new registry entry, not a new trainer
     class.
+``obs``
+    ``None`` for an uninstrumented run, or a
+    :class:`repro.configs.ObservabilityConfig` selecting tracing
+    and/or metrics (``repro.obs``).  Unlike the other axes this is an
+    *instance* concern — the session builder instruments the composed
+    trainer rather than adding a class layer, so the trainer-class
+    cache is untouched.
 
 Plans serialize three ways: :meth:`to_dict`/:meth:`from_dict` (nested
 JSON, for configs and BENCH_*.json metadata), :meth:`to_spec`/
@@ -40,7 +47,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..configs import AsyncConfig, PipelineConfig, ShardConfig
+from ..configs import (
+    AsyncConfig,
+    ObservabilityConfig,
+    PipelineConfig,
+    ShardConfig,
+)
 
 #: Kernel backends the session builder can compose.  The tuple is the
 #: extension point for the ROADMAP's SIMD/numba variants: a new backend
@@ -57,6 +69,7 @@ _SPEC_KEYS = (
     "pipeline",
     "async",
     "inflight",
+    "obs",
     "backend",
 )
 
@@ -94,6 +107,7 @@ class ExecutionPlan:
     pipeline: PipelineConfig | None = None
     async_: AsyncConfig | None = None
     backend: str = "numpy"
+    obs: ObservabilityConfig | None = None
 
     def __post_init__(self):
         if self.backend not in BACKENDS:
@@ -119,6 +133,10 @@ class ExecutionPlan:
                     "async axis is present but disabled; use async_=None "
                     "for synchronous applies"
                 )
+        if self.obs is not None and not isinstance(
+            self.obs, ObservabilityConfig
+        ):
+            raise ValueError("obs must be an ObservabilityConfig or None")
 
     # -- derived shape -----------------------------------------------------
     @property
@@ -155,6 +173,7 @@ class ExecutionPlan:
             ),
             "async": None if self.async_ is None else self.async_.to_dict(),
             "backend": self.backend,
+            "obs": None if self.obs is None else self.obs.to_dict(),
         }
 
     @classmethod
@@ -163,7 +182,7 @@ class ExecutionPlan:
             raise ValueError(
                 f"ExecutionPlan expects a mapping, got {type(data).__name__}"
             )
-        known = {"ans", "shards", "pipeline", "async", "backend"}
+        known = {"ans", "shards", "pipeline", "async", "backend", "obs"}
         unknown = sorted(set(data) - known)
         if unknown:
             raise ValueError(
@@ -173,6 +192,7 @@ class ExecutionPlan:
         shards = data.get("shards")
         pipeline = data.get("pipeline")
         async_ = data.get("async")
+        obs = data.get("obs")
         return cls(
             ans=bool(data.get("ans", True)),
             shards=None if shards is None else ShardConfig.from_dict(shards),
@@ -181,6 +201,7 @@ class ExecutionPlan:
             ),
             async_=None if async_ is None else AsyncConfig.from_dict(async_),
             backend=data.get("backend", "numpy"),
+            obs=None if obs is None else ObservabilityConfig.from_dict(obs),
         )
 
     # -- spec round trip (the CLI's --plan mini-language) -------------------
@@ -288,12 +309,32 @@ class ExecutionPlan:
                 staleness=async_word,
             )
 
+        obs_word = values.get("obs", "off").lower()
+        if obs_word in _FALSE_WORDS + ("none",):
+            obs = None
+        else:
+            modes = {"trace": False, "metrics": False}
+            for token in obs_word.split("+"):
+                token = token.strip()
+                if token in ("all", "full"):
+                    modes["trace"] = modes["metrics"] = True
+                elif token in modes:
+                    modes[token] = True
+                else:
+                    raise ValueError(
+                        f"invalid plan spec: obs={obs_word!r} — unknown "
+                        f"mode {token!r} (use trace, metrics, "
+                        "trace+metrics, or off)"
+                    )
+            obs = ObservabilityConfig(**modes)
+
         return cls(
             ans=ans,
             shards=shards,
             pipeline=pipeline,
             async_=async_,
             backend=backend,
+            obs=obs,
         )
 
     def to_spec(self) -> str:
@@ -319,6 +360,8 @@ class ExecutionPlan:
         if self.async_ is not None:
             parts.append(f"async={self.async_.staleness}")
             parts.append(f"inflight={self.async_.max_in_flight}")
+        if self.obs is not None:
+            parts.append(f"obs={'+'.join(self.obs.modes())}")
         if self.backend != "numpy":
             parts.append(f"backend={self.backend}")
         return ",".join(parts)

@@ -435,6 +435,40 @@ class ShardedLazyDPTrainer(LazyDPTrainer):
         """Per-shard stage-time dicts (model-update stages only)."""
         return [dict(timer.totals) for timer in self.shard_timers]
 
+    def _auxiliary_timers(self) -> tuple:
+        return super()._auxiliary_timers() + tuple(self.shard_timers)
+
+    def shard_time_summary(self) -> dict:
+        """Deterministic merge of the per-shard timers: the per-shard
+        breakdown, the same stages summed across shards, each shard's
+        total update seconds, and the max/min skew between shards.
+        This is what ``TrainResult.shard_times`` carries, so the
+        load-balance view survives ``fit`` instead of dying with the
+        trainer."""
+        per_shard = self.per_shard_breakdown()
+        summed: dict = {}
+        for totals in per_shard:
+            for stage, seconds in totals.items():
+                summed[stage] = summed.get(stage, 0.0) + seconds
+        update_seconds = self.shard_update_seconds()
+        summary = {
+            "per_shard": per_shard,
+            "summed": summed,
+            "update_seconds": update_seconds,
+        }
+        if update_seconds:
+            slowest = max(update_seconds)
+            fastest = min(update_seconds)
+            summary["skew"] = {
+                "max": slowest,
+                "min": fastest,
+                "spread": slowest - fastest,
+            }
+        return summary
+
+    def _fit_shard_times(self) -> dict:
+        return self.shard_time_summary()
+
     def shard_update_seconds(self) -> list:
         """Per-shard total model-update seconds (load-balance view)."""
         return [timer.total() for timer in self.shard_timers]

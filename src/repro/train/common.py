@@ -42,9 +42,10 @@ from ..data.loader import DataLoader, LookaheadLoader
 # trainer and historical import path spells it this way.
 from ..kernels.fused import merge_sparse_updates  # noqa: F401
 from ..nn.dlrm import DLRM
+from ..obs import NULL_OBS
 from ..privacy.accountant import RDPAccountant
 from ..privacy.mechanisms import gradient_noise_std
-from ..rng import NoiseStream
+from ..rng import NoiseStream, philox_invocations
 from .optimizers import DenseOptimizer, DenseSGD
 
 MODEL_UPDATE_STAGES = (
@@ -76,20 +77,33 @@ class StageTimer:
     separate namespace so ``as_dict`` (consumed as seconds everywhere)
     stays time-only; ``stats`` reports both.  Like the stage times,
     counters are single-writer: each thread owns its own StageTimer.
+
+    A timer is also the adapter into the observability layer: when
+    ``tracer`` holds a :class:`repro.obs.Tracer`, every timed stage is
+    forwarded as a span *reusing the same perf_counter pair*, so the
+    trace and the accumulated seconds describe identical intervals and
+    the untraced arithmetic is bit-for-bit what it always was.
     """
 
-    def __init__(self):
+    def __init__(self, tracer=None):
         self.totals: dict = {}
         self.counters: dict = {}
+        #: Optional span sink (``repro.obs.Tracer``).  ``None`` — the
+        #: default, and what instrumentation rebinds when tracing is
+        #: off — keeps the stage accounting untouched.
+        self.tracer = tracer
 
     @contextmanager
     def time(self, stage: str):
+        tracer = self.tracer
         start = time.perf_counter()
         try:
             yield
         finally:
-            elapsed = time.perf_counter() - start
-            self.totals[stage] = self.totals.get(stage, 0.0) + elapsed
+            end = time.perf_counter()
+            self.totals[stage] = self.totals.get(stage, 0.0) + (end - start)
+            if tracer is not None:
+                tracer.add_complete(stage, start, end)
 
     def count(self, name: str, value: int = 1) -> None:
         """Accumulate an event counter (kernel/arena instrumentation)."""
@@ -143,6 +157,13 @@ class TrainResult:
     stage_times: dict = field(default_factory=dict)
     epsilon: float | None = None
     wall_time: float = 0.0
+    #: Event counters merged across every StageTimer the run owned
+    #: (trainer + shard/prefetch/apply timers) — arena hits/allocs and
+    #: friends survive ``fit`` instead of dying with the trainer.
+    counters: dict = field(default_factory=dict)
+    #: Sharded runs only: the per-shard stage breakdown plus the
+    #: summed-per-stage view and max/min skew (None on flat runs).
+    shard_times: dict | None = None
 
     @property
     def final_loss(self) -> float:
@@ -186,6 +207,11 @@ class TrainerBase:
         # manually-stepped trainers stay trackable — attached serving
         # engines (``repro.serve``) watch it to detect resumed training.
         self.last_iteration: int = 0
+        # Observability hub (repro.obs).  NULL_OBS is the shared null
+        # object: every instrumentation site in the engines gates on
+        # one attribute check, so an uninstrumented trainer pays
+        # nothing.  ``instrument()`` swaps in a live hub.
+        self.obs = NULL_OBS
         # Optional learning-rate schedule.  Plain trainers leave this None
         # (constant lr from config); the scheduled trainers in
         # ``repro.train.schedules`` install one.  LazyDP must NOT be given
@@ -201,6 +227,47 @@ class TrainerBase:
         if self.schedule is not None:
             return self.schedule.rate(iteration)
         return self.config.learning_rate
+
+    # -- observability ----------------------------------------------------
+    def instrument(self, obs=None):
+        """Attach an :class:`repro.obs.Observability` hub (default: a
+        metrics-only one) and rebind every timer's span sink to it.
+        Returns the hub so callers can read it back after the run."""
+        from ..obs import Observability
+
+        if obs is None:
+            obs = Observability()
+        self.obs = obs
+        tracer = obs.timer_tracer()
+        self.timer.tracer = tracer
+        for timer in self._auxiliary_timers():
+            timer.tracer = tracer
+        return obs
+
+    def _auxiliary_timers(self) -> tuple:
+        """Every StageTimer the trainer owns besides ``self.timer`` —
+        the per-shard, prefetch-worker and apply-worker timers the
+        engine mixins contribute.  Feeds both ``instrument`` (tracer
+        rebinding) and the merged ``TrainResult.counters``."""
+        return ()
+
+    def _make_timer(self) -> StageTimer:
+        """A StageTimer bound to the current observability hub; engine
+        mixins use this wherever they (re)create their own timers."""
+        return StageTimer(tracer=self.obs.timer_tracer())
+
+    def _fit_counters(self) -> dict:
+        """Merged event counters across all the run's timers."""
+        counters = dict(self.timer.counters)
+        for timer in self._auxiliary_timers():
+            for name, value in timer.counters.items():
+                counters[name] = counters.get(name, 0) + value
+        return counters
+
+    def _fit_shard_times(self):
+        """Per-shard breakdown for ``TrainResult.shard_times``
+        (``None`` for unsharded trainers; the shard mixin overrides)."""
+        return None
 
     # -- subclass hooks --------------------------------------------------
     def train_step(self, iteration: int, batch, next_batch) -> float:
@@ -218,13 +285,17 @@ class TrainerBase:
 
     # -- main loop --------------------------------------------------------
     def fit(self, loader: DataLoader) -> TrainResult:
+        obs = self.obs
+        tracer = obs.tracer
+        philox_start = philox_invocations() if obs.enabled else 0
         start = time.perf_counter()
         self.expected_batch_size = loader.batch_size
         final_iteration = 0
         losses = []
         for index, batch, next_batch in self._make_lookahead(loader):
             iteration = index + 1
-            loss = self.train_step(iteration, batch, next_batch)
+            with tracer.span("train_step", iteration=iteration):
+                loss = self.train_step(iteration, batch, next_batch)
             losses.append(loss)
             if self.accountant is not None:
                 self.accountant.step(
@@ -232,18 +303,26 @@ class TrainerBase:
                 )
             final_iteration = iteration
             self.last_iteration = iteration
-        self.finalize(final_iteration)
+        with tracer.span("finalize", iteration=final_iteration):
+            self.finalize(final_iteration)
         epsilon = None
         if self.accountant is not None and final_iteration > 0:
             epsilon = self.accountant.get_epsilon(self.config.delta)
-        return TrainResult(
+        result = TrainResult(
             algorithm=self.name,
             iterations=final_iteration,
             mean_losses=losses,
             stage_times=self.timer.as_dict(),
             epsilon=epsilon,
             wall_time=time.perf_counter() - start,
+            counters=self._fit_counters(),
+            shard_times=self._fit_shard_times(),
         )
+        if obs.enabled:
+            obs.collect(
+                self, philox_launches=philox_invocations() - philox_start
+            )
+        return result
 
     # -- shared update kernels ---------------------------------------------
     def _apply_dense_noisy_updates(self, grads: dict, iteration: int,

@@ -382,3 +382,116 @@ class TestConstructionAndErrors:
                 [snapshots[0][:-1]] + snapshots[1:], trainer.noise_stream,
                 4, 0.05, 1.0,
             )
+
+
+class TestServingObservability:
+    """Serving counters must advance exactly per the staleness model.
+
+    ``serve.rows_caught_up`` counts catch-up draws actually performed —
+    unique looked-up rows whose history trails the serving iteration;
+    ``serve.memo_hits`` counts rows answered without a fresh catch-up
+    (duplicates in one lookup, repeats across lookups);
+    ``serve.memo_invalidations`` counts refreshes after training
+    resumes.  The Observability counters must mirror the engine's own
+    attributes bit for bit.
+    """
+
+    def continue_drive(self, trainer, config, start, steps, batch_size=16):
+        loader = make_loader(config, batch_size=batch_size,
+                             num_batches=steps, seed=start + 31)
+        for index, batch, upcoming in LookaheadLoader(loader):
+            trainer.train_step(start + index + 1, batch, upcoming)
+
+    def _session(self, config):
+        from repro.configs import ObservabilityConfig
+        from repro.session import ExecutionPlan, TrainSession
+
+        plan = ExecutionPlan(obs=ObservabilityConfig(metrics=True))
+        session = TrainSession.build(DLRM(config, seed=7), DPConfig(), plan,
+                                     noise_seed=99)
+        drive(session.trainer, config, 4)
+        return session
+
+    def _serve_counters(self, session):
+        counters = session.observability.metrics.snapshot()["counters"]
+        return {key: value for key, value in counters.items()
+                if key.startswith("serve.")}
+
+    def test_counters_follow_staleness_model(self, config):
+        session = self._session(config)
+        engine = session.serve(iteration=4)
+        rows = np.array([0, 1, 2, 1, 1])   # 3 unique rows, 2 duplicates
+        stale = np.intersect1d(np.unique(rows), engine.pending_rows(0))
+
+        engine.lookup(0, rows)
+        counters = self._serve_counters(session)
+        assert counters["serve.rows_served"] == rows.size
+        # Catch-up draws happen only for rows whose history trails the
+        # serving iteration; up-to-date rows are marked served for free.
+        assert counters["serve.rows_caught_up"] == stale.size
+        # Duplicates within the lookup never re-privatize.
+        assert counters["serve.memo_hits"] == rows.size - np.unique(rows).size
+
+        # A repeat lookup is pure memo reads: served advances by the
+        # row count, memo hits by the same, catch-up not at all.
+        engine.lookup(0, rows)
+        counters = self._serve_counters(session)
+        assert counters["serve.rows_served"] == 2 * rows.size
+        assert counters["serve.rows_caught_up"] == stale.size
+        assert counters["serve.memo_hits"] == \
+            2 * rows.size - np.unique(rows).size
+        assert "serve.memo_invalidations" not in counters
+        session.close()
+
+    def test_refresh_counts_invalidation_and_new_catchup(self, config):
+        session = self._session(config)
+        engine = session.serve(iteration=4)
+        rows = np.arange(8)
+        engine.lookup(0, rows)
+        first_caught = self._serve_counters(session)["serve.rows_caught_up"]
+
+        # Training resumes: the next lookup invalidates the memo once
+        # and re-privatizes exactly the rows that accrued new noise.
+        self.continue_drive(session.trainer, config, start=4, steps=2)
+        engine.lookup(0, rows)
+        counters = self._serve_counters(session)
+        assert counters["serve.memo_invalidations"] == 1
+        assert engine.refreshes == 1
+        second_caught = counters["serve.rows_caught_up"] - first_caught
+        history = session.trainer.engine.histories[0].snapshot()
+        expected = int(np.count_nonzero(history[rows] < engine.iteration))
+        assert second_caught == expected
+
+        # Serving again without new training must not invalidate again.
+        engine.lookup(0, rows)
+        assert self._serve_counters(session)[
+            "serve.memo_invalidations"] == 1
+        session.close()
+
+    def test_counters_mirror_engine_attributes(self, config):
+        session = self._session(config)
+        engine = session.serve(iteration=4)
+        engine.lookup(0, np.array([0, 3, 3, 9]))
+        engine.lookup(1, np.arange(12))
+        self.continue_drive(session.trainer, config, start=4, steps=1)
+        engine.lookup(2, np.array([5, 5]))
+        counters = self._serve_counters(session)
+        assert counters["serve.rows_served"] == engine.rows_served
+        assert counters["serve.rows_caught_up"] == engine.rows_caught_up
+        assert counters["serve.memo_hits"] == engine.memo_hits
+        assert counters["serve.memo_invalidations"] == engine.refreshes
+        stats = session.stats()
+        assert stats["metrics"]["counters"] == counters | {
+            key: value
+            for key, value in stats["metrics"]["counters"].items()
+            if not key.startswith("serve.")
+        }
+        session.close()
+
+    def test_uninstrumented_engine_keeps_attribute_counters(self, config,
+                                                            trainer):
+        engine = PrivateServingEngine.from_trainer(trainer, iteration=4)
+        engine.lookup(0, np.array([1, 1, 2]))
+        assert engine.rows_served == 3
+        assert engine.memo_hits == 1
+        assert engine.obs is not None and not engine.obs.enabled

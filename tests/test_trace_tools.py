@@ -1,0 +1,191 @@
+"""tools/check_trace.py and tools/trace_report.py on handcrafted traces.
+
+The tools are standalone scripts (stdlib only), so they are loaded by
+file path and exercised against small hand-built traces where every
+quantity — busy time, utilization, overlap, hidden fraction — is known
+exactly.  The tracer's own exports are covered in ``test_obs.py``;
+these tests pin the *analysis* arithmetic.
+"""
+
+import importlib.util
+import json
+import pathlib
+
+import pytest
+
+_TOOLS = pathlib.Path(__file__).resolve().parent.parent / "tools"
+
+
+def _load(name):
+    spec = importlib.util.spec_from_file_location(name, _TOOLS / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="module")
+def check_trace():
+    return _load("check_trace")
+
+
+@pytest.fixture(scope="module")
+def trace_report():
+    return _load("trace_report")
+
+
+def _meta(tid, name):
+    return {"name": "thread_name", "ph": "M", "pid": 1, "tid": tid,
+            "args": {"name": name}}
+
+
+def _span(tid, name, ts, dur):
+    return {"name": name, "cat": "stage", "ph": "X", "ts": ts, "dur": dur,
+            "pid": 1, "tid": tid}
+
+
+def two_track_trace():
+    """Worker registered first (tid 0), main loop second (tid 1) — the
+    order a pipelined run can genuinely produce.  All times in µs:
+
+    * main (tid 1): train_step [0, 100), pipeline_wait [100, 120)
+    * worker (tid 0): prefetch [50, 110) — 60 busy, 10 of it exposed
+      under the wait, plus nested sub-spans that must not double count.
+    """
+    return {"traceEvents": [
+        _meta(0, "noise-prefetch"),
+        _meta(1, "main-loop"),
+        _span(1, "train_step", 0.0, 100.0),
+        _span(1, "pipeline_wait", 100.0, 20.0),
+        _span(0, "prefetch_compute", 50.0, 60.0),
+        _span(0, "shard_prefetch", 55.0, 30.0),   # nested: no extra busy
+    ]}
+
+
+class TestCheckTrace:
+    def test_valid_trace_passes(self, check_trace):
+        errors, stats = check_trace.validate(two_track_trace(), min_tracks=2)
+        assert errors == []
+        assert stats["tracks"] == 2
+        assert stats["span_events"] == 4
+        assert sorted(stats["track_names"]) == ["main-loop",
+                                                "noise-prefetch"]
+
+    def test_bare_event_list_accepted(self, check_trace):
+        errors, stats = check_trace.validate(
+            two_track_trace()["traceEvents"]
+        )
+        assert errors == []
+        assert stats["tracks"] == 2
+
+    def test_min_tracks_enforced(self, check_trace):
+        errors, _ = check_trace.validate(two_track_trace(), min_tracks=3)
+        assert any("at least 3" in error for error in errors)
+
+    @pytest.mark.parametrize("event, fragment", [
+        ({"name": "x", "ph": "X", "ts": 0, "pid": 1, "tid": 0}, "dur"),
+        ({"name": "x", "ph": "X", "ts": -1, "dur": 1, "pid": 1, "tid": 0},
+         "non-negative"),
+        ({"name": "x", "ph": "Z", "ts": 0}, "unknown phase"),
+        ({"name": "thread_name", "ph": "M", "pid": 1, "tid": 0}, "args"),
+        ({"name": "c", "ph": "C", "ts": 0, "pid": 1, "tid": 0,
+          "args": {"value": "high"}}, "numeric"),
+        ({"name": "i", "ph": "i", "ts": 0, "pid": 1, "tid": 0, "s": "x"},
+         "scope"),
+        ("not-an-object", "not an object"),
+    ])
+    def test_malformed_events_are_flagged(self, check_trace, event,
+                                          fragment):
+        errors, _ = check_trace.validate({"traceEvents": [event]})
+        assert any(fragment in error for error in errors)
+
+    def test_span_track_without_name_metadata_flagged(self, check_trace):
+        errors, _ = check_trace.validate({"traceEvents": [
+            _span(7, "orphan", 0.0, 1.0),
+        ]})
+        assert any("thread_name" in error for error in errors)
+
+    def test_rejects_wrong_top_level(self, check_trace):
+        errors, _ = check_trace.validate({"events": []})
+        assert errors == ["top-level object has no traceEvents list"]
+        errors, _ = check_trace.validate("nope")
+        assert errors == ["trace must be a JSON object or array"]
+
+    def test_cli_exit_codes(self, check_trace, tmp_path, capsys):
+        good = tmp_path / "good.json"
+        good.write_text(json.dumps(two_track_trace()))
+        assert check_trace.main([str(good), "--min-tracks", "2"]) == 0
+        assert check_trace.main([str(good), "--min-tracks", "3"]) == 1
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert check_trace.main([str(bad)]) == 1
+        capsys.readouterr()
+
+
+class TestTraceReport:
+    def test_interval_union_and_intersection(self, trace_report):
+        union = trace_report._union([(5.0, 9.0), (0.0, 4.0), (3.0, 6.0)])
+        assert union == [(0.0, 6.0), (5.0, 9.0)] or \
+            union == [(0.0, 9.0)]  # (3,6) bridges into (5,9)
+        assert trace_report._total([(0.0, 6.0)]) == 6.0
+        assert trace_report._intersect(
+            [(0.0, 10.0)], [(5.0, 15.0), (20.0, 25.0)]
+        ) == 5.0
+        assert trace_report._intersect([(0.0, 1.0)], [(2.0, 3.0)]) == 0.0
+
+    def test_summary_exact_quantities(self, trace_report):
+        summary = trace_report.summarize(two_track_trace())
+        assert summary["extent_us"] == 120.0
+        tracks = {track["name"]: track for track in summary["tracks"]}
+        # Main track listed first by convention.
+        assert summary["tracks"][0]["name"] == "main-loop"
+        assert tracks["main-loop"]["busy_us"] == 120.0
+        assert tracks["main-loop"]["utilization"] == pytest.approx(1.0)
+        # Nested worker spans union to [50, 110): 60 µs, not 90.
+        assert tracks["noise-prefetch"]["busy_us"] == 60.0
+        assert tracks["noise-prefetch"]["utilization"] == \
+            pytest.approx(0.5)
+
+    def test_hidden_fraction_vs_main_waits(self, trace_report):
+        summary = trace_report.summarize(two_track_trace())
+        overlap = summary["overlap"]
+        worker = overlap["noise-prefetch (tid 0)"]
+        # 60 µs busy; [100, 110) overlaps the pipeline_wait span, so
+        # 10 µs are exposed and 50 µs hidden.
+        assert worker["busy_us"] == 60.0
+        assert worker["hidden_us"] == 50.0
+        assert worker["hidden_fraction"] == pytest.approx(50.0 / 60.0)
+        assert worker["overlap_main_us"] == 60.0
+
+    def test_main_track_found_by_name_not_tid(self, trace_report):
+        """The worker holds tid 0 here; the report must not treat it
+        as the main loop just because it registered first."""
+        summary = trace_report.summarize(two_track_trace())
+        assert "main-loop (tid 1)" not in summary.get("overlap", {})
+        assert set(summary["overlap"]) == {"noise-prefetch (tid 0)"}
+
+    def test_no_main_track_means_no_overlap_section(self, trace_report):
+        summary = trace_report.summarize({"traceEvents": [
+            _meta(0, "solo"), _span(0, "work", 0.0, 5.0),
+        ]})
+        assert "overlap" not in summary
+        assert summary["tracks"][0]["busy_us"] == 5.0
+
+    def test_top_spans_aggregate_by_name(self, trace_report):
+        payload = {"traceEvents": [
+            _meta(0, "main-loop"),
+            _span(0, "a", 0.0, 5.0),
+            _span(0, "a", 10.0, 7.0),
+            _span(0, "b", 20.0, 2.0),
+        ]}
+        summary = trace_report.summarize(payload, top=1)
+        top = summary["tracks"][0]["top_spans"]
+        assert top == [{"name": "a", "count": 2, "total_us": 12.0}]
+
+    def test_cli_json_output(self, trace_report, tmp_path, capsys):
+        path = tmp_path / "t.json"
+        path.write_text(json.dumps(two_track_trace()))
+        assert trace_report.main([str(path), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["extent_us"] == 120.0
+        assert trace_report.main([str(path)]) == 0
+        assert "hidden fraction" in capsys.readouterr().out

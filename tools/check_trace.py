@@ -1,0 +1,179 @@
+#!/usr/bin/env python
+"""Validate a Chrome trace-event JSON file produced by ``repro.obs``.
+
+Checks that the file parses, that every event carries the keys its
+phase requires (``X`` complete events need numeric non-negative
+``ts``/``dur`` plus ``pid``/``tid``; ``M`` metadata events need an
+``args`` dict; ``C`` counters need numeric args; ``i`` instants need a
+scope), and that at least ``--min-tracks`` distinct threads recorded
+span events.  Used by the CI ``trace-smoke`` job to gate the traces the
+traced smoke runs emit; standalone on purpose (stdlib only, no
+``repro`` imports) so it exercises the on-disk format rather than the
+in-memory objects that wrote it.
+
+Exit code 0 when the trace is well-formed, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import numbers
+import sys
+
+#: Phases repro.obs emits. Anything else is flagged — the validator is
+#: a format pin, not a general Chrome-trace linter.
+KNOWN_PHASES = ("X", "M", "C", "i")
+
+
+def _is_number(value) -> bool:
+    return isinstance(value, numbers.Real) and not isinstance(value, bool)
+
+
+def _check_complete(event, where: str, errors: list) -> None:
+    for key in ("name", "ts", "dur", "pid", "tid"):
+        if key not in event:
+            errors.append(f"{where}: X event missing {key!r}")
+            return
+    if not isinstance(event["name"], str) or not event["name"]:
+        errors.append(f"{where}: X event name must be a non-empty string")
+    for key in ("ts", "dur"):
+        if not _is_number(event[key]) or event[key] < 0:
+            errors.append(f"{where}: X event {key!r} must be a "
+                          f"non-negative number, got {event[key]!r}")
+    args = event.get("args")
+    if args is not None and not isinstance(args, dict):
+        errors.append(f"{where}: X event args must be a dict when present")
+
+
+def _check_metadata(event, where: str, errors: list) -> None:
+    if not isinstance(event.get("args"), dict):
+        errors.append(f"{where}: M event needs an args dict")
+        return
+    if event.get("name") == "thread_name":
+        name = event["args"].get("name")
+        if not isinstance(name, str) or not name:
+            errors.append(f"{where}: thread_name metadata needs a "
+                          "non-empty args.name")
+
+
+def _check_counter(event, where: str, errors: list) -> None:
+    args = event.get("args")
+    if not isinstance(args, dict) or not args:
+        errors.append(f"{where}: C event needs a non-empty args dict")
+        return
+    for key, value in args.items():
+        if not _is_number(value):
+            errors.append(f"{where}: C event series {key!r} must be "
+                          f"numeric, got {value!r}")
+    if not _is_number(event.get("ts")):
+        errors.append(f"{where}: C event needs a numeric ts")
+
+
+def _check_instant(event, where: str, errors: list) -> None:
+    if not _is_number(event.get("ts")):
+        errors.append(f"{where}: i event needs a numeric ts")
+    if event.get("s") not in ("t", "p", "g"):
+        errors.append(f"{where}: i event scope must be t/p/g, "
+                      f"got {event.get('s')!r}")
+
+
+def validate(payload, min_tracks: int = 1) -> tuple:
+    """Validate a parsed trace payload.
+
+    Accepts both the object form (``{"traceEvents": [...]}``) and the
+    bare JSON-array form — chrome://tracing loads either.  Returns
+    ``(errors, stats)`` where ``stats`` has ``events``, ``span_events``,
+    ``tracks`` (distinct tids with span events) and ``track_names``.
+    """
+    errors: list = []
+    if isinstance(payload, dict):
+        events = payload.get("traceEvents")
+        if not isinstance(events, list):
+            return (["top-level object has no traceEvents list"], {})
+    elif isinstance(payload, list):
+        events = payload
+    else:
+        return (["trace must be a JSON object or array"], {})
+
+    span_tids: set = set()
+    names_by_tid: dict = {}
+    span_events = 0
+    for index, event in enumerate(events):
+        where = f"traceEvents[{index}]"
+        if not isinstance(event, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        phase = event.get("ph")
+        if phase not in KNOWN_PHASES:
+            errors.append(f"{where}: unknown phase {phase!r}")
+            continue
+        if phase == "X":
+            _check_complete(event, where, errors)
+            if "tid" in event:
+                span_tids.add((event.get("pid"), event["tid"]))
+                span_events += 1
+        elif phase == "M":
+            _check_metadata(event, where, errors)
+            if event.get("name") == "thread_name" and \
+                    isinstance(event.get("args"), dict):
+                names_by_tid[(event.get("pid"), event.get("tid"))] = \
+                    event["args"].get("name")
+        elif phase == "C":
+            _check_counter(event, where, errors)
+        elif phase == "i":
+            _check_instant(event, where, errors)
+
+    if len(span_tids) < min_tracks:
+        errors.append(f"expected at least {min_tracks} thread tracks "
+                      f"with span events, found {len(span_tids)}")
+    for key in span_tids:
+        if key not in names_by_tid:
+            errors.append(f"track pid/tid {key} has span events but no "
+                          "thread_name metadata")
+    stats = {
+        "events": len(events),
+        "span_events": span_events,
+        "tracks": len(span_tids),
+        "track_names": sorted(
+            str(names_by_tid[key]) for key in span_tids
+            if key in names_by_tid
+        ),
+    }
+    return errors, stats
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("trace", nargs="+", help="trace JSON file(s)")
+    parser.add_argument("--min-tracks", type=int, default=1,
+                        help="minimum distinct threads that must have "
+                             "recorded span events (default: 1)")
+    args = parser.parse_args(argv)
+    failed = False
+    for path in args.trace:
+        try:
+            with open(path, encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError) as error:
+            print(f"ERROR: {path}: {error}", file=sys.stderr)
+            failed = True
+            continue
+        errors, stats = validate(payload, min_tracks=args.min_tracks)
+        for error in errors[:20]:
+            print(f"ERROR: {path}: {error}", file=sys.stderr)
+        if len(errors) > 20:
+            print(f"ERROR: {path}: ... and {len(errors) - 20} more",
+                  file=sys.stderr)
+        if errors:
+            failed = True
+        else:
+            print(f"{path}: OK — {stats['events']} events, "
+                  f"{stats['span_events']} spans across "
+                  f"{stats['tracks']} tracks "
+                  f"({', '.join(stats['track_names'])})")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
