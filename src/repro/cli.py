@@ -9,6 +9,8 @@ Commands
              measured-mode sweep).
 ``audit``    train EANA and LazyDP on the same trace and run the
              untouched-row attack against both final models.
+``serve``    train briefly, then drive the private serving tier with
+             skewed closed-loop load and print throughput/latency.
 ``score``    evaluate the reproduction scoreboard: every tracked figure
              point vs the paper, with pass/fail per tolerance band.
 """
@@ -56,8 +58,9 @@ def _add_train_parser(subparsers) -> None:
         help="unified execution-plan spec, e.g. "
              "'shards=4,pipeline=2,async=bounded:2,ans=off' "
              "(keys: ans, shards, partition, executor, workers, pipeline, "
-             "async, inflight, obs, backend).  Replaces the per-engine "
-             "flags below; combining it with them is an error.",
+             "async, inflight, obs, serve, admission, backend).  Replaces "
+             "the per-engine flags below; combining it with them is an "
+             "error.",
     )
     parser.add_argument(
         "--trace", default=None, metavar="PATH",
@@ -360,6 +363,58 @@ def _run_train(args) -> int:
     return 0
 
 
+def _run_serve(args) -> int:
+    """Train a small model, then put its serving tier under load."""
+    from .serve import HotRowCache, run_load
+
+    config = configs.small_dlrm(rows=args.rows)
+    model = DLRM(config, seed=args.seed)
+    dataset = SyntheticClickDataset(config, seed=args.seed + 1)
+    loader = DataLoader(dataset, batch_size=args.batch,
+                        num_batches=args.iterations, seed=args.seed + 2)
+    session = TrainSession.build(model, DPConfig(), ExecutionPlan(),
+                                 noise_seed=args.seed + 3)
+    session.fit(loader)
+    cache = (HotRowCache.for_skew(args.skew, args.rows)
+             if args.cache else False)
+    engine = session.serve(cache=cache)
+    rows = []
+    for readers in (1, args.readers):
+        report = run_load(
+            engine,
+            readers=readers,
+            requests_per_reader=args.requests,
+            batch_size=args.lookup_batch,
+            skew=args.skew,
+            think_time=args.think_ms / 1e3,
+            seed=args.seed,
+        )
+        if report.errors:
+            print(f"serve errors: {report.errors[0]!r}", file=sys.stderr)
+            return 1
+        rows.append([
+            readers, f"{report.throughput_rps:.0f}",
+            f"{report.rows_per_second:.0f}",
+            f"{report.latency_p50_ms:.3f}", f"{report.latency_p99_ms:.3f}",
+        ])
+    print(format_table(
+        ["readers", "req/s", "rows/s", "p50 ms", "p99 ms"], rows,
+        title=f"serving load ({args.skew} skew, batch {args.lookup_batch}, "
+              f"cache {'on' if args.cache else 'off'})",
+    ))
+    stats = engine.stats()
+    if "cache" in stats:
+        cache_stats = stats["cache"]
+        print(f"hot-row cache    : {cache_stats['resident_rows']}/"
+              f"{cache_stats['capacity']} resident, "
+              f"hit rate {cache_stats['hit_rate']:.1%}")
+    print(f"memo             : {stats['rows_served']} rows served, "
+          f"{stats['memo_hits']} memo hits, "
+          f"{stats['rows_caught_up']} caught up")
+    session.close()
+    return 0
+
+
 def _run_figures(args) -> int:
     names = list(ALL_FIGURES) if args.which == "all" else [args.which]
     for name in names:
@@ -469,6 +524,32 @@ def main(argv=None) -> int:
         "score", help="evaluate the reproduction scoreboard"
     )
 
+    serve_parser = subparsers.add_parser(
+        "serve", help="drive the private serving tier under skewed load"
+    )
+    serve_parser.add_argument("--rows", type=int, default=4096,
+                              help="rows per embedding table")
+    serve_parser.add_argument("--batch", type=int, default=128,
+                              help="training batch size")
+    serve_parser.add_argument("--iterations", type=int, default=4,
+                              help="training iterations before serving")
+    serve_parser.add_argument("--readers", type=int, default=4,
+                              help="concurrent closed-loop clients")
+    serve_parser.add_argument("--requests", type=int, default=500,
+                              help="requests per reader")
+    serve_parser.add_argument("--lookup-batch", type=int, default=8,
+                              help="rows per serving request")
+    serve_parser.add_argument("--skew",
+                              choices=("random", "low", "medium", "high"),
+                              default="medium",
+                              help="fig13d traffic skew of the load")
+    serve_parser.add_argument("--think-ms", type=float, default=0.5,
+                              help="per-request client think time")
+    serve_parser.add_argument("--cache", action="store_true",
+                              help="front lookups with a skew-sized "
+                                   "hot-row cache")
+    serve_parser.add_argument("--seed", type=int, default=0)
+
     args = parser.parse_args(argv)
     handlers = {
         "train": _run_train,
@@ -476,6 +557,7 @@ def main(argv=None) -> int:
         "report": _run_report,
         "audit": _run_audit,
         "score": _run_score,
+        "serve": _run_serve,
     }
     return handlers[args.command](args)
 

@@ -326,6 +326,36 @@ class ObservabilityConfig:
         return _config_from_dict(cls, data)
 
 
+@dataclass(frozen=True)
+class ServeConfig:
+    """How a session's serving handles are fronted (``repro.serve``).
+
+    ``cache_rows`` sizes the :class:`repro.serve.HotRowCache` put in
+    front of each serving engine's memo; ``admission`` is the
+    slow-path serve count a row needs before it may be admitted (the
+    TinyLFU-style skew filter).  A session without the axis serves
+    uncached — spelled ``serve=None`` on the plan like every other
+    disabled axis.
+    """
+
+    cache_rows: int = 1024
+    admission: int = 2
+
+    def __post_init__(self):
+        if self.cache_rows < 1:
+            raise ValueError("serve axis requires a positive cache_rows")
+        if self.admission < 1:
+            raise ValueError("serve admission threshold must be positive")
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (``ExecutionPlan.to_dict`` nests it)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ServeConfig":
+        return _config_from_dict(cls, data)
+
+
 def rows_for_model_bytes(model_bytes: int, num_tables: int = PAPER_NUM_TABLES,
                          dim: int = PAPER_EMBEDDING_DIM,
                          bytes_per_param: int = FP32_BYTES) -> int:

@@ -42,12 +42,23 @@ class LedgerError(RuntimeError):
 class VersionVector:
     """Applied-through iteration per embedding row of one table."""
 
-    def __init__(self, num_rows: int):
+    def __init__(self, num_rows: int, initial=None):
         if num_rows < 1:
             raise ValueError("num_rows must be positive")
-        # Zero mirrors the HistoryTable convention: "all noise through
-        # iteration 0 applied", i.e. none (iterations are 1-based).
-        self._applied_through = np.zeros(num_rows, dtype=np.int64)
+        if initial is None:
+            # Zero mirrors the HistoryTable convention: "all noise through
+            # iteration 0 applied", i.e. none (iterations are 1-based).
+            self._applied_through = np.zeros(num_rows, dtype=np.int64)
+        else:
+            # Mid-stream ledgers (the serving engine audits catch-up from
+            # a HistoryTable snapshot, not from iteration 0) start each
+            # row at its already-applied-through point.
+            initial = np.asarray(initial, dtype=np.int64)
+            if initial.shape != (num_rows,):
+                raise ValueError(
+                    f"initial must cover all {num_rows} rows"
+                )
+            self._applied_through = initial.copy()
 
     @property
     def num_rows(self) -> int:

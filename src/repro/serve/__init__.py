@@ -7,8 +7,34 @@ of a row applies that row's pending deferred noise (the identical
 keyed draw the flush would make), memoizes it, and every release —
 single row, mini-batch, or the full :meth:`PrivateServingEngine.
 export` — is incremental from there.
+
+The high-throughput tier around the engine:
+
+* :class:`~repro.serve.locks.RWLock` — the shared/exclusive lock that
+  lets any number of lookup threads run concurrently against a live
+  attached trainer (writers: refresh, export, quiesce).
+* :class:`HotRowCache` — skew-aware frequency-admitted cache of hot
+  privatized rows; point lookups that hit it bypass even the read
+  lock (generation-validated, bitwise-equal to the memo).
+* :class:`MultiTenantServer` — several ``(model, epsilon)`` serving
+  snapshots sharing the base table slabs zero-copy.
+* :func:`run_load` / :func:`generate_traffic` — the closed-loop
+  fig13d-skewed load generator behind ``bench_serve_load`` and the
+  stress suite.
 """
 
+from .cache import HotRowCache
 from .engine import PrivateServingEngine
+from .loadgen import LoadReport, generate_traffic, run_load
+from .locks import RWLock
+from .tenant import MultiTenantServer
 
-__all__ = ["PrivateServingEngine"]
+__all__ = [
+    "HotRowCache",
+    "LoadReport",
+    "MultiTenantServer",
+    "PrivateServingEngine",
+    "RWLock",
+    "generate_traffic",
+    "run_load",
+]

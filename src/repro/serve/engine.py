@@ -32,25 +32,50 @@ memo kept answering from the old iteration.  :meth:`attach` fixes that
 and, at the first operation after training resumed, re-snapshots the
 histories, re-copies the dense parameters and invalidates the
 read-through memo, so served rows again agree row-for-row with
-``export_private_model`` at the trainer's current iteration.  The
-trainer must be quiescent (between fits / manual steps) whenever
-serving calls run; :meth:`detach` freezes the engine at its current
-state.  ``TrainSession.serve`` (:mod:`repro.session`) hands out
-attached engines and detaches them on session close.
+``export_private_model`` at the trainer's current iteration.
+:meth:`detach` freezes the engine at its current state.
+``TrainSession.serve`` (:mod:`repro.session`) hands out attached
+engines and detaches them on session close.
 
-Lookups are thread-safe (a single lock guards the memo), sized for the
-serving pattern of many small reads.
+Concurrency (the serving lock hierarchy, outermost first):
+
+1. An :class:`~repro.serve.locks.RWLock` guards the snapshot
+   wholesale.  Lookups are *readers* — any number run concurrently.
+   Refresh, the consistent :meth:`export`, :meth:`attach` /
+   :meth:`detach`, and the :meth:`quiesce` window a live trainer
+   steps inside are *writers* — exclusive, writer-preferred so a
+   stream of lookups cannot starve freshness.
+2. Inside a read section, one ``threading.Lock`` per table stripes
+   catch-up writes: first-touch rows of different tables privatize in
+   parallel, and memo *hits* never take a stripe at all — once a
+   row's ``_caught_up`` flag is set its memo entry is immutable until
+   the next refresh (which excludes all readers), so the hit path is
+   a lock-free gather under the shared read lock.
+3. A small stats lock makes the serving counters (and their
+   ``repro.obs`` mirrors) exact under concurrent readers.
+
+Each table owns a private :class:`BufferArena` and
+:class:`ANSEngine`, so concurrent catch-ups never share scratch.
+
+An optional :class:`~repro.serve.cache.HotRowCache` fronts the whole
+scheme for point lookups: probes validate against the engine's
+*generation* (bumped on every refresh) with a seqlock-style re-check,
+so a cache hit bypasses even the read lock yet can never serve a row
+from a superseded snapshot.
 """
 
 from __future__ import annotations
 
 import threading
+from contextlib import contextmanager
 
 import numpy as np
 
 from ..kernels import BufferArena, apply_sparse_update
 from ..lazydp.ans import ANSEngine
+from ..lazydp.ledger import VersionVector
 from ..obs import NULL_OBS
+from .locks import RWLock
 
 
 class PrivateServingEngine:
@@ -67,6 +92,7 @@ class PrivateServingEngine:
         noise_std: float,
         use_ans: bool = True,
         snapshot: bool = False,
+        cache=None,
     ):
         """Wrap raw model state for serving.
 
@@ -84,6 +110,9 @@ class PrivateServingEngine:
         iteration:
             The iteration the served model stands at; pending noise is
             everything between a row's history entry and here.
+        cache:
+            Optional :class:`~repro.serve.cache.HotRowCache` fronting
+            point lookups (see :meth:`enable_cache`).
         """
         if iteration < 0:
             raise ValueError("iteration must be non-negative")
@@ -91,7 +120,6 @@ class PrivateServingEngine:
             raise ValueError(
                 "need exactly one history snapshot per embedding table"
             )
-        self.iteration = int(iteration)
         self.learning_rate = float(learning_rate)
         self.noise_std = float(noise_std)
         self.ans = ANSEngine(noise_stream, enabled=use_ans)
@@ -101,6 +129,7 @@ class PrivateServingEngine:
             for name, data in parameters.items()
             if name not in self.embedding_names
         }
+        iteration = int(iteration)
         self._tables = []
         for name, snap in zip(self.embedding_names, history_snapshots):
             data = parameters[name]
@@ -112,18 +141,61 @@ class PrivateServingEngine:
                     f"history snapshot for {name} covers {snap.shape[0]} "
                     f"rows, table has {data.shape[0]}"
                 )
-            if np.any(snap > self.iteration):
+            if np.any(snap > iteration):
                 raise ValueError(
                     f"history for {name} is ahead of iteration "
-                    f"{self.iteration}; cannot serve the past"
+                    f"{iteration}; cannot serve the past"
                 )
             self._tables.append(data)
-            # Per-table memo: privatized rows materialised so far.
-            # ``_caught_up`` marks them; ``_served`` holds the values.
         self._history = [
             np.asarray(snap, dtype=np.int64).copy()
             for snap in history_snapshots
         ]
+        #: Snapshot version: ``(generation, iteration)``, replaced as
+        #: one atomic tuple assignment at the end of every refresh.
+        #: The generation tags hot-row cache entries; the tuple-at-once
+        #: update is what makes the lock-free cache probe sound (it
+        #: can never observe a new iteration with an old generation).
+        self._version = (0, iteration)
+        # -- lock hierarchy (see module docstring) --
+        self._rw = RWLock()
+        self._table_locks = [
+            threading.Lock() for _ in self._tables
+        ]
+        self._stats_lock = threading.Lock()
+        #: Per-table catch-up machinery: concurrent first-touch
+        #: privatization of different tables must not share scratch
+        #: (BufferArena and the ANS draw counter are single-threaded
+        #: state), so every table stripe owns its own.
+        self._arenas = [BufferArena() for _ in self._tables]
+        self._table_ans = [
+            ANSEngine(noise_stream, enabled=use_ans, arena=arena)
+            for arena in self._arenas
+        ]
+        self._reset_memo()
+        #: Whether tables were copied (refreshes must re-copy them too).
+        self._snapshot = bool(snapshot)
+        #: Trainer this engine follows (see :meth:`attach`); None =
+        #: frozen at construction, the default.
+        self._attached = None
+        #: Optional hot-row cache fronting point lookups.
+        self._cache = None
+        if cache is not None:
+            self.enable_cache(cache)
+        #: Rows privatized so far (catch-up draws actually performed).
+        self.rows_caught_up = 0
+        #: Rows returned across all lookups (includes memo hits).
+        self.rows_served = 0
+        #: Lookup rows answered straight from the memo (or its cache).
+        self.memo_hits = 0
+        #: Times the memo was invalidated because training resumed.
+        self.refreshes = 0
+        #: Observability hub (``repro.obs``); the shared null object
+        #: until :meth:`instrument` swaps a live one in.
+        self.obs = NULL_OBS
+
+    def _reset_memo(self) -> None:
+        """Fresh memo + exactly-once ledger for the current snapshot."""
         # The served memo is allocated per table on first touch, so an
         # engine wrapped around a many-table model and queried on a few
         # tables never pays a dense copy for the rest.
@@ -131,25 +203,26 @@ class PrivateServingEngine:
         self._caught_up = [
             np.zeros(table.shape[0], dtype=bool) for table in self._tables
         ]
-        self._lock = threading.Lock()
-        #: Catch-up scratch, guarded by the same lock as the memo.
-        self._arena = BufferArena()
-        #: Whether tables were copied (refreshes must re-copy them too).
-        self._snapshot = bool(snapshot)
-        #: Trainer this engine follows (see :meth:`attach`); None =
-        #: frozen at construction, the default.
-        self._attached = None
-        #: Rows privatized so far (catch-up draws actually performed).
-        self.rows_caught_up = 0
-        #: Rows returned across all lookups (includes memo hits).
-        self.rows_served = 0
-        #: Lookup rows answered straight from the memo.
-        self.memo_hits = 0
-        #: Times the memo was invalidated because training resumed.
-        self.refreshes = 0
-        #: Observability hub (``repro.obs``); the shared null object
-        #: until :meth:`instrument` swaps a live one in.
-        self.obs = NULL_OBS
+        #: Per-table exactly-once audit: every catch-up advances the
+        #: row from its history snapshot to the serving iteration; the
+        #: VersionVector rejects any overlap or gap, so a concurrency
+        #: bug that double-applied or skipped serving noise raises at
+        #: the racing lookup instead of silently corrupting the
+        #: released bits (``audit_exactly_once`` proves the end state).
+        self._ledger = [
+            VersionVector(history.shape[0], initial=history)
+            for history in self._history
+        ]
+
+    @property
+    def iteration(self) -> int:
+        """The iteration the served snapshot stands at."""
+        return self._version[1]
+
+    @property
+    def generation(self) -> int:
+        """Bumped on every refresh; tags hot-row cache entries."""
+        return self._version[0]
 
     def instrument(self, obs) -> None:
         """Mirror the serving counters into an Observability hub.
@@ -160,6 +233,19 @@ class PrivateServingEngine:
         """
         self.obs = obs if obs is not None else NULL_OBS
 
+    def enable_cache(self, cache) -> None:
+        """Front point lookups with a hot-row cache.
+
+        The cache serves only rows this engine memoized for the
+        current generation, so cached answers are bitwise identical to
+        uncached ones; see :mod:`repro.serve.cache`.
+        """
+        self._cache = cache
+
+    @property
+    def cache(self):
+        return self._cache
+
     # -- constructors ------------------------------------------------------
     @classmethod
     def from_trainer(
@@ -168,6 +254,7 @@ class PrivateServingEngine:
         iteration: int | None = None,
         noise_std: float | None = None,
         snapshot: bool = False,
+        cache=None,
     ) -> "PrivateServingEngine":
         """Serve a (quiescent) trainer's model at ``iteration``.
 
@@ -203,6 +290,7 @@ class PrivateServingEngine:
             noise_std,
             use_ans=trainer.use_ans,
             snapshot=snapshot,
+            cache=cache,
         )
 
     @classmethod
@@ -237,8 +325,9 @@ class PrivateServingEngine:
         """Follow ``trainer``: refresh the memo when it resumes stepping.
 
         The trainer must be the one this engine was built from (same
-        embedding tables); serving calls must not race its train steps
-        — quiesce, serve, resume.
+        embedding tables).  Train steps must run inside a
+        :meth:`quiesce` window (or otherwise exclude serving calls);
+        lookups from any number of threads are safe at all times.
         """
         names = getattr(trainer.model, "embedding_param_names", None)
         if names != self.embedding_names:
@@ -246,18 +335,46 @@ class PrivateServingEngine:
                 "cannot attach: trainer's embedding tables do not match "
                 "the engine's"
             )
-        with self._lock:
+        with self._rw.write():
             self._attached = trainer
             self._maybe_refresh()
 
     def detach(self) -> None:
         """Stop following the trainer; freeze at the current snapshot."""
-        with self._lock:
+        with self._rw.write():
             self._attached = None
+
+    @contextmanager
+    def quiesce(self):
+        """Exclusive window for mutating the served model in place.
+
+        A live attached trainer steps inside this context::
+
+            with engine.quiesce():
+                trainer.train_step(iteration, batch, next_batch)
+
+        The write lock drains every in-flight lookup and holds new
+        ones at the door, so readers never observe a half-applied
+        training step; the first lookup afterwards sees the bumped
+        ``last_iteration`` and refreshes.
+        """
+        with self._rw.write():
+            yield self
+
+    def _needs_refresh(self) -> bool:
+        """Whether the attached trainer stepped past our snapshot.
+
+        Safe to call without any lock: it reads two plain ints, and a
+        stale answer only delays the refresh to the next lookup."""
+        trainer = self._attached
+        return (
+            trainer is not None
+            and int(trainer.current_iteration()) > self.iteration
+        )
 
     def _maybe_refresh(self) -> None:
         """Re-snapshot from the attached trainer if it stepped past the
-        iteration this engine serves at (caller holds the lock)."""
+        iteration this engine serves at (caller holds the write lock)."""
         trainer = self._attached
         if trainer is None:
             return
@@ -273,7 +390,6 @@ class PrivateServingEngine:
             name: param.data
             for name, param in trainer.model.parameters().items()
         }
-        self.iteration = current
         self.noise_std = float(noise_std)
         self._dense = {
             name: np.array(data, copy=True)
@@ -294,33 +410,65 @@ class PrivateServingEngine:
         ]
         # The memo answered for an older iteration; invalidate it so
         # every row is caught up against the new history snapshot.
-        self._served = [None] * len(self._tables)
-        self._caught_up = [
-            np.zeros(table.shape[0], dtype=bool) for table in self._tables
-        ]
+        self._reset_memo()
+        cache = self._cache
+        dropped = cache.invalidate() if cache is not None else 0
+        # Publish the new (generation, iteration) last, as one tuple:
+        # a lock-free cache probe that still sees the old generation
+        # also still sees the old iteration, never a mix.
+        self._version = (self._version[0] + 1, current)
         self.refreshes += 1
         obs = self.obs
         if obs.enabled:
             if obs.metrics_enabled:
                 obs.metrics.inc("serve.memo_invalidations")
+                if cache is not None:
+                    obs.metrics.inc("serve.cache.invalidations")
+                    obs.metrics.inc("serve.cache.dropped_rows", dropped)
             tracer = obs.tracer
             if tracer.enabled:
                 tracer.add_instant("serve_refresh", iteration=current)
+
+    @contextmanager
+    def _read_section(self):
+        """A shared section over a *fresh* snapshot.
+
+        Acquires the read lock; if the attached trainer has stepped
+        past the snapshot, upgrades to the write lock for the refresh
+        and re-enters.  The loop settles because only a trainer step
+        (excluded by writers holding :meth:`quiesce`) can make the
+        snapshot stale again.
+        """
+        while True:
+            self._rw.acquire_read()
+            if not self._needs_refresh():
+                break
+            self._rw.release_read()
+            with self._rw.write():
+                self._maybe_refresh()
+        try:
+            yield
+        finally:
+            self._rw.release_read()
 
     # -- serving -----------------------------------------------------------
     @property
     def num_tables(self) -> int:
         return len(self._tables)
 
+    def table_rows(self, table_index: int) -> int:
+        """Row count of one served table (load generators, sizing)."""
+        return int(self._tables[table_index].shape[0])
+
     def pending_rows(self, table_index: int) -> np.ndarray:
         """Rows of one table still owed noise (not yet served/caught up)."""
-        with self._lock:
-            self._maybe_refresh()
+        with self._read_section():
             behind = self._history[table_index] < self.iteration
             return np.nonzero(behind & ~self._caught_up[table_index])[0]
 
     def _served_table(self, table_index: int) -> np.ndarray:
-        """The dense served memo for one table (allocated on first use)."""
+        """The dense served memo for one table (allocated on first use;
+        caller holds the table's stripe lock or the write lock)."""
         if self._served[table_index] is None:
             self._served[table_index] = np.zeros_like(
                 self._tables[table_index]
@@ -328,33 +476,154 @@ class PrivateServingEngine:
         return self._served[table_index]
 
     def _catch_up(self, table_index: int, rows: np.ndarray) -> None:
-        """Privatize ``rows`` (unique, not yet caught up) into the memo."""
+        """Privatize ``rows`` (unique, not yet caught up) into the memo.
+
+        Caller holds either this table's stripe lock (inside a read
+        section) or the write lock (:meth:`export`); the memo rows are
+        written first and the ``_caught_up`` flags last, so a
+        flag-then-gather reader can never see a half-written row.
+        """
         table = self._tables[table_index]
         served = self._served_table(table_index)
-        delays = self.iteration - self._history[table_index][rows]
-        pending = rows[delays > 0]
-        current = rows[delays == 0]
+        all_delays = self.iteration - self._history[table_index][rows]
+        pending = rows[all_delays > 0]
+        current = rows[all_delays == 0]
         if current.size:
             # No pending noise: served bits are the stored bits (the
             # flush would not have touched these rows either).
             served[current] = table[current]
         if pending.size:
-            noise = self.ans.catchup_noise(
-                table_index, pending, delays[delays > 0], self.iteration,
-                table.shape[1], self.noise_std,
+            noise = self._table_ans[table_index].catchup_noise(
+                table_index, pending, all_delays[all_delays > 0],
+                self.iteration, table.shape[1], self.noise_std,
             )
             # Fused read-through write: gather the stored rows, subtract
             # the scaled catch-up draw, land in the memo — same bits as
             # ``served[pending] = table[pending] - lr * noise``.
             apply_sparse_update(
                 table, pending, noise, self.learning_rate,
-                arena=self._arena, out=served, values_writable=True,
+                arena=self._arenas[table_index], out=served,
+                values_writable=True,
             )
-            self.rows_caught_up += int(pending.size)
-            obs = self.obs
-            if obs.enabled and obs.metrics_enabled:
-                obs.metrics.inc("serve.rows_caught_up", int(pending.size))
+        # Exactly-once proof: every row advances from its history
+        # snapshot to the serving iteration, spans contiguous.
+        self._ledger[table_index].advance(rows, all_delays, self.iteration)
         self._caught_up[table_index][rows] = True
+        if pending.size:
+            obs = self.obs
+            with self._stats_lock:
+                self.rows_caught_up += int(pending.size)
+                if obs.enabled and obs.metrics_enabled:
+                    obs.metrics.inc(
+                        "serve.rows_caught_up", int(pending.size)
+                    )
+
+    def _validate_rows(self, table_index: int, rows) -> np.ndarray:
+        rows = np.asarray(rows, dtype=np.int64)
+        if rows.ndim != 1:
+            raise ValueError("rows must be a 1-D array of row indices")
+        num_rows = self._tables[table_index].shape[0]
+        if rows.size and (rows.min() < 0 or rows.max() >= num_rows):
+            raise IndexError(
+                f"row ids out of range for table {table_index} "
+                f"({num_rows} rows)"
+            )
+        return rows
+
+    def _count_served(self, served: int, hits: int) -> None:
+        obs = self.obs
+        with self._stats_lock:
+            self.rows_served += served
+            self.memo_hits += hits
+            if obs.enabled and obs.metrics_enabled:
+                obs.metrics.inc("serve.rows_served", served)
+                obs.metrics.inc("serve.memo_hits", hits)
+
+    def _cache_fast_path(self, table_index: int, rows: np.ndarray):
+        """Lock-free point-lookup path through the hot-row cache.
+
+        Seqlock-style validation: read the (generation, iteration)
+        version, probe entries tagged with that generation, then
+        re-check the version.  A concurrent refresh publishes a new
+        version tuple as its final step, so surviving the re-check
+        proves every returned row belongs to the iteration reported.
+        """
+        cache = self._cache
+        if cache is None or rows.size == 0:
+            return None
+        if self._needs_refresh():
+            return None  # snapshot is stale; take the refresh path
+        generation, iteration = self._version
+        values = cache.get_rows(table_index, rows, generation)
+        if values is None:
+            return None
+        if self._version[0] != generation or self._needs_refresh():
+            return None  # raced a refresh; serve from the slow path
+        n = int(rows.size)
+        self._count_served(n, n)
+        obs = self.obs
+        if obs.enabled and obs.metrics_enabled:
+            with self._stats_lock:
+                obs.metrics.inc("serve.cache.hits", n)
+        return values, iteration
+
+    def _lookup_in_read(self, table_index: int, rows: np.ndarray):
+        """One table's read-through lookup; caller holds a read section.
+
+        Returns ``(values, fresh_rows, fresh_values)`` where the fresh
+        arrays cover the unique rows this call privatized (the hot-row
+        cache's admission feed; both are None when nothing was fresh).
+        """
+        if rows.size == 0:
+            dim = self._tables[table_index].shape[1]
+            return np.zeros((0, dim), dtype=np.float64), None, None
+        caught = self._caught_up[table_index]
+        unique = np.unique(rows)
+        fresh_count = 0
+        if not caught[unique].all():
+            with self._table_locks[table_index]:
+                # Re-check under the stripe: another reader may have
+                # privatized some of these rows while we waited.
+                fresh = unique[~caught[unique]]
+                if fresh.size:
+                    self._catch_up(table_index, fresh)
+                    fresh_count = int(fresh.size)
+        # Every requested row is now caught up, and caught-up memo rows
+        # are immutable until the next refresh (a writer), so this
+        # gather needs no stripe lock even while other readers privatize
+        # disjoint rows of the same table.
+        served = self._served[table_index]
+        values = served[rows].copy()
+        self._count_served(int(rows.size), int(rows.size) - fresh_count)
+        cache = self._cache
+        if cache is not None:
+            # Feed every uniquely served row to the admission filter.
+            return values, unique, served[unique]
+        return values, None, None
+
+    def _offer_to_cache(self, table_index, unique, unique_values,
+                        generation) -> None:
+        """Admission feed after a slow-path serve (no engine locks held).
+
+        ``generation`` was read inside the read section, so the values
+        belong to it; entries tagged with a superseded generation are
+        unreturnable, making a racing late offer harmless.
+        """
+        cache = self._cache
+        if cache is None or unique is None:
+            return
+        admitted = cache.offer(
+            table_index, unique, unique_values, generation
+        )
+        obs = self.obs
+        if obs.enabled and obs.metrics_enabled:
+            with self._stats_lock:
+                obs.metrics.inc("serve.cache.misses", int(unique.size))
+                if admitted:
+                    obs.metrics.inc("serve.cache.admissions", admitted)
+                obs.metrics.set_gauge(
+                    "serve.cache.resident_rows", len(cache)
+                )
 
     def lookup(self, table_index: int, rows) -> np.ndarray:
         """Privatized embeddings for ``rows`` of one table.
@@ -363,38 +632,75 @@ class PrivateServingEngine:
         deferred noise applied (and memoized); every later lookup is a
         memo read.  Duplicate and unsorted row ids are fine.
         """
-        rows = np.asarray(rows, dtype=np.int64)
-        if rows.ndim != 1:
-            raise ValueError("rows must be a 1-D array of row indices")
-        table = self._tables[table_index]
-        if rows.size and (rows.min() < 0 or rows.max() >= table.shape[0]):
-            raise IndexError(
-                f"row ids out of range for table {table_index} "
-                f"({table.shape[0]} rows)"
+        values, _ = self.lookup_versioned(table_index, rows)
+        return values
+
+    def lookup_versioned(self, table_index: int, rows) -> tuple:
+        """:meth:`lookup` plus the iteration the rows were served at.
+
+        The pair is atomic: the returned values equal
+        ``export_private_model``'s bits for exactly the returned
+        iteration, however many refreshes race the call — the
+        consistency contract the stress suite hammers.
+        """
+        rows = self._validate_rows(table_index, rows)
+        cached = self._cache_fast_path(table_index, rows)
+        if cached is not None:
+            return cached
+        with self._read_section():
+            values, unique, unique_values = self._lookup_in_read(
+                table_index, rows
             )
-        with self._lock:
-            self._maybe_refresh()
-            unique = np.unique(rows)
-            fresh = unique[~self._caught_up[table_index][unique]]
-            if fresh.size:
-                self._catch_up(table_index, fresh)
-            self.rows_served += int(rows.size)
-            self.memo_hits += int(rows.size - fresh.size)
-            obs = self.obs
-            if obs.enabled and obs.metrics_enabled:
-                obs.metrics.inc("serve.rows_served", int(rows.size))
-                obs.metrics.inc(
-                    "serve.memo_hits", int(rows.size - fresh.size)
-                )
-            return self._served_table(table_index)[rows].copy()
+            generation, iteration = self._version
+            if unique_values is not None:
+                # Copy before leaving the section: after release a
+                # refresh may recycle the memo under us.
+                unique_values = unique_values.copy()
+        self._offer_to_cache(table_index, unique, unique_values, generation)
+        return values, iteration
 
     def lookup_batch(self, batch) -> list:
-        """Privatized embeddings for every table of one mini-batch
-        (``batch.accessed_rows`` order), e.g. for private inference."""
-        return [
-            self.lookup(t, batch.accessed_rows(t))
-            for t in range(self.num_tables)
+        """Privatized embeddings for every table of one mini-batch,
+        e.g. for private inference.
+
+        ``batch`` is either a loader batch (anything with
+        ``accessed_rows(table_index)``) or a sequence with one row-id
+        array per table.  One read-lock acquisition covers all tables
+        — a single shared section and one fused gather per table, not
+        a lock-per-table loop — and every table is served at the same
+        iteration (also returned by :meth:`lookup_batch_versioned`).
+        """
+        return self.lookup_batch_versioned(batch)[0]
+
+    def lookup_batch_versioned(self, batch) -> tuple:
+        """:meth:`lookup_batch` plus the common serving iteration."""
+        if hasattr(batch, "accessed_rows"):
+            per_table = [
+                batch.accessed_rows(t) for t in range(self.num_tables)
+            ]
+        else:
+            per_table = list(batch)
+            if len(per_table) != self.num_tables:
+                raise ValueError(
+                    f"need one row array per table ({self.num_tables}), "
+                    f"got {len(per_table)}"
+                )
+        per_table = [
+            self._validate_rows(t, rows)
+            for t, rows in enumerate(per_table)
         ]
+        offers = []
+        with self._read_section():
+            generation, iteration = self._version
+            results = []
+            for t, rows in enumerate(per_table):
+                values, unique, unique_values = self._lookup_in_read(t, rows)
+                results.append(values)
+                if unique_values is not None:
+                    offers.append((t, unique, unique_values.copy()))
+        for t, unique, unique_values in offers:
+            self._offer_to_cache(t, unique, unique_values, generation)
+        return results, iteration
 
     def export(self) -> dict:
         """Finish the catch-up for all remaining rows and release.
@@ -403,14 +709,18 @@ class PrivateServingEngine:
         :func:`repro.lazydp.export_private_model` at this iteration —
         assembled incrementally: rows already served are taken from the
         memo, everything else is caught up now.
+
+        The whole export runs under one write-lock acquisition, so
+        every table is caught up at one consistent iteration even if a
+        trainer is stepping concurrently (its :meth:`quiesce` window
+        waits); the torn-snapshot regression test pins this.
         """
-        with self._lock:
+        with self._rw.write():
             self._maybe_refresh()
             released = {
                 name: data.copy() for name, data in self._dense.items()
             }
-        for table_index, name in enumerate(self.embedding_names):
-            with self._lock:
+            for table_index, name in enumerate(self.embedding_names):
                 remaining = np.nonzero(~self._caught_up[table_index])[0]
                 if remaining.size:
                     # Rows with no pending noise are a plain copy; the
@@ -419,10 +729,23 @@ class PrivateServingEngine:
                 released[name] = self._served_table(table_index).copy()
         return released
 
+    def audit_exactly_once(self) -> None:
+        """Prove serving noise was applied exactly once per row.
+
+        Valid after :meth:`export` (which catches up every row): each
+        table's :class:`VersionVector` must stand exactly at the
+        serving iteration — any concurrent-lookup interleaving that
+        double-applied or skipped a catch-up either raised during
+        :meth:`lookup` or is caught here.  Raises
+        :class:`repro.lazydp.ledger.LedgerError` on violation.
+        """
+        with self._rw.read():
+            for ledger in self._ledger:
+                ledger.audit_complete(self.iteration)
+
     def stats(self) -> dict:
         """Serving counters (memo effectiveness, catch-up progress)."""
-        with self._lock:
-            self._maybe_refresh()
+        with self._read_section():
             total_pending = sum(
                 int(np.count_nonzero(
                     (self._history[t] < self.iteration)
@@ -430,12 +753,18 @@ class PrivateServingEngine:
                 ))
                 for t in range(self.num_tables)
             )
-        return {
-            "iteration": self.iteration,
-            "rows_served": self.rows_served,
-            "rows_caught_up": self.rows_caught_up,
-            "memo_hits": self.memo_hits,
-            "rows_still_pending": total_pending,
-            "attached": self._attached is not None,
-            "refreshes": self.refreshes,
-        }
+            generation, iteration = self._version
+        with self._stats_lock:
+            stats = {
+                "iteration": iteration,
+                "generation": generation,
+                "rows_served": self.rows_served,
+                "rows_caught_up": self.rows_caught_up,
+                "memo_hits": self.memo_hits,
+                "rows_still_pending": total_pending,
+                "attached": self._attached is not None,
+                "refreshes": self.refreshes,
+            }
+        if self._cache is not None:
+            stats["cache"] = self._cache.stats()
+        return stats

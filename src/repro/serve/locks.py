@@ -1,0 +1,92 @@
+"""Reader/writer locking for the serving tier.
+
+The serving engine's state splits cleanly into two access classes:
+
+* **readers** — lookups.  They share the snapshot (tables, history,
+  memo) and only ever *add* memoized rows; any number may run at once.
+* **writers** — refresh after the attached trainer stepped, the
+  consistent :meth:`~repro.serve.PrivateServingEngine.export`, and the
+  :meth:`~repro.serve.PrivateServingEngine.quiesce` window a live
+  trainer steps inside.  They replace or mutate the snapshot wholesale
+  and must be exclusive.
+
+:class:`RWLock` is the classic condition-variable shared/exclusive
+lock with **writer preference**: once a writer is waiting, new readers
+queue behind it.  Without that bias a steady stream of lookups would
+starve the refresh writer forever and the engine would keep serving an
+old iteration — freshness is part of the serving contract, so the
+writer goes first.
+
+The lock is deliberately not reentrant (no owner bookkeeping on the
+read side — readers are anonymous and counted).  Callers in
+``repro.serve`` never nest sections; the engine's lock hierarchy is
+documented in ``docs/architecture.md`` (RW lock, then per-table stripe
+locks, then the stats lock, strictly in that order).
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+
+
+class RWLock:
+    """Shared/exclusive lock with writer preference."""
+
+    def __init__(self):
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer = False
+        self._writers_waiting = 0
+
+    # -- reader side -------------------------------------------------------
+    def acquire_read(self) -> None:
+        with self._cond:
+            while self._writer or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+
+    def release_read(self) -> None:
+        with self._cond:
+            self._readers -= 1
+            if self._readers < 0:
+                raise RuntimeError("release_read without acquire_read")
+            if self._readers == 0:
+                self._cond.notify_all()
+
+    # -- writer side -------------------------------------------------------
+    def acquire_write(self) -> None:
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer or self._readers:
+                    self._cond.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer = True
+
+    def release_write(self) -> None:
+        with self._cond:
+            if not self._writer:
+                raise RuntimeError("release_write without acquire_write")
+            self._writer = False
+            self._cond.notify_all()
+
+    # -- context managers --------------------------------------------------
+    @contextmanager
+    def read(self):
+        """Shared section: any number of concurrent readers."""
+        self.acquire_read()
+        try:
+            yield
+        finally:
+            self.release_read()
+
+    @contextmanager
+    def write(self):
+        """Exclusive section: no readers, no other writer."""
+        self.acquire_write()
+        try:
+            yield
+        finally:
+            self.release_write()

@@ -1,0 +1,150 @@
+"""Multi-tenant serving: several (model, epsilon) snapshots, one slab.
+
+Different downstream consumers of one trained model sit at different
+points on the privacy/utility curve: an internal dashboard may read a
+low-noise release while a public endpoint reads a high-noise one.
+Naively that is one full model copy per epsilon — at the paper's
+scale (tables of hundreds of GB) a non-starter.
+
+:class:`MultiTenantServer` instead hands every tenant its own
+:class:`~repro.serve.engine.PrivateServingEngine` built with
+``snapshot=False``: all tenants *reference the same base table slabs*
+(zero-copy — ``np.shares_memory`` holds across tenants, which
+``tests/test_serve.py`` pins) and differ only in their private
+state — the per-tenant read-through memo, history snapshot, noise std
+(the epsilon axis) and optional hot-row cache.  The base slabs are
+safe to share because no serving path ever writes them: catch-up
+lands in the tenant's memo, and a live trainer mutates the slabs only
+inside a :meth:`~repro.serve.engine.PrivateServingEngine.quiesce`
+window, which each attached tenant's refresh machinery already
+handles (every tenant notices the step and invalidates independently).
+
+The memo cost is proportional to the rows a tenant actually serves
+(dense worst case), so N tenants over a T-byte model cost T + N x
+(touched rows), not N x T.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from .engine import PrivateServingEngine
+
+
+class MultiTenantServer:
+    """Attached serving engines for several privacy levels of one model.
+
+    Built over a (quiescent) trainer; each :meth:`add` registers a
+    named tenant serving at its own noise std — the knob that moves a
+    release along the epsilon axis.  All tenants share the trainer's
+    base table slabs zero-copy.
+    """
+
+    def __init__(self, trainer, observability=None):
+        self._trainer = trainer
+        self._obs = observability
+        self._tenants: dict = {}
+        self._lock = threading.Lock()
+
+    def add(
+        self,
+        name: str,
+        iteration: int | None = None,
+        noise_std: float | None = None,
+        follow: bool = True,
+        cache=None,
+    ) -> PrivateServingEngine:
+        """Register a tenant and return its serving engine.
+
+        ``noise_std`` defaults to the trainer's observed training std
+        (the faithful release); larger values serve a noisier, more
+        private view of the same base slabs.  ``cache`` optionally
+        fronts the tenant with its own hot-row cache (caches are
+        per-tenant by construction — tenants serve different bits).
+        """
+        engine = PrivateServingEngine.from_trainer(
+            self._trainer,
+            iteration=(
+                int(self._trainer.current_iteration())
+                if iteration is None
+                else iteration
+            ),
+            noise_std=noise_std,
+            snapshot=False,
+            cache=cache,
+        )
+        if self._obs is not None:
+            engine.instrument(self._obs)
+        if follow:
+            engine.attach(self._trainer)
+        with self._lock:
+            if name in self._tenants:
+                raise ValueError(f"tenant {name!r} already registered")
+            self._tenants[name] = engine
+        return engine
+
+    def get(self, name: str) -> PrivateServingEngine:
+        with self._lock:
+            try:
+                return self._tenants[name]
+            except KeyError:
+                raise KeyError(f"no tenant {name!r}") from None
+
+    def names(self) -> list:
+        with self._lock:
+            return sorted(self._tenants)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._tenants)
+
+    def remove(self, name: str) -> None:
+        """Detach and drop one tenant (its memo and cache go with it)."""
+        with self._lock:
+            engine = self._tenants.pop(name, None)
+        if engine is None:
+            raise KeyError(f"no tenant {name!r}")
+        engine.detach()
+
+    def close(self) -> None:
+        """Detach every tenant (e.g. before resuming heavy training)."""
+        with self._lock:
+            engines = list(self._tenants.values())
+            self._tenants.clear()
+        for engine in engines:
+            engine.detach()
+
+    def stats(self) -> dict:
+        """Per-tenant serving stats plus the shared/private byte split.
+
+        ``shared_slab_bytes`` counts the base embedding slabs once —
+        the whole point of the design; ``private_bytes`` is what each
+        tenant actually pays (memo rows materialized so far, history
+        snapshot, caught-up flags).
+        """
+        with self._lock:
+            tenants = dict(self._tenants)
+        shared = 0
+        if tenants:
+            any_engine = next(iter(tenants.values()))
+            shared = sum(
+                table.nbytes for table in any_engine._tables
+            )
+        per_tenant = {}
+        for name, engine in tenants.items():
+            private = sum(
+                served.nbytes
+                for served in engine._served
+                if served is not None
+            )
+            private += sum(h.nbytes for h in engine._history)
+            private += sum(c.nbytes for c in engine._caught_up)
+            stats = engine.stats()
+            stats["private_bytes"] = int(private)
+            stats["noise_std"] = engine.noise_std
+            per_tenant[name] = stats
+        return {
+            "tenants": per_tenant,
+            "num_tenants": len(tenants),
+            "shared_slab_bytes": int(shared),
+        }

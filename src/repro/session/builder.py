@@ -155,6 +155,7 @@ class TrainSession:
         self.plan = plan
         self.trainer = trainer
         self._serving: list = []
+        self._tenant_servers: list = []
         #: The run's Observability hub when the plan's ``obs`` axis is
         #: on (``build`` instruments the trainer); None otherwise.
         self.observability = None
@@ -257,12 +258,35 @@ class TrainSession:
             iteration = self.current_iteration()
         return export_private_model(self.trainer, iteration)
 
+    def _serve_cache(self, cache):
+        """Resolve a ``serve(cache=...)`` argument against the plan axis.
+
+        ``None`` defers to the plan's ``serve`` axis (a
+        :class:`repro.configs.ServeConfig` sizes a fresh hot-row cache
+        per handle — caches hold privatized bits, so they are never
+        shared between engines); ``False`` forces an uncached handle;
+        anything else is used as the cache instance directly.
+        """
+        if cache is False:
+            return None
+        if cache is not None:
+            return cache
+        if self.plan.serve is None:
+            return None
+        from ..serve.cache import HotRowCache
+
+        return HotRowCache(
+            self.plan.serve.cache_rows,
+            admission_threshold=self.plan.serve.admission,
+        )
+
     def serve(
         self,
         iteration: int | None = None,
         noise_std: float | None = None,
         snapshot: bool = False,
         follow: bool = True,
+        cache=None,
     ):
         """A :class:`repro.serve.PrivateServingEngine` over this session.
 
@@ -274,6 +298,12 @@ class TrainSession:
         ``follow=False`` freezes the engine at construction, the
         pre-session behaviour.  Handles are detached automatically by
         :meth:`close`.
+
+        ``cache`` fronts the handle with a hot-row cache: by default
+        the plan's ``serve`` axis decides (``serve=<cache_rows>`` in
+        the spec language), ``False`` forces uncached, or pass a
+        :class:`repro.serve.HotRowCache` to control admission and
+        sizing (e.g. ``HotRowCache.for_skew``).
         """
         from ..serve.engine import PrivateServingEngine
 
@@ -284,6 +314,7 @@ class TrainSession:
             ),
             noise_std=noise_std,
             snapshot=snapshot,
+            cache=self._serve_cache(cache),
         )
         if self.observability is not None:
             engine.instrument(self.observability)
@@ -292,11 +323,30 @@ class TrainSession:
             self._serving.append(engine)
         return engine
 
+    def serve_tenants(self):
+        """A :class:`repro.serve.MultiTenantServer` over this session.
+
+        Tenants registered on it share the trainer's base table slabs
+        zero-copy and differ only in their private memo / noise std
+        (the epsilon axis); the server is closed (all tenants
+        detached) with the session.
+        """
+        from ..serve.tenant import MultiTenantServer
+
+        server = MultiTenantServer(
+            self.trainer, observability=self.observability
+        )
+        self._tenant_servers.append(server)
+        return server
+
     def detach_serving(self) -> None:
         """Freeze every attached serving handle at its current state."""
         for engine in self._serving:
             engine.detach()
         self._serving.clear()
+        for server in self._tenant_servers:
+            server.close()
+        self._tenant_servers.clear()
 
     # -- lifecycle and reporting -------------------------------------------
     def stats(self) -> dict:
@@ -314,6 +364,10 @@ class TrainSession:
             stats["async"] = self.trainer.async_stats()
         if self.observability is not None and self.observability.metrics_enabled:
             stats["metrics"] = self.observability.metrics.snapshot()
+        if self._serving:
+            stats["serving"] = [
+                engine.stats() for engine in self._serving
+            ]
         return stats
 
     def save_trace(self, path) -> int:

@@ -33,6 +33,12 @@ algorithm string (``pipelined_sharded_lazydp_no_ans``, ...); an
     *instance* concern — the session builder instruments the composed
     trainer rather than adding a class layer, so the trainer-class
     cache is untouched.
+``serve``
+    ``None`` for uncached serving handles, or a
+    :class:`repro.configs.ServeConfig` sizing the skew-aware hot-row
+    cache ``TrainSession.serve`` puts in front of each serving engine
+    (``repro.serve``).  Like ``obs`` this is an instance concern: it
+    configures the handles the session hands out, not the trainer.
 
 Plans serialize three ways: :meth:`to_dict`/:meth:`from_dict` (nested
 JSON, for configs and BENCH_*.json metadata), :meth:`to_spec`/
@@ -51,6 +57,7 @@ from ..configs import (
     AsyncConfig,
     ObservabilityConfig,
     PipelineConfig,
+    ServeConfig,
     ShardConfig,
 )
 
@@ -70,6 +77,8 @@ _SPEC_KEYS = (
     "async",
     "inflight",
     "obs",
+    "serve",
+    "admission",
     "backend",
 )
 
@@ -108,6 +117,7 @@ class ExecutionPlan:
     async_: AsyncConfig | None = None
     backend: str = "numpy"
     obs: ObservabilityConfig | None = None
+    serve: ServeConfig | None = None
 
     def __post_init__(self):
         if self.backend not in BACKENDS:
@@ -137,6 +147,10 @@ class ExecutionPlan:
             self.obs, ObservabilityConfig
         ):
             raise ValueError("obs must be an ObservabilityConfig or None")
+        if self.serve is not None and not isinstance(
+            self.serve, ServeConfig
+        ):
+            raise ValueError("serve must be a ServeConfig or None")
 
     # -- derived shape -----------------------------------------------------
     @property
@@ -174,6 +188,7 @@ class ExecutionPlan:
             "async": None if self.async_ is None else self.async_.to_dict(),
             "backend": self.backend,
             "obs": None if self.obs is None else self.obs.to_dict(),
+            "serve": None if self.serve is None else self.serve.to_dict(),
         }
 
     @classmethod
@@ -182,7 +197,8 @@ class ExecutionPlan:
             raise ValueError(
                 f"ExecutionPlan expects a mapping, got {type(data).__name__}"
             )
-        known = {"ans", "shards", "pipeline", "async", "backend", "obs"}
+        known = {"ans", "shards", "pipeline", "async", "backend", "obs",
+                 "serve"}
         unknown = sorted(set(data) - known)
         if unknown:
             raise ValueError(
@@ -193,6 +209,7 @@ class ExecutionPlan:
         pipeline = data.get("pipeline")
         async_ = data.get("async")
         obs = data.get("obs")
+        serve = data.get("serve")
         return cls(
             ans=bool(data.get("ans", True)),
             shards=None if shards is None else ShardConfig.from_dict(shards),
@@ -202,6 +219,7 @@ class ExecutionPlan:
             async_=None if async_ is None else AsyncConfig.from_dict(async_),
             backend=data.get("backend", "numpy"),
             obs=None if obs is None else ObservabilityConfig.from_dict(obs),
+            serve=None if serve is None else ServeConfig.from_dict(serve),
         )
 
     # -- spec round trip (the CLI's --plan mini-language) -------------------
@@ -328,6 +346,26 @@ class ExecutionPlan:
                     )
             obs = ObservabilityConfig(**modes)
 
+        serve_word = values.get("serve", "off").lower()
+        if serve_word in _FALSE_WORDS + ("none",):
+            # "serve=0" lands here too — the zero spelling every other
+            # axis uses to switch off explicitly.
+            if "admission" in values:
+                raise ValueError(
+                    "contradictory plan spec: admission requires the serve "
+                    "axis (serve=<cache_rows>)"
+                )
+            serve = None
+        else:
+            serve = ServeConfig(
+                cache_rows=_parse_int("serve", serve_word),
+                admission=(
+                    _parse_int("admission", values["admission"])
+                    if "admission" in values
+                    else 2
+                ),
+            )
+
         return cls(
             ans=ans,
             shards=shards,
@@ -335,6 +373,7 @@ class ExecutionPlan:
             async_=async_,
             backend=backend,
             obs=obs,
+            serve=serve,
         )
 
     def to_spec(self) -> str:
@@ -362,6 +401,9 @@ class ExecutionPlan:
             parts.append(f"inflight={self.async_.max_in_flight}")
         if self.obs is not None:
             parts.append(f"obs={'+'.join(self.obs.modes())}")
+        if self.serve is not None:
+            parts.append(f"serve={self.serve.cache_rows}")
+            parts.append(f"admission={self.serve.admission}")
         if self.backend != "numpy":
             parts.append(f"backend={self.backend}")
         return ",".join(parts)

@@ -147,4 +147,4 @@ class TestCommittedBaseline:
         baseline = jsonreport.load_baseline()
         benches = {key.partition("/")[0] for key in baseline["metrics"]}
         assert benches == {"shard_scaling", "pipeline_overlap",
-                           "async_inflight", "apply_fusion"}
+                           "async_inflight", "apply_fusion", "serve_load"}

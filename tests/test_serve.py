@@ -10,6 +10,7 @@ as the one-shot flush at the same iteration.
 """
 
 import threading
+import time
 
 import numpy as np
 import pytest
@@ -326,6 +327,221 @@ class TestAttachedServing:
         drive(session.trainer, config, 3)
         engine = session.serve(follow=False)
         assert not engine.stats()["attached"]
+        session.close()
+
+
+class TestConsistentExport:
+    """The torn-snapshot regression: one export, one iteration.
+
+    ``export()`` used to re-acquire the engine lock per table, so a
+    trainer stepping mid-export could leave tables caught up at
+    different iterations.  The whole export now runs under a single
+    write-lock acquisition: a concurrent training step (inside its
+    ``quiesce`` window) waits, and every exported table stands at the
+    same iteration.
+    """
+
+    def test_export_not_torn_by_concurrent_training(self, config, trainer):
+        engine = PrivateServingEngine.from_trainer(
+            trainer, iteration=4, snapshot=True
+        )
+        engine.attach(trainer)
+        reference = export_private_model(trainer, iteration=4)
+
+        first_table_done = threading.Event()
+        original = engine._catch_up
+
+        def paused_catch_up(table_index, rows):
+            original(table_index, rows)
+            if table_index == 0:
+                # Signal the stepper, then dawdle between tables — the
+                # window the old per-table locking exposed.
+                first_table_done.set()
+                time.sleep(0.05)
+
+        engine._catch_up = paused_catch_up
+        stepped = threading.Event()
+
+        def stepper():
+            first_table_done.wait(timeout=10.0)
+            loader = make_loader(config, batch_size=16, num_batches=1,
+                                 seed=77)
+            for index, batch, upcoming in LookaheadLoader(loader):
+                with engine.quiesce():
+                    trainer.train_step(5, batch, upcoming)
+            stepped.set()
+
+        thread = threading.Thread(target=stepper)
+        thread.start()
+        served = engine.export()
+        thread.join(timeout=10.0)
+        engine._catch_up = original
+        assert stepped.wait(timeout=10.0)
+        # All-or-nothing: every table (and the dense parameters) must
+        # come from iteration 4 — the step snuck in after the export,
+        # never between its tables.
+        for name in reference:
+            np.testing.assert_array_equal(served[name], reference[name])
+        # And the engine moves on cleanly: the next export serves 5.
+        after = engine.export()
+        reference5 = export_private_model(trainer, iteration=5)
+        for name in reference5:
+            np.testing.assert_array_equal(after[name], reference5[name])
+
+    def test_export_audits_exactly_once(self, config, trainer):
+        engine = PrivateServingEngine.from_trainer(trainer, iteration=4)
+        engine.lookup(0, np.array([1, 5, 5, 9]))
+        engine.lookup(2, np.arange(30))
+        engine.export()
+        engine.audit_exactly_once()
+
+    def test_lookup_versioned_pairs_values_with_iteration(self, config,
+                                                          trainer):
+        engine = PrivateServingEngine.from_trainer(
+            trainer, iteration=4, snapshot=True
+        )
+        engine.attach(trainer)
+        rows = np.array([2, 7, 7, 11])
+        name = engine.embedding_names[0]
+        values, iteration = engine.lookup_versioned(0, rows)
+        assert iteration == 4
+        reference = export_private_model(trainer, iteration=4)
+        np.testing.assert_array_equal(values, reference[name][rows])
+        loader = make_loader(config, batch_size=16, num_batches=1, seed=41)
+        for index, batch, upcoming in LookaheadLoader(loader):
+            with engine.quiesce():
+                trainer.train_step(5, batch, upcoming)
+        values, iteration = engine.lookup_versioned(0, rows)
+        assert iteration == 5
+        reference = export_private_model(trainer, iteration=5)
+        np.testing.assert_array_equal(values, reference[name][rows])
+
+    def test_lookup_batch_serves_one_iteration(self, config, trainer):
+        """The batch API's cross-table consistency: one read section,
+        one iteration for every table in the batch."""
+        engine = PrivateServingEngine.from_trainer(trainer, iteration=4)
+        reference = export_private_model(trainer, iteration=4)
+        rows = [np.array([1, 3, 3]), np.array([], dtype=np.int64),
+                np.arange(16)]
+        outputs, iteration = engine.lookup_batch_versioned(rows)
+        assert iteration == 4
+        for table_index, name in enumerate(engine.embedding_names):
+            np.testing.assert_array_equal(
+                outputs[table_index], reference[name][rows[table_index]]
+            )
+
+    def test_lookup_batch_rejects_wrong_arity(self, config, trainer):
+        engine = PrivateServingEngine.from_trainer(trainer, iteration=4)
+        with pytest.raises(ValueError, match="one row array per table"):
+            engine.lookup_batch([np.array([0])])
+
+
+class TestMultiTenantServing:
+    """Several (model, epsilon) snapshots over one set of base slabs."""
+
+    def test_tenants_share_base_slabs_zero_copy(self, config, trainer):
+        from repro.serve import MultiTenantServer
+
+        server = MultiTenantServer(trainer)
+        low = server.add("low-noise", iteration=4)
+        high = server.add("high-noise", iteration=4, noise_std=5.0)
+        for table_index in range(low.num_tables):
+            assert np.shares_memory(
+                low._tables[table_index], high._tables[table_index]
+            )
+        stats = server.stats()
+        assert stats["num_tenants"] == 2
+        assert stats["shared_slab_bytes"] == sum(
+            t.nbytes for t in low._tables
+        )
+        server.close()
+
+    def test_epsilon_axis_changes_served_bits(self, config, trainer):
+        from repro.serve import MultiTenantServer
+
+        server = MultiTenantServer(trainer)
+        faithful = server.add("faithful", iteration=4)
+        private = server.add("private", iteration=4, noise_std=5.0)
+        rows = np.arange(12)
+        name = faithful.embedding_names[0]
+        reference = export_private_model(trainer, iteration=4)
+        np.testing.assert_array_equal(
+            faithful.lookup(0, rows), reference[name][rows]
+        )
+        assert not np.array_equal(
+            private.lookup(0, rows), reference[name][rows]
+        )
+        assert server.stats()["tenants"]["private"]["noise_std"] == 5.0
+        server.close()
+
+    def test_tenant_registry_lifecycle(self, config, trainer):
+        from repro.serve import MultiTenantServer
+
+        server = MultiTenantServer(trainer)
+        server.add("a", iteration=4)
+        server.add("b", iteration=4)
+        with pytest.raises(ValueError, match="already registered"):
+            server.add("a", iteration=4)
+        assert server.names() == ["a", "b"]
+        assert server.get("a").stats()["attached"]
+        server.remove("a")
+        with pytest.raises(KeyError):
+            server.get("a")
+        assert len(server) == 1
+        server.close()
+        assert server.names() == []
+
+    def test_session_serve_tenants_closes_with_session(self, config):
+        from repro.session import ExecutionPlan, TrainSession
+
+        session = TrainSession.build(DLRM(config, seed=7), DPConfig(),
+                                     ExecutionPlan(), noise_seed=99)
+        drive(session.trainer, config, 3)
+        server = session.serve_tenants()
+        engine = server.add("t", iteration=3)
+        assert engine.stats()["attached"]
+        session.close()
+        assert server.names() == []
+        assert not engine.stats()["attached"]
+
+
+class TestServePlanAxis:
+    """The ``serve=`` plan axis sizes the hot-row cache per handle."""
+
+    def test_spec_round_trip(self):
+        from repro.configs import ServeConfig
+        from repro.session import ExecutionPlan
+
+        plan = ExecutionPlan.from_spec("serve=256,admission=3")
+        assert plan.serve == ServeConfig(cache_rows=256, admission=3)
+        assert ExecutionPlan.from_spec(plan.to_spec()) == plan
+        assert ExecutionPlan.from_dict(plan.to_dict()) == plan
+        assert ExecutionPlan.from_spec("serve=off").serve is None
+        assert ExecutionPlan.from_spec("serve=0").serve is None
+        assert "serve" not in ExecutionPlan().to_spec()
+
+    def test_admission_requires_serve_axis(self):
+        from repro.session import ExecutionPlan
+
+        with pytest.raises(ValueError, match="admission requires"):
+            ExecutionPlan.from_spec("admission=3")
+        with pytest.raises(ValueError, match="admission requires"):
+            ExecutionPlan.from_spec("serve=0,admission=3")
+
+    def test_session_serve_honours_axis(self, config):
+        from repro.session import ExecutionPlan, TrainSession
+
+        plan = ExecutionPlan.from_spec("serve=128,admission=1")
+        session = TrainSession.build(DLRM(config, seed=7), DPConfig(),
+                                     plan, noise_seed=99)
+        drive(session.trainer, config, 3)
+        cached = session.serve()
+        assert cached.cache is not None
+        assert cached.cache.capacity == 128
+        assert cached.cache.admission_threshold == 1
+        # Handles get their own cache — cached bits are per-engine.
+        assert session.serve().cache is not cached.cache
+        assert session.serve(cache=False).cache is None
         session.close()
 
 

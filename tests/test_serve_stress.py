@@ -1,0 +1,246 @@
+"""Randomized concurrency stress for the serving tier.
+
+The serving engine promises two things under arbitrary interleavings
+of readers, training steps, and attach/detach churn:
+
+1. **Versioned consistency** — every ``lookup_versioned`` returns
+   ``(values, iteration)`` where the values equal, bit for bit, what
+   ``export_private_model`` produces at exactly that iteration.  A
+   reader may race a refresh, a catch-up on another thread, or a
+   detach; it must never observe a mix of iterations.
+2. **Exactly-once noise** — after the final export, the per-table
+   :class:`~repro.lazydp.ledger.VersionVector` must stand exactly at
+   the serving iteration: no interleaving may double-apply or skip a
+   row's catch-up draw (the ledger raises mid-run on overlap, and the
+   final audit catches gaps).
+
+The test drives N reader threads hammering fig13d-skewed row ids
+against a live training session while a writer steps the trainer
+inside ``quiesce`` windows and a chaos thread toggles attach/detach.
+References for every reachable iteration are captured inside the
+writer's exclusive window — before any reader can observe that
+iteration — so verification is a pure post-join bitwise comparison.
+
+Seeded: each run's schedule derives from its seed, so a failure
+replays deterministically.  ``SERVE_STRESS_SEEDS=100 pytest
+tests/test_serve_stress.py`` widens the sweep (the acceptance run);
+the default keeps tier-1 fast.
+"""
+
+import os
+import threading
+
+import numpy as np
+import pytest
+
+from repro import configs
+from repro.data import LookaheadLoader
+from repro.lazydp import LazyDPTrainer, export_private_model
+from repro.nn import DLRM
+from repro.serve import HotRowCache, PrivateServingEngine, generate_traffic
+from repro.testing import make_loader
+from repro.train import DPConfig
+
+SEEDS = range(int(os.environ.get("SERVE_STRESS_SEEDS", "4")))
+
+ROWS = 48
+TRAINED_ITERATIONS = 3
+EXTRA_ITERATIONS = 4
+READERS = 4
+LOOKUPS_PER_READER = 60
+
+
+def build_session(seed):
+    config = configs.tiny_dlrm(num_tables=3, rows=ROWS, dim=8, lookups=2)
+    model = DLRM(config, seed=7 + seed)
+    trainer = LazyDPTrainer(model, DPConfig(), noise_seed=99 + seed)
+    trainer.expected_batch_size = 16
+    loader = make_loader(config, batch_size=16,
+                         num_batches=TRAINED_ITERATIONS, seed=seed)
+    for index, batch, upcoming in LookaheadLoader(loader):
+        trainer.train_step(index + 1, batch, upcoming)
+    return config, trainer
+
+
+@pytest.mark.stress
+@pytest.mark.parametrize("seed", SEEDS)
+def test_concurrent_serving_under_live_training(seed):
+    config, trainer = build_session(seed)
+    cache = HotRowCache(capacity=16, admission_threshold=1)
+    engine = PrivateServingEngine.from_trainer(
+        trainer, iteration=TRAINED_ITERATIONS, snapshot=True, cache=cache
+    )
+    engine.attach(trainer)
+
+    # Reference releases per iteration, captured inside the writer's
+    # exclusive window before readers can observe the new iteration.
+    references = {
+        TRAINED_ITERATIONS: export_private_model(
+            trainer, iteration=TRAINED_ITERATIONS
+        )
+    }
+    writer_done = threading.Event()
+    errors = []
+
+    def writer():
+        try:
+            loader = make_loader(config, batch_size=16,
+                                 num_batches=EXTRA_ITERATIONS,
+                                 seed=seed + 500)
+            for index, batch, upcoming in LookaheadLoader(loader):
+                iteration = TRAINED_ITERATIONS + index + 1
+                with engine.quiesce():
+                    trainer.train_step(iteration, batch, upcoming)
+                    references[iteration] = export_private_model(
+                        trainer, iteration=iteration
+                    )
+        except Exception as error:  # pragma: no cover - failure path
+            errors.append(error)
+        finally:
+            writer_done.set()
+
+    def chaos():
+        # Attach/detach churn: a detached engine freezes (still
+        # consistent at its old iteration); re-attach refreshes.
+        rng = np.random.default_rng(seed + 900)
+        try:
+            while not writer_done.is_set():
+                if rng.random() < 0.5:
+                    engine.detach()
+                    engine.attach(trainer)
+                writer_done.wait(0.002)
+        except Exception as error:  # pragma: no cover - failure path
+            errors.append(error)
+
+    samples = [[] for _ in range(READERS)]
+
+    def reader(r):
+        try:
+            rng = np.random.default_rng(seed * 1000 + r)
+            traffic = generate_traffic(
+                ROWS, LOOKUPS_PER_READER, batch_size=6, skew="medium",
+                seed=seed * 1000 + r, perm_seed=seed,
+            )
+            for k in range(LOOKUPS_PER_READER):
+                table_index = int(rng.integers(engine.num_tables))
+                rows = traffic[k]
+                values, iteration = engine.lookup_versioned(
+                    table_index, rows
+                )
+                samples[r].append((table_index, rows, values, iteration))
+        except Exception as error:  # pragma: no cover - failure path
+            errors.append(error)
+
+    threads = [threading.Thread(target=writer),
+               threading.Thread(target=chaos)]
+    threads += [threading.Thread(target=reader, args=(r,))
+                for r in range(READERS)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=60.0)
+    assert not any(thread.is_alive() for thread in threads)
+    assert not errors, errors[0]
+
+    # Every sampled (values, iteration) pair must match the reference
+    # release at exactly that iteration — bit for bit.
+    names = engine.embedding_names
+    checked = 0
+    for reader_samples in samples:
+        assert len(reader_samples) == LOOKUPS_PER_READER
+        for table_index, rows, values, iteration in reader_samples:
+            reference = references[iteration][names[table_index]]
+            np.testing.assert_array_equal(values, reference[rows])
+            checked += 1
+    assert checked == READERS * LOOKUPS_PER_READER
+
+    # Exactly-once: finish the catch-up and audit the ledger.
+    final = engine.export()
+    final_iteration = engine.iteration
+    engine.audit_exactly_once()
+    for name, data in references[final_iteration].items():
+        np.testing.assert_array_equal(final[name], data)
+
+    # Accounting survives the stampede: the counters were taken under
+    # the stats lock, so none of the concurrent increments were lost.
+    expected_rows = sum(
+        rows.size for reader_samples in samples
+        for _, rows, _, _ in reader_samples
+    )
+    assert engine.rows_served >= expected_rows   # export adds more
+    stats = engine.stats()
+    assert stats["rows_still_pending"] == 0
+    cache_stats = cache.stats()
+    assert cache_stats["hits"] + cache_stats["misses"] >= 0
+
+
+@pytest.mark.stress
+@pytest.mark.parametrize("seed", SEEDS)
+def test_concurrent_batch_lookups_consistent(seed):
+    """The batch API under the same churn: every table of a batched
+    lookup must come from the single returned iteration."""
+    config, trainer = build_session(seed)
+    engine = PrivateServingEngine.from_trainer(
+        trainer, iteration=TRAINED_ITERATIONS, snapshot=True
+    )
+    engine.attach(trainer)
+    references = {
+        TRAINED_ITERATIONS: export_private_model(
+            trainer, iteration=TRAINED_ITERATIONS
+        )
+    }
+    errors = []
+    writer_done = threading.Event()
+
+    def writer():
+        try:
+            loader = make_loader(config, batch_size=16,
+                                 num_batches=EXTRA_ITERATIONS,
+                                 seed=seed + 500)
+            for index, batch, upcoming in LookaheadLoader(loader):
+                iteration = TRAINED_ITERATIONS + index + 1
+                with engine.quiesce():
+                    trainer.train_step(iteration, batch, upcoming)
+                    references[iteration] = export_private_model(
+                        trainer, iteration=iteration
+                    )
+        except Exception as error:  # pragma: no cover - failure path
+            errors.append(error)
+        finally:
+            writer_done.set()
+
+    samples = [[] for _ in range(READERS)]
+
+    def reader(r):
+        try:
+            traffic = generate_traffic(
+                ROWS, LOOKUPS_PER_READER, batch_size=4, skew="high",
+                seed=seed * 77 + r, perm_seed=seed,
+            )
+            for k in range(LOOKUPS_PER_READER):
+                per_table = [traffic[k]] * engine.num_tables
+                outputs, iteration = engine.lookup_batch_versioned(
+                    per_table
+                )
+                samples[r].append((traffic[k], outputs, iteration))
+        except Exception as error:  # pragma: no cover - failure path
+            errors.append(error)
+
+    threads = [threading.Thread(target=writer)]
+    threads += [threading.Thread(target=reader, args=(r,))
+                for r in range(READERS)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=60.0)
+    assert not any(thread.is_alive() for thread in threads)
+    assert not errors, errors[0]
+
+    names = engine.embedding_names
+    for reader_samples in samples:
+        for rows, outputs, iteration in reader_samples:
+            for table_index, values in enumerate(outputs):
+                reference = references[iteration][names[table_index]]
+                np.testing.assert_array_equal(values, reference[rows])
+    engine.export()
+    engine.audit_exactly_once()
