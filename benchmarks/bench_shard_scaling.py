@@ -1,10 +1,13 @@
 """Shard-scaling benchmark: the parallel model update, measured and modelled.
 
 Measured mode trains the real numpy :class:`ShardedLazyDPTrainer` at a
-scaled-down geometry across shard counts and executors, reporting
-per-shard model-update timing and verifying the released model stays
-bitwise identical to the flat trainer.  Model mode projects the same
-sweep at paper scale with :mod:`repro.perfmodel.shardmodel`.
+scaled-down geometry across shard counts and execution backends —
+the in-process serial and thread-pool schedules plus the
+``backend=process`` worker-process engine (:mod:`repro.procshard`) —
+reporting per-shard model-update timing and verifying the released
+model stays bitwise identical to the flat trainer.  Model mode
+projects the same sweep at paper scale with
+:mod:`repro.perfmodel.shardmodel`.
 
 Runs two ways:
 
@@ -33,6 +36,11 @@ from repro.train import DPConfig
 
 SHARD_COUNTS = (1, 2, 4)
 EXECUTORS = ("serial", "threads")
+#: Sweep variants: the two in-process executor schedules plus the
+#: worker-process backend.  Variant names key the gated
+#: ``throughput_ratio_{variant}_{n}shards`` metrics, so they are frozen
+#: ("serial" is the numpy backend's serial schedule).
+VARIANTS = EXECUTORS + ("process",)
 
 #: Metrics snapshot of the most recent instrumented run — embedded into
 #: the report's ``meta`` so BENCH_*.json carries the engine gauges
@@ -40,9 +48,16 @@ EXECUTORS = ("serial", "threads")
 _last_metrics: dict = {}
 
 
-def _train(config, *, num_shards=None, executor="serial", batch=64,
+def _train(config, *, num_shards=None, variant="serial", batch=64,
            iterations=6, seed=11):
-    """Train flat (num_shards=None) or sharded; return (model, trainer, s)."""
+    """Train flat (num_shards=None) or sharded; return (model, trainer, s).
+
+    ``variant`` is a sweep-variant name from :data:`VARIANTS`: an
+    in-process executor schedule, or ``"process"`` for the
+    worker-process backend.  Worker startup (and shutdown) happen
+    outside the timed region, matching the in-process variants whose
+    pools are also built at construction.
+    """
     from repro.configs import ObservabilityConfig
     from repro.obs import Observability
 
@@ -52,10 +67,16 @@ def _train(config, *, num_shards=None, executor="serial", batch=64,
                         seed=seed + 2)
     if num_shards is None:
         trainer = LazyDPTrainer(model, DPConfig(), noise_seed=seed + 3)
+    elif variant == "process":
+        from repro.procshard import ProcessShardedLazyDPTrainer
+
+        trainer = ProcessShardedLazyDPTrainer(
+            model, DPConfig(), noise_seed=seed + 3, num_shards=num_shards,
+        )
     else:
         trainer = ShardedLazyDPTrainer(
             model, DPConfig(), noise_seed=seed + 3,
-            num_shards=num_shards, executor=executor,
+            num_shards=num_shards, executor=variant,
         )
     obs = trainer.instrument(Observability(ObservabilityConfig(metrics=True)))
     start = time.perf_counter()
@@ -69,14 +90,15 @@ def _train(config, *, num_shards=None, executor="serial", batch=64,
 
 
 def measured_sweep(rows=4000, batch=64, iterations=6,
-                   shard_counts=SHARD_COUNTS, executors=EXECUTORS):
-    """Per-shard model-update timing across shard counts and executors.
+                   shard_counts=SHARD_COUNTS, variants=VARIANTS):
+    """Per-shard model-update timing across shard counts and backends.
 
     Returns (table_rows, metrics, max_diff): one report row per
-    (executor, num_shards) with per-shard update seconds, the gateable
+    (variant, num_shards) with per-shard update seconds, the gateable
     relative metrics (per-variant throughput against the flat trainer
     measured in the same process), and the worst parameter difference
-    against the flat reference (must be exactly 0.0).
+    against the flat reference (must be exactly 0.0 — the process
+    backend's cross-process updates included).
     """
     config = configs.small_dlrm(rows=rows)
     flat_model, flat_trainer, flat_elapsed = _train(
@@ -90,10 +112,10 @@ def measured_sweep(rows=4000, batch=64, iterations=6,
     table_rows = []
     metrics = {"flat_iterations_per_second": iterations / flat_elapsed}
     max_diff = 0.0
-    for executor in executors:
+    for variant in variants:
         for num_shards in shard_counts:
             model, trainer, elapsed = _train(
-                config, num_shards=num_shards, executor=executor,
+                config, num_shards=num_shards, variant=variant,
                 batch=batch, iterations=iterations,
             )
             config_diff = max(
@@ -105,10 +127,10 @@ def measured_sweep(rows=4000, batch=64, iterations=6,
             update_wall = trainer.timer.total(
                 "shard_routing", "shard_model_update", "terminal_flush"
             )
-            metrics[f"throughput_ratio_{executor}_{num_shards}shards"] = \
+            metrics[f"throughput_ratio_{variant}_{num_shards}shards"] = \
                 flat_elapsed / elapsed
             table_rows.append([
-                executor, num_shards,
+                variant, num_shards,
                 f"{update_wall * 1e3:.1f}",
                 " / ".join(f"{seconds * 1e3:.1f}" for seconds in per_shard),
                 f"{elapsed:.2f}",
@@ -138,7 +160,7 @@ def run_report(smoke: bool = False) -> int:
         rows=rows, iterations=iterations, shard_counts=shard_counts
     )
     print(format_table(
-        ["executor", "shards", "update wall ms", "per-shard ms",
+        ["backend", "shards", "update wall ms", "per-shard ms",
          "total s", "vs flat"],
         table_rows,
         title=f"Sharded model update, measured ({rows} rows/table)",
@@ -160,12 +182,13 @@ def run_report(smoke: bool = False) -> int:
     from repro.session import ExecutionPlan
 
     plans = {"flat": ExecutionPlan().canonical()}
-    for executor in EXECUTORS:
+    for variant in VARIANTS:
         for num_shards in shard_counts:
-            plans[f"throughput_ratio_{executor}_{num_shards}shards"] = \
-                ExecutionPlan(shards=ShardConfig(
-                    num_shards=num_shards, executor=executor,
-                )).canonical()
+            plans[f"throughput_ratio_{variant}_{num_shards}shards"] = \
+                ExecutionPlan(
+                    shards=ShardConfig(num_shards=num_shards),
+                    backend="numpy" if variant == "serial" else variant,
+                ).canonical()
     return _jsonreport.gate(
         "shard_scaling", metrics,
         meta={"rows": rows, "iterations": iterations, "plans": plans,
@@ -185,15 +208,15 @@ def test_shard_scaling_measured(benchmark):
         rounds=1, iterations=1,
     )
     emit_report("shard_scaling_measured", format_table(
-        ["executor", "shards", "update wall ms", "per-shard ms",
+        ["backend", "shards", "update wall ms", "per-shard ms",
          "total s", "vs flat"],
         table_rows,
         title="Sharded model update, measured (2000 rows/table)",
     ))
     assert max_diff == 0.0
-    # Both executors reported, every shard count present.
-    executors = {row[0] for row in table_rows}
-    assert executors == set(EXECUTORS)
+    # Every backend variant reported, every shard count present.
+    variants = {row[0] for row in table_rows}
+    assert variants == set(VARIANTS)
 
 
 def test_shard_scaling_model(benchmark):

@@ -57,9 +57,13 @@ def _add_train_parser(subparsers) -> None:
         "--plan", default=None, metavar="SPEC",
         help="unified execution-plan spec, e.g. "
              "'shards=4,pipeline=2,async=bounded:2,ans=off' "
-             "(keys: ans, shards, partition, executor, workers, pipeline, "
-             "async, inflight, obs, serve, admission, backend).  Replaces "
-             "the per-engine flags below; combining it with them is an "
+             "(keys: ans, shards, partition, backend, pipeline, "
+             "async, inflight, obs, serve, admission).  The backend axis "
+             "selects a registered execution backend as 'name[:workers]', "
+             "e.g. backend=threads:4 or backend=process (one worker "
+             "process per shard); the old executor=/workers= keys are a "
+             "deprecated spelling of the same choice.  Replaces the "
+             "per-engine flags below; combining it with them is an "
              "error.",
     )
     parser.add_argument(
@@ -158,12 +162,27 @@ def _plan_from_legacy_flags(args) -> ExecutionPlan:
     """
     prefetch_depth = _engine_value(args, "prefetch_depth")
     use_async = args.use_async
+    executor = _engine_value(args, "executor")
+    max_workers = _engine_value(args, "max_workers")
+    # Validate the deprecated fields through ShardConfig's own checks
+    # (so e.g. --max-workers 0 still errors), but hand the plan the
+    # canonical spelling: the executor choice lives on the backend axis.
+    configs.ShardConfig(
+        num_shards=_engine_value(args, "num_shards"),
+        partition=_engine_value(args, "partition"),
+        executor=executor,
+        max_workers=max_workers,
+    )
     shards = configs.ShardConfig(
         num_shards=_engine_value(args, "num_shards"),
         partition=_engine_value(args, "partition"),
-        executor=_engine_value(args, "executor"),
-        max_workers=_engine_value(args, "max_workers"),
     )
+    if executor == "serial":
+        backend = "numpy"
+    elif max_workers is None:
+        backend = executor
+    else:
+        backend = f"{executor}:{max_workers}"
     pipeline = configs.PipelineConfig(
         enabled=args.pipeline or use_async,
         prefetch_depth=2 if prefetch_depth is None else prefetch_depth,
@@ -182,6 +201,10 @@ def _plan_from_legacy_flags(args) -> ExecutionPlan:
         shards=shards if shards.is_sharded else None,
         pipeline=pipeline,
         async_=async_ if async_.enabled else None,
+        # The pre-plan surface dropped the whole ShardConfig (executor
+        # included) for unsharded runs; keep that: backend follows the
+        # executor flags only when the shards axis is actually on.
+        backend=backend if shards.is_sharded else "numpy",
     )
 
 
@@ -306,7 +329,7 @@ def _run_train(args) -> int:
         print(format_table(
             ["shard", "rows (table 0)", "update seconds"], shard_rows,
             title=f"per-shard model update ({plan.shards.partition}, "
-                  f"{plan.shards.executor})",
+                  f"backend={plan.backend})",
         ))
         if result.shard_times is not None:
             summed = sorted(result.shard_times["summed"].items(),
@@ -321,6 +344,18 @@ def _run_train(args) -> int:
                 print(f"shard update skew: max {shard_skew['max']:.4f}s, "
                       f"min {shard_skew['min']:.4f}s, "
                       f"spread {shard_skew['spread']:.4f}s")
+    if plan is not None and plan.backend.partition(":")[0] == "process":
+        trainer.audit_noise_ledger(result.iterations)
+        stats = trainer.procshard_stats()
+        print(format_table(
+            ["worker", "pid", "messages", "samples drawn"],
+            [
+                [w["shard"], w["pid"], w["messages"], w["samples_drawn"]]
+                for w in stats["workers"]
+            ],
+            title=f"process backend ({stats['start_method']} start, "
+                  "noise ledger exact)",
+        ))
     if plan is not None and plan.is_pipelined:
         stats = trainer.pipeline_stats()
         print(format_table(

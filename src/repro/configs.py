@@ -136,7 +136,10 @@ class DLRMConfig:
 #: validation does not import the shard package).
 SHARD_PARTITIONS = ("row_range", "frequency", "hash")
 
-#: Executor backends for the sharded model update.
+#: Legal values of the *deprecated* ``ShardConfig.executor`` shim.  New
+#: backends (e.g. ``process``) register with
+#: ``repro.session.register_backend`` and are selected on the plan's
+#: backend axis only — this tuple is frozen at the pre-registry set.
 SHARD_EXECUTORS = ("serial", "threads")
 
 
@@ -145,9 +148,14 @@ class ShardConfig:
     """How the embedding engine is sharded (``repro.shard``).
 
     ``num_shards = 1`` is the flat configuration; anything higher
-    partitions every table with ``partition`` and runs the lazy model
-    update per shard on ``executor``.  ``max_workers`` caps the thread
-    pool (default: one worker per shard).
+    partitions every table with ``partition``.
+
+    ``executor`` and ``max_workers`` are a **deprecated** spelling of
+    the execution backend: plans now carry that choice on their own
+    ``backend`` axis (``backend="threads:4"``, ``backend="process"``).
+    A non-serial value here still works — ``ExecutionPlan`` rewrites it
+    onto the backend axis with one ``DeprecationWarning`` — but setting
+    both spellings at once is a contradiction and an error.
     """
 
     num_shards: int = 1

@@ -28,6 +28,29 @@ class HistoryTable:
         # iterations are 1-based (Algorithm 1's loop runs iter = 1..N).
         self._last_updated = np.zeros(num_rows, dtype=np.int32)
 
+    @classmethod
+    def attach(cls, storage: np.ndarray) -> "HistoryTable":
+        """A HistoryTable over caller-owned int32 storage, zero-copy.
+
+        The process-shard backend (``repro.procshard``) places each
+        shard's history window in ``multiprocessing.shared_memory`` so
+        the router and the shard's worker process read and advance the
+        *same* entries; both sides wrap their mapping of the segment
+        with ``attach``.  The storage must be a writable, C-contiguous
+        int32 vector; it is used in place, never copied, and the caller
+        keeps responsibility for its lifetime.
+        """
+        storage = np.asarray(storage)
+        if storage.dtype != np.int32 or storage.ndim != 1:
+            raise ValueError("attach expects a 1-D int32 vector")
+        if storage.size < 1:
+            raise ValueError("num_rows must be positive")
+        if not storage.flags.writeable or not storage.flags.c_contiguous:
+            raise ValueError("attach expects writable contiguous storage")
+        table = cls.__new__(cls)
+        table._last_updated = storage
+        return table
+
     @property
     def num_rows(self) -> int:
         return self._last_updated.shape[0]

@@ -60,6 +60,32 @@ class VersionVector:
                 )
             self._applied_through = initial.copy()
 
+    @classmethod
+    def attach(cls, storage: np.ndarray) -> "VersionVector":
+        """A VersionVector over caller-owned int64 storage, zero-copy.
+
+        The process-shard backend (``repro.procshard``) gives every
+        shard worker a ledger *segment* in
+        ``multiprocessing.shared_memory``: the worker advances its
+        segment as it applies noise, and the router attaches the same
+        bytes to audit exactly-once application across the process
+        boundary — both sides see one vector, so a skipped or
+        double-applied span in a worker raises in the parent's
+        ``audit_noise_ledger`` just as it would in the async engine.
+        The storage must be a writable, C-contiguous int64 vector; it
+        is used in place, never copied.
+        """
+        storage = np.asarray(storage)
+        if storage.dtype != np.int64 or storage.ndim != 1:
+            raise ValueError("attach expects a 1-D int64 vector")
+        if storage.size < 1:
+            raise ValueError("num_rows must be positive")
+        if not storage.flags.writeable or not storage.flags.c_contiguous:
+            raise ValueError("attach expects writable contiguous storage")
+        vector = cls.__new__(cls)
+        vector._applied_through = storage
+        return vector
+
     @property
     def num_rows(self) -> int:
         return self._applied_through.shape[0]

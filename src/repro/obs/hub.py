@@ -140,6 +140,16 @@ class Observability:
                 if key in stats:
                     metrics.set_gauge(f"async.{key}", stats[key])
 
+        if hasattr(trainer, "procshard_stats"):
+            stats = trainer.procshard_stats()
+            for worker in stats.get("workers", []):
+                shard = worker.get("shard", 0)
+                for key in ("pid", "messages", "samples_drawn"):
+                    if key in worker:
+                        metrics.set_gauge(
+                            f"procshard.worker{shard}.{key}", worker[key]
+                        )
+
     def _collect_kernel(self, stats: dict) -> None:
         metrics = self.metrics
         for arena_key in ("apply_arena", "sampler_arena"):

@@ -161,6 +161,46 @@ class Tracer:
             return
         track.events.append(("X", name, start, end, args))
 
+    def _external_track(self, key: str, name: str | None) -> _Track:
+        """The track for an *external* timeline (a shard worker process).
+
+        External tracks are keyed by caller-chosen strings, which can
+        never collide with ``threading.get_ident()`` ints, so a worker
+        process's spans land on their own named track regardless of
+        which parent thread feeds them in.
+        """
+        track = self._tracks.get(key)
+        if track is None:
+            with self._lock:
+                track = self._tracks.get(key)
+                if track is None:
+                    track = _Track(tid=len(self._tracks), name=name or key)
+                    self._tracks[key] = track
+        return track
+
+    def add_external_complete(
+        self,
+        key: str,
+        name: str,
+        start: float,
+        end: float,
+        args: dict | None = None,
+        track_name: str | None = None,
+    ) -> None:
+        """Record a complete event on the external track ``key``.
+
+        The process-shard router feeds worker-process span tuples
+        through here: on Linux ``time.perf_counter()`` is the
+        system-wide CLOCK_MONOTONIC, so worker timestamps share the
+        parent tracer's epoch and line up against the main-loop track
+        without any clock translation.
+        """
+        track = self._external_track(key, track_name)
+        if len(track.events) >= self._max_events:
+            track.dropped += 1
+            return
+        track.events.append(("X", name, start, end, args))
+
     def add_instant(self, name: str, **args) -> None:
         """Record an instant event (a point-in-time marker)."""
         track = self._track()
@@ -288,6 +328,11 @@ class NullTracer:
         return _NULL_SPAN
 
     def add_complete(self, name, start, end, args=None) -> None:
+        pass
+
+    def add_external_complete(
+        self, key, name, start, end, args=None, track_name=None
+    ) -> None:
         pass
 
     def add_instant(self, name, **args) -> None:

@@ -1,0 +1,35 @@
+"""Process-backed shard execution: one worker process per shard.
+
+The thread-pool executor (``repro.shard.executor``) fans the per-shard
+model update across threads, but every slab write still serializes on
+the GIL — the memory-bandwidth-bound update the paper scales never sees
+truly parallel writes.  This package is the ``backend="process"`` entry
+in the execution-backend registry (:mod:`repro.session.registry`): each
+shard's worker is a long-lived **process** owning its embedding slab
+and history table in ``multiprocessing.shared_memory``, so slab writes
+proceed GIL-free while the router reads the same bytes zero-copy.
+
+The cross-process contract is deterministic state plus a tiny command
+pipe:
+
+* the :class:`repro.shard.plan.PartitionPlan` is pickled **once** at
+  worker startup (row ownership never changes mid-run);
+* per step the router sends ``plan`` → ``apply`` messages mirroring the
+  in-process phase split (``_shard_plan_and_sample`` /
+  ``_shard_apply``), so the worker executes bitwise the same kernel
+  calls the serial trainer would;
+* every worker advances a per-process :class:`repro.lazydp.ledger.
+  VersionVector` *segment* in shared memory, and the router's
+  ``audit_noise_ledger`` proves exactly-once noise application across
+  the process boundary.
+
+Worker death mid-step surfaces as a named :class:`ShardWorkerError` in
+``train_step``, after the router has terminated the remaining workers
+and freed every shared-memory segment (segments are unlinked at
+startup, once all workers are attached, so no names can leak even on a
+hard crash).
+"""
+
+from .trainer import ProcessShardedLazyDPTrainer, ShardWorkerError
+
+__all__ = ["ProcessShardedLazyDPTrainer", "ShardWorkerError"]

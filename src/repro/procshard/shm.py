@@ -1,0 +1,217 @@
+"""Shared-memory layout of one table's cross-process training state.
+
+Per embedding table the router allocates three
+``multiprocessing.shared_memory`` segments:
+
+``slab``
+    The full ``(num_rows, dim)`` float64 parameter table.  The router
+    re-points the model's :class:`repro.nn.parameter.Parameter` at this
+    mapping, so forward/backward reads and worker slab writes touch the
+    same physical pages — the zero-copy contract of the process
+    backend.
+``history``
+    One int32 entry per row, laid out as the concatenation of the
+    shards' *local* windows (shard 0's rows first, then shard 1's, ...,
+    matching :class:`repro.shard.tables.ShardedHistoryTable`'s local
+    addressing).  Worker ``s`` wraps its window with
+    :meth:`repro.lazydp.history.HistoryTable.attach`; the router
+    attaches the same windows so the flat facade APIs (export,
+    checkpointing) keep reading live state.
+``ledger``
+    One int64 entry per row, same shard-window layout: the per-process
+    :class:`repro.lazydp.ledger.VersionVector` segments.  Workers
+    advance their segment at apply time; the router attaches all of
+    them for ``audit_noise_ledger``.
+
+Lifecycle: the router creates the segments, workers attach by name
+during their startup handshake, and once every worker has acked the
+router **unlinks** all names.  From then on the memory lives exactly as
+long as a mapping does — a crashed run leaks nothing and the
+``resource_tracker`` (one process, shared by router and workers alike)
+has nothing left to warn about.
+"""
+
+from __future__ import annotations
+
+import os
+from multiprocessing import resource_tracker, shared_memory
+
+import numpy as np
+
+
+def _windows(shard_sizes) -> tuple:
+    """Per-shard ``(offset_rows, size_rows)`` of the concatenated layout."""
+    offsets = []
+    start = 0
+    for size in shard_sizes:
+        offsets.append((start, int(size)))
+        start += int(size)
+    return tuple(offsets)
+
+
+def attach_array(segment, shape, dtype, offset_bytes: int = 0) -> np.ndarray:
+    """A writable ndarray view over (part of) a shared-memory segment."""
+    count = int(np.prod(shape)) if shape else 0
+    flat = np.frombuffer(segment.buf, dtype=dtype, count=count, offset=offset_bytes)
+    return flat.reshape(shape)
+
+
+def release_segment(segment) -> None:
+    """Close a segment's mapping, tolerating still-exported views.
+
+    On the emergency path (a worker died mid-step) the
+    ``ShardWorkerError`` being raised holds traceback frames whose
+    locals still view the buffer, so ``close()`` raises ``BufferError``.
+    In that case drop our handles instead: the fd closes now, the
+    mapping is freed the moment the last view dies (the name is already
+    unlinked, so nothing can outlive the process), and neutralizing the
+    object stops ``SharedMemory.__del__`` from retrying the close and
+    printing the ``BufferError`` at interpreter exit.
+    """
+    try:
+        segment.close()
+    except BufferError:
+        if getattr(segment, "_fd", -1) >= 0:
+            try:
+                os.close(segment._fd)
+            except OSError:  # pragma: no cover - already closed
+                pass
+            segment._fd = -1
+        segment._buf = None
+        segment._mmap = None
+
+
+def unregister_attachment(segment) -> None:
+    """Drop a freshly *attached* segment from the resource tracker.
+
+    On the Python versions this repo supports, ``SharedMemory(name=...)``
+    registers the mapping with the ``resource_tracker`` as if this
+    process owned it; a tracker that outlives the owner would then try
+    to unlink the (already unlinked) segment and print leak warnings.
+
+    Shard workers must NOT call this: both fork and spawn children
+    inherit the router's tracker process, so every registration lands in
+    one shared per-name *set* — duplicates collapse, the router's
+    ``unlink`` removes the single entry, and an extra worker-side
+    unregister would underflow the set and make the tracker print
+    ``KeyError`` tracebacks.  This hook exists for attachers that run
+    their own tracker (a process not descended from the router).
+    """
+    try:
+        resource_tracker.unregister(segment._name, "shared_memory")
+    except Exception:  # pragma: no cover - tracker layout changed
+        pass
+
+
+class TableSegments:
+    """Creator-side handle on one table's three shared segments."""
+
+    def __init__(
+        self,
+        table_index: int,
+        num_rows: int,
+        dim: int,
+        shard_sizes,
+    ):
+        self.table_index = int(table_index)
+        self.num_rows = int(num_rows)
+        self.dim = int(dim)
+        self.shard_sizes = tuple(int(s) for s in shard_sizes)
+        self.shard_windows = _windows(self.shard_sizes)
+        self.slab = shared_memory.SharedMemory(
+            create=True, size=max(1, num_rows * dim * 8)
+        )
+        self.history = shared_memory.SharedMemory(
+            create=True, size=max(1, num_rows * 4)
+        )
+        self.ledger = shared_memory.SharedMemory(
+            create=True, size=max(1, num_rows * 8)
+        )
+        # Fresh state: zero mirrors the "noise through iteration 0
+        # applied" convention of HistoryTable and VersionVector.
+        attach_array(self.history, (num_rows,), np.int32)[...] = 0
+        attach_array(self.ledger, (num_rows,), np.int64)[...] = 0
+        self._unlinked = False
+
+    # -- router-side views --------------------------------------------------
+    def slab_array(self) -> np.ndarray:
+        return attach_array(self.slab, (self.num_rows, self.dim), np.float64)
+
+    def history_window(self, shard: int) -> np.ndarray | None:
+        offset, size = self.shard_windows[shard]
+        if size == 0:
+            return None
+        return attach_array(self.history, (size,), np.int32, offset * 4)
+
+    def ledger_window(self, shard: int) -> np.ndarray | None:
+        offset, size = self.shard_windows[shard]
+        if size == 0:
+            return None
+        return attach_array(self.ledger, (size,), np.int64, offset * 8)
+
+    def names(self) -> tuple:
+        return (self.slab.name, self.history.name, self.ledger.name)
+
+    # -- lifecycle -----------------------------------------------------------
+    def unlink(self) -> None:
+        """Remove the segment names (mappings stay valid); idempotent."""
+        if self._unlinked:
+            return
+        self._unlinked = True
+        for segment in (self.slab, self.history, self.ledger):
+            try:
+                segment.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+
+    def close(self) -> None:
+        """Release this process's mappings.
+
+        Callers drop their ndarray views first on the orderly path; on
+        the emergency path (worker death mid-step) straggler views in
+        live traceback frames are tolerated — see ``release_segment``.
+        """
+        for segment in (self.slab, self.history, self.ledger):
+            release_segment(segment)
+
+
+class AttachedSegments:
+    """Worker-side handle on one table's segments (attach by name)."""
+
+    def __init__(
+        self,
+        names,
+        num_rows: int,
+        dim: int,
+        shard_sizes,
+        unregister: bool = False,
+    ):
+        slab_name, history_name, ledger_name = names
+        self.num_rows = int(num_rows)
+        self.dim = int(dim)
+        self.shard_windows = _windows(shard_sizes)
+        self.slab = shared_memory.SharedMemory(name=slab_name)
+        self.history = shared_memory.SharedMemory(name=history_name)
+        self.ledger = shared_memory.SharedMemory(name=ledger_name)
+        if unregister:
+            for segment in (self.slab, self.history, self.ledger):
+                unregister_attachment(segment)
+
+    def slab_array(self) -> np.ndarray:
+        return attach_array(self.slab, (self.num_rows, self.dim), np.float64)
+
+    def history_window(self, shard: int) -> np.ndarray | None:
+        offset, size = self.shard_windows[shard]
+        if size == 0:
+            return None
+        return attach_array(self.history, (size,), np.int32, offset * 4)
+
+    def ledger_window(self, shard: int) -> np.ndarray | None:
+        offset, size = self.shard_windows[shard]
+        if size == 0:
+            return None
+        return attach_array(self.ledger, (size,), np.int64, offset * 8)
+
+    def close(self) -> None:
+        for segment in (self.slab, self.history, self.ledger):
+            release_segment(segment)

@@ -1,0 +1,547 @@
+"""The process-backend router: ShardedLazyDPTrainer over worker processes.
+
+:class:`ProcessShardedLazyDPTrainer` keeps the entire routing half of
+the sharded trainer — dedup, :class:`repro.shard.router.ShardRouter`
+scatter, stage accounting — and replaces only the *execution* of the
+per-shard tasks: instead of lambdas on a thread pool, each shard's
+plan/apply pair is a message to that shard's long-lived worker process
+(:mod:`repro.procshard.worker`), which runs the identical kernel calls
+against the same slab bytes through shared memory.
+
+Construction sequence:
+
+1. ``super().__init__`` builds the partition plan, router and sharded
+   engine exactly as the in-process backends do;
+2. every table's parameters are *moved* into shared memory (one copy,
+   at startup) and the model re-adopted over the mapping, so
+   forward/backward and worker writes share pages zero-copy;
+3. the engine's per-shard HistoryTables are re-attached over
+   shared-memory windows, and per-shard
+   :class:`repro.lazydp.ledger.VersionVector` segments allocated beside
+   them (:meth:`audit_noise_ledger` audits these after the flush);
+4. workers start, attach, ack ``ready`` — then the router **unlinks**
+   every segment name, so even a SIGKILLed run leaks no ``/dev/shm``
+   entries.
+
+Any worker failure — an exception reply, a vanished process, a stuck
+pipe — triggers :meth:`_abort`: remaining workers are terminated, the
+model/history/ledger state is rematerialized as private copies, every
+mapping is closed, and a :class:`ShardWorkerError` naming the worker
+propagates out of ``train_step``/``finalize``.
+"""
+
+from __future__ import annotations
+
+import gc
+import multiprocessing
+import time
+import weakref
+
+import numpy as np
+
+from ..lazydp.history import HistoryTable
+from ..lazydp.ledger import VersionVector
+from ..nn.dlrm import DLRM
+from ..shard.plan import PartitionPlan
+from ..shard.tables import ShardedEmbeddingBag
+from ..shard.trainer import ShardedLazyDPTrainer
+from ..train.common import DPConfig
+from .messages import (
+    CMD_APPLY,
+    CMD_CLOSE,
+    CMD_FLUSH,
+    CMD_PLAN,
+    CMD_STATS,
+    REPLY_ERROR,
+    REPLY_OK,
+    REPLY_READY,
+    TableHandle,
+    WorkerInit,
+)
+from .shm import TableSegments
+from .worker import worker_main
+
+
+class ShardWorkerError(RuntimeError):
+    """A shard worker process failed, died, or stopped responding.
+
+    By the time this propagates out of ``train_step`` the router has
+    terminated the surviving workers and released every shared-memory
+    mapping — the error is fatal to the trainer but leaks nothing.
+    """
+
+
+class _WorkerHandle:
+    """Router-side connection to one shard worker."""
+
+    __slots__ = ("shard", "process", "conn", "pid")
+
+    def __init__(self, shard: int, process, conn):
+        self.shard = shard
+        self.process = process
+        self.conn = conn
+        self.pid: int | None = None
+
+
+def _finalize_backstop(processes, segments) -> None:
+    """GC/exit safety net: no orphan workers, no leaked segments.
+
+    Runs only if the trainer is dropped without ``close()``; captures
+    the process and segment lists (never the trainer, which would make
+    the finalizer keep it alive).
+    """
+    for process in processes:
+        if process.is_alive():
+            process.terminate()
+    for process in processes:
+        process.join(timeout=1.0)
+        if process.is_alive():  # pragma: no cover - stuck in a syscall
+            process.kill()
+            process.join(timeout=1.0)
+    for segment_group in segments:
+        segment_group.unlink()
+        segment_group.close()
+
+
+class ProcessShardedLazyDPTrainer(ShardedLazyDPTrainer):
+    """LazyDP with one worker process per shard (``backend="process"``)."""
+
+    #: Seconds to wait for a worker's startup ``ready`` ack (spawn-start
+    #: children import numpy from cold).
+    STARTUP_TIMEOUT = 60.0
+    #: Seconds to wait for any single step/flush ack before declaring
+    #: the worker hung.
+    STEP_TIMEOUT = 120.0
+
+    def __init__(
+        self,
+        model: DLRM,
+        config: DPConfig,
+        noise_seed: int = 1234,
+        use_ans: bool = True,
+        num_shards: int = 2,
+        partition: str = "row_range",
+        executor="serial",
+        plan: PartitionPlan | None = None,
+        max_workers: int | None = None,
+        skew=None,
+    ):
+        if not (isinstance(executor, str) and executor == "serial"):
+            raise ValueError(
+                "the process backend owns its per-shard worker processes; "
+                f"executor={executor!r} cannot override them (plan axis "
+                "backend=process replaces executor selection)"
+            )
+        if max_workers is not None:
+            raise ValueError(
+                "the process backend pins one worker process per shard; "
+                "max_workers does not apply (use backend=process:K with "
+                "K equal to the shard count, or plain backend=process)"
+            )
+        super().__init__(
+            model,
+            config,
+            noise_seed=noise_seed,
+            use_ans=use_ans,
+            num_shards=num_shards,
+            partition=partition,
+            executor="serial",
+            plan=plan,
+            skew=skew,
+        )
+        self._closed = False
+        self._segments: list = []
+        self._workers: list = []
+        self._procs: list = []
+        self._stats_cache: dict | None = None
+        methods = multiprocessing.get_all_start_methods()
+        self._start_method = "fork" if "fork" in methods else "spawn"
+        #: Per-(table, shard) VersionVector segments; ``ledger`` flattens
+        #: the non-empty ones for audit_noise_ledger.
+        self._ledger_segments: list = []
+
+        self._share_tables()
+        try:
+            self._spawn_workers()
+        finally:
+            # Names must not outlive startup: once every worker holds a
+            # mapping (or startup failed), nothing may attach by name
+            # again, and a crashed run must leak no /dev/shm entries.
+            for segments in self._segments:
+                segments.unlink()
+        self._finalizer = weakref.finalize(
+            self, _finalize_backstop, self._procs, self._segments
+        )
+
+    # -- startup -------------------------------------------------------------
+    def _share_tables(self) -> None:
+        """Move every table (+ history, + ledger) into shared memory."""
+        for t, bag in enumerate(self.model.embeddings):
+            part = self.plan.table(t)
+            segments = TableSegments(
+                t,
+                bag.num_rows,
+                bag.dim,
+                [rows.size for rows in part.shard_rows],
+            )
+            self._segments.append(segments)
+            slab = segments.slab_array()
+            np.copyto(slab, bag.table.data)
+            bag.table.data = slab
+            # Re-adopt so the per-shard slab views window the shared
+            # mapping (same re-adoption the sharded base does at init).
+            self.model.embeddings[t] = ShardedEmbeddingBag(bag.table, part)
+            history = self.engine.histories[t]
+            vectors = []
+            for s in range(self.num_shards):
+                window = segments.history_window(s)
+                if window is None:
+                    vectors.append(None)
+                    continue
+                history.shards[s] = HistoryTable.attach(window)
+                vectors.append(VersionVector.attach(segments.ledger_window(s)))
+            self._ledger_segments.append(vectors)
+
+    def _worker_init(self, shard: int) -> WorkerInit:
+        tables = tuple(
+            TableHandle(
+                table_index=t,
+                name=bag.table.name,
+                param_id=bag.table.param_id,
+                num_rows=bag.num_rows,
+                dim=bag.dim,
+                segments=self._segments[t].names(),
+                shard_sizes=self._segments[t].shard_sizes,
+            )
+            for t, bag in enumerate(self.model.embeddings)
+        )
+        return WorkerInit(
+            worker_index=shard,
+            plan=self.plan,
+            noise_seed=self.noise_stream.seed,
+            use_ans=self.use_ans,
+            flush_chunk_rows=self.engine.flush_chunk_rows,
+            tables=tables,
+            start_method=self._start_method,
+        )
+
+    def _spawn_workers(self) -> None:
+        context = multiprocessing.get_context(self._start_method)
+        for s in range(self.num_shards):
+            parent_conn, child_conn = context.Pipe(duplex=True)
+            process = context.Process(
+                target=worker_main,
+                args=(child_conn, self._worker_init(s)),
+                name=f"repro-shard-{s}",
+                daemon=True,
+            )
+            process.start()
+            child_conn.close()
+            handle = _WorkerHandle(s, process, parent_conn)
+            self._workers.append(handle)
+            self._procs.append(process)
+        for handle in self._workers:
+            reply = self._recv(handle, timeout=self.STARTUP_TIMEOUT)
+            if reply[0] == REPLY_ERROR:
+                self._abort()
+                raise ShardWorkerError(
+                    f"shard worker {handle.shard} failed during startup: "
+                    f"{reply[2]}\n{reply[3]}"
+                )
+            if reply[0] != REPLY_READY:
+                self._abort()
+                raise ShardWorkerError(
+                    f"shard worker {handle.shard} broke the startup "
+                    f"handshake (got {reply[0]!r})"
+                )
+            handle.pid = int(reply[2])
+
+    # -- messaging -----------------------------------------------------------
+    def _require_workers(self) -> None:
+        if self._closed:
+            raise ShardWorkerError(
+                "the process backend is closed (a worker died or close() "
+                "ran); build a new trainer to continue training"
+            )
+
+    def _send(self, handle: _WorkerHandle, message) -> None:
+        try:
+            handle.conn.send(message)
+        except (BrokenPipeError, OSError):
+            self._worker_died(handle)
+
+    def _worker_died(self, handle: _WorkerHandle):
+        exitcode = handle.process.exitcode
+        self._abort()
+        raise ShardWorkerError(
+            f"shard worker {handle.shard} (pid {handle.pid}) died mid-step "
+            f"(exit code {exitcode}); remaining workers terminated and all "
+            "shared-memory segments released"
+        )
+
+    def _recv(self, handle: _WorkerHandle, timeout: float):
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                if handle.conn.poll(0.05):
+                    return handle.conn.recv()
+            except (EOFError, OSError):
+                self._worker_died(handle)
+            if not handle.process.is_alive():
+                # Drain a final reply the worker managed to flush before
+                # exiting (e.g. an error report), then declare death.
+                try:
+                    if handle.conn.poll(0):
+                        return handle.conn.recv()
+                except (EOFError, OSError):
+                    pass
+                self._worker_died(handle)
+            if time.monotonic() > deadline:
+                pid = handle.pid
+                self._abort()
+                raise ShardWorkerError(
+                    f"shard worker {handle.shard} (pid {pid}) stopped "
+                    f"responding (no ack within {timeout:.0f}s); workers "
+                    "terminated and all shared-memory segments released"
+                )
+
+    def _collect_ok(self, handle: _WorkerHandle, command: str) -> dict:
+        reply = self._recv(handle, timeout=self.STEP_TIMEOUT)
+        if reply[0] == REPLY_ERROR:
+            message, worker_traceback = reply[2], reply[3]
+            self._abort()
+            raise ShardWorkerError(
+                f"shard worker {handle.shard} (pid {handle.pid}) failed: "
+                f"{message}\n--- worker traceback ---\n{worker_traceback}"
+            )
+        if reply[0] != REPLY_OK or reply[1] != command:
+            self._abort()
+            raise ShardWorkerError(
+                f"shard worker {handle.shard} broke protocol: expected an "
+                f"{command!r} ack, got {reply[:2]!r}"
+            )
+        payload = reply[2]
+        self._fold_instrumentation(handle, payload)
+        return payload
+
+    def _fold_instrumentation(self, handle: _WorkerHandle, payload) -> None:
+        """Merge a worker ack's timing deltas and trace spans into the
+        router's reporting surfaces, so ``shard_time_summary`` and the
+        skew gauges describe the worker processes exactly as they
+        describe executor threads."""
+        timer = self.shard_timers[handle.shard]
+        for stage, seconds in payload.get("timings", {}).items():
+            timer.totals[stage] = timer.totals.get(stage, 0.0) + seconds
+        for name, value in payload.get("counters", {}).items():
+            timer.count(name, value)
+        tracer = self.timer.tracer
+        if tracer is not None and payload.get("spans"):
+            key = f"shard-proc-{handle.shard}"
+            track_name = f"shard-proc-{handle.shard} (pid {handle.pid})"
+            for name, start, end in payload["spans"]:
+                tracer.add_external_complete(
+                    key, name, start, end, track_name=track_name
+                )
+
+    # -- the process-sharded model update ------------------------------------
+    def _apply_embedding_dense_noisy_update(
+        self, table_index: int, bag, sparse_grad, iteration: int, noise_std: float
+    ) -> None:
+        self._require_workers()
+        self._last_noise_std = noise_std
+        lr = self.config.learning_rate
+
+        if self._next_batch is not None:
+            with self.timer.time("lazydp_dedup"):
+                next_rows = self._next_batch.accessed_rows(table_index)
+        else:
+            # Final iteration: the terminal flush performs every
+            # remaining catch-up, worker by worker.
+            next_rows = np.empty(0, dtype=np.int64)
+
+        with self.timer.time("shard_routing"):
+            routed_next = self.router.scatter(table_index, next_rows)
+            routed_grad = self.router.scatter(table_index, sparse_grad.rows)
+            grad_values = [
+                sparse_grad.values[routed_grad.origin[s]]
+                for s in range(self.num_shards)
+            ]
+
+        with self.timer.time("shard_model_update"):
+            # Fan the full plan+apply pair out to every worker before
+            # collecting any ack: all shards run their kernels
+            # concurrently, in separate processes, GIL-free.
+            for handle in self._workers:
+                s = handle.shard
+                self._send(
+                    handle,
+                    (
+                        CMD_PLAN,
+                        iteration,
+                        table_index,
+                        routed_next.global_rows[s],
+                        routed_next.local[s],
+                        noise_std,
+                    ),
+                )
+                self._send(
+                    handle,
+                    (
+                        CMD_APPLY,
+                        iteration,
+                        table_index,
+                        routed_grad.global_rows[s],
+                        grad_values[s],
+                        lr,
+                    ),
+                )
+            for handle in self._workers:
+                self._collect_ok(handle, CMD_APPLY)
+
+    def finalize(self, final_iteration: int) -> None:
+        """Terminal flush, one worker per shard (same bytes as flat)."""
+        if final_iteration == 0:
+            return
+        self._require_workers()
+        noise_std = self._flush_noise_std()
+        lr = self.config.learning_rate
+        with self.timer.time("terminal_flush"):
+            for handle in self._workers:
+                self._send(handle, (CMD_FLUSH, final_iteration, lr, noise_std))
+            for handle in self._workers:
+                self._collect_ok(handle, CMD_FLUSH)
+        self.engine.flushed_through = int(final_iteration)
+
+    # -- the cross-process noise ledger --------------------------------------
+    @property
+    def ledger(self) -> tuple:
+        """Every per-(table, shard) VersionVector segment, flattened."""
+        return tuple(
+            vector
+            for vectors in self._ledger_segments
+            for vector in vectors
+            if vector is not None
+        )
+
+    def audit_noise_ledger(self, final_iteration: int) -> None:
+        """Prove exactly-once noise application across process boundaries.
+
+        Workers advanced their shared-memory ledger segments at every
+        apply and flush; the router audits those same bytes.  Mirrors
+        the async trainer's method of the same name, so callers audit
+        either engine identically.
+        """
+        for vector in self.ledger:
+            vector.audit_complete(final_iteration)
+
+    # -- reporting -----------------------------------------------------------
+    def procshard_stats(self) -> dict:
+        """Per-worker diagnostics (pid, draws, messages, arena reuse)."""
+        if self._closed:
+            return self._stats_cache or {
+                "start_method": self._start_method,
+                "workers": [],
+            }
+        for handle in self._workers:
+            self._send(handle, (CMD_STATS,))
+        workers = []
+        for handle in self._workers:
+            payload = self._collect_ok(handle, CMD_STATS)
+            payload = dict(payload)
+            payload["shard"] = handle.shard
+            workers.append(payload)
+        self._stats_cache = {
+            "start_method": self._start_method,
+            "workers": workers,
+        }
+        return self._stats_cache
+
+    def kernel_stats(self) -> dict:
+        stats = super().kernel_stats()
+        stats["procshard"] = self.procshard_stats()
+        return stats
+
+    # -- lifecycle -----------------------------------------------------------
+    def _release_shared_state(self) -> None:
+        """Rematerialize tables/histories/ledgers as private copies and
+        close every shared-memory mapping.
+
+        Post-release the trainer cannot train (workers are gone) but
+        every read surface — export_private_model, serving snapshots,
+        ledger audits, checkpoint save — keeps working on the copies.
+        """
+        if not self._segments:
+            return
+        # The rebind runs in its own frame: its loop variables are the
+        # last references to the old shared-memory views, and they must
+        # die (frame exit + collect) before close() can release buffers.
+        self._materialize_private_copies()
+        gc.collect()
+        segments, self._segments = self._segments, []
+        for segment_group in segments:
+            segment_group.unlink()  # idempotent; normally done at startup
+            segment_group.close()
+
+    def _materialize_private_copies(self) -> None:
+        for t, bag in enumerate(self.model.embeddings):
+            table = bag.table
+            table.data = np.array(table.data, copy=True)
+            self.model.embeddings[t] = ShardedEmbeddingBag(table, self.plan.table(t))
+        for history in self.engine.histories:
+            for s, shard_history in enumerate(history.shards):
+                if shard_history is not None:
+                    history.shards[s] = HistoryTable.attach(shard_history.snapshot())
+        self._ledger_segments = [
+            [
+                None if vector is None else VersionVector.attach(vector.snapshot())
+                for vector in vectors
+            ]
+            for vectors in self._ledger_segments
+        ]
+
+    def _abort(self) -> None:
+        """Hard teardown after a worker failure (reentrancy-safe)."""
+        if self._closed:
+            return
+        self._closed = True
+        for handle in self._workers:
+            if handle.process.is_alive():
+                handle.process.terminate()
+        for handle in self._workers:
+            handle.process.join(timeout=2.0)
+            if handle.process.is_alive():  # pragma: no cover - stuck
+                handle.process.kill()
+                handle.process.join(timeout=1.0)
+            try:
+                handle.conn.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+        self._release_shared_state()
+
+    def close(self) -> None:
+        """Orderly shutdown: close workers, release shared memory."""
+        if self._closed:
+            return
+        self._closed = True
+        for handle in self._workers:
+            if handle.process.is_alive():
+                try:
+                    handle.conn.send((CMD_CLOSE,))
+                except (BrokenPipeError, OSError):
+                    pass
+        for handle in self._workers:
+            handle.process.join(timeout=5.0)
+            if handle.process.is_alive():
+                handle.process.terminate()
+                handle.process.join(timeout=2.0)
+            if handle.process.is_alive():  # pragma: no cover - stuck
+                handle.process.kill()
+                handle.process.join(timeout=1.0)
+            try:
+                handle.conn.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+        self._release_shared_state()
+        if hasattr(self, "_finalizer"):
+            self._finalizer.detach()
+        super().close()

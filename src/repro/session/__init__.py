@@ -2,15 +2,19 @@
 
 This package replaces the trainer-class cross-product
 (``PipelinedShardedLazyDPTrainer``-style names, one class and algorithm
-string per combination) with two pieces:
+string per combination) with three pieces:
 
 * :class:`ExecutionPlan` — orthogonal execution axes (``ans``,
   ``shards``, ``pipeline``, ``async_``, ``backend``) with dict/spec
   round-trip serialization and the legacy-name mapping;
+* the execution-backend registry — :func:`register_backend` /
+  :func:`available_backends` / :func:`backend_info` — resolving the
+  plan's ``backend`` axis (``numpy``, ``threads[:K]``, ``process``) to
+  a base trainer class; the extension point new kernels plug into;
 * :class:`TrainSession` — ``TrainSession.build(model, dp, plan)``
-  composes the shard/pipeline/async capability layers over the core
-  :class:`repro.lazydp.trainer.LazyDPTrainer` and owns the resulting
-  trainer's lifecycle, private release, and serving attachment.
+  composes the shard/pipeline/async capability layers over the
+  backend's base trainer and owns the resulting trainer's lifecycle,
+  private release, and serving attachment.
 
 Quickstart::
 
@@ -27,17 +31,29 @@ Quickstart::
 
 from .builder import TrainSession, compose_trainer_class
 from .plan import (
-    BACKENDS,
     ExecutionPlan,
     LEGACY_ALGORITHMS,
     plan_for_algorithm,
 )
+from .registry import (
+    BACKEND_CAPABILITIES,
+    BackendInfo,
+    available_backends,
+    backend_info,
+    parse_backend_spec,
+    register_backend,
+)
 
 __all__ = [
-    "BACKENDS",
+    "BACKEND_CAPABILITIES",
+    "BackendInfo",
     "ExecutionPlan",
     "LEGACY_ALGORITHMS",
     "TrainSession",
+    "available_backends",
+    "backend_info",
     "compose_trainer_class",
+    "parse_backend_spec",
     "plan_for_algorithm",
+    "register_backend",
 ]

@@ -20,9 +20,14 @@ The composed MROs are exactly the stacks the legacy concrete classes
 (``PipelinedShardedLazyDPTrainer`` & co.) are built from, so a
 plan-built trainer is *bitwise identical* in behaviour to its legacy
 counterpart — ``tests/test_session_equivalence.py`` pins this across
-the whole historical matrix.  A future execution axis (the ``backend``
-hook's numba kernels, multi-process shards) lands as one more layer in
-``_LAYER_REGISTRY``-style composition, not as 2^n new classes.
+the whole historical matrix.  The *base* of the stack comes from the
+execution-backend registry (:mod:`repro.session.registry`): the plan's
+``backend`` axis names a registered factory that resolves the plan
+shape to a base class — ``numpy`` / ``threads`` resolve to the
+in-process trainers, ``process`` to
+:class:`repro.procshard.ProcessShardedLazyDPTrainer` — so a new
+backend (the ROADMAP's numba kernels) lands as one ``register_backend``
+call, not as 2^n new classes.
 
 :class:`TrainSession` is the facade over a built trainer: ``fit``,
 privacy accounting, private release, and :meth:`serve` — which hands
@@ -34,15 +39,14 @@ of freezing at construction.
 from __future__ import annotations
 
 from ..async_.trainer import _AsyncHost, _FlatAsyncApply, _ShardedAsyncApply
-from ..lazydp.trainer import LazyDPTrainer
 from ..pipeline.trainer import (
     _FlatNoisePrefetch,
     _PipelineHost,
     _ShardedNoisePrefetch,
 )
-from ..shard.trainer import ShardedLazyDPTrainer
 from ..train.common import DPConfig, TrainResult
-from .plan import BACKENDS, ExecutionPlan
+from .plan import ExecutionPlan
+from .registry import backend_info, parse_backend_spec
 
 #: Composed classes are cached per axis tuple: composition is
 #: deterministic, and a stable class identity keeps ``isinstance``
@@ -92,18 +96,22 @@ def compose_trainer_class(
     async_: bool = False,
     backend: str = "numpy",
 ):
-    """The trainer class for one combination of capability axes."""
-    if backend not in BACKENDS:
-        raise ValueError(
-            f"unknown backend: {backend!r} (registered: {', '.join(BACKENDS)})"
-        )
+    """The trainer class for one combination of capability axes.
+
+    ``backend`` is a registry spec (``"name[:workers]"``); the worker
+    count shapes trainer *kwargs* (see :meth:`TrainSession.build`), not
+    the class, so the cache keys on the backend name alone.
+    """
+    name, _ = parse_backend_spec(backend)
     pipelined = pipelined or async_  # async rides on the prefetch pipeline
-    key = (sharded, pipelined, async_, backend)
+    key = (sharded, pipelined, async_, name)
     cached = _CLASS_CACHE.get(key)
     if cached is not None:
         return cached
 
-    base = ShardedLazyDPTrainer if sharded else LazyDPTrainer
+    base = backend_info(name).factory(
+        sharded=sharded, pipelined=pipelined, async_=async_
+    )
     if not pipelined:
         cls = base  # no layers: the core trainer is the composition
     else:
@@ -191,7 +199,22 @@ class TrainSession:
         kwargs: dict = {}
         if plan.is_sharded:
             kwargs.update(plan.shards.trainer_kwargs())
+            # The backend axis owns executor selection: map the parsed
+            # spec onto the sharded trainer's executor kwargs (the
+            # canonical ShardConfig always says serial).
+            name, workers = parse_backend_spec(plan.backend)
+            if name == "threads":
+                kwargs["executor"] = "threads"
+                if workers is not None:
+                    kwargs["max_workers"] = workers
             if executor is not None:
+                if name == "process":
+                    raise ValueError(
+                        "a live executor instance cannot override the "
+                        "process backend: its per-shard workers are "
+                        "processes owned by the trainer, not a "
+                        "ShardExecutor"
+                    )
                 kwargs["executor"] = executor
             if partition_plan is not None:
                 kwargs["plan"] = partition_plan

@@ -23,9 +23,15 @@ algorithm string (``pipelined_sharded_lazydp_no_ans``, ...); an
     (``repro.async_``; implies the pipeline axis — when ``pipeline`` is
     ``None`` the prefetch depth defaults to ``max(2, max_in_flight)``).
 ``backend``
-    Kernel backend hook.  Only ``"numpy"`` exists today; a SIMD/numba
-    variant (ROADMAP) lands as a new registry entry, not a new trainer
-    class.
+    Execution backend, as a ``"name[:workers]"`` spec resolved against
+    the registry in :mod:`repro.session.registry` — ``"numpy"``
+    (default, in-process serial schedule), ``"threads[:K]"`` (shard
+    thread pool), ``"process"`` (one worker process per shard, slabs in
+    shared memory; ``repro.procshard``).  New backends — the ROADMAP's
+    SIMD/numba kernels — land as ``register_backend`` calls, not new
+    trainer classes.  The pre-registry spelling
+    ``ShardConfig(executor=..., max_workers=...)`` still canonicalizes
+    onto this axis with one ``DeprecationWarning``.
 ``obs``
     ``None`` for an uninstrumented run, or a
     :class:`repro.configs.ObservabilityConfig` selecting tracing
@@ -51,6 +57,7 @@ mini-language the CLI's ``--plan`` flag speaks), and
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 from ..configs import (
@@ -60,12 +67,20 @@ from ..configs import (
     ServeConfig,
     ShardConfig,
 )
+from .registry import (
+    backend_info,
+    canonical_backend_spec,
+    parse_backend_spec,
+)
 
-#: Kernel backends the session builder can compose.  The tuple is the
-#: extension point for the ROADMAP's SIMD/numba variants: a new backend
-#: registers here plus (optionally) a layer mixin in
-#: ``repro.session.builder`` — no new trainer classes.
-BACKENDS = ("numpy",)
+
+def _backend_for_executor(executor: str, max_workers) -> str:
+    """The backend-axis spelling of a deprecated ``ShardConfig``
+    executor selection (``"serial"`` is the numpy backend's serial
+    schedule; ``max_workers`` only ever bounded a thread pool)."""
+    if executor == "serial":
+        return "numpy"
+    return canonical_backend_spec(executor, max_workers)
 
 _SPEC_KEYS = (
     "ans",
@@ -120,13 +135,42 @@ class ExecutionPlan:
     serve: ServeConfig | None = None
 
     def __post_init__(self):
-        if self.backend not in BACKENDS:
-            raise ValueError(
-                f"unknown backend: {self.backend!r} (registered: "
-                f"{', '.join(BACKENDS)}; SIMD/numba variants land here)"
-            )
         if self.shards is not None and not isinstance(self.shards, ShardConfig):
             raise ValueError("shards must be a ShardConfig or None")
+        if self.shards is not None and (
+            self.shards.executor != "serial"
+            or self.shards.max_workers is not None
+        ):
+            # Deprecated spelling: executor selection used to live on
+            # ShardConfig.  Canonicalize onto the backend axis so every
+            # spelling of the same plan compares (and serializes) equal.
+            if self.backend != "numpy":
+                raise ValueError(
+                    "contradictory plan: ShardConfig selects executor "
+                    f"{self.shards.executor!r} (max_workers="
+                    f"{self.shards.max_workers}) but the plan also sets "
+                    f"backend={self.backend!r}; the executor/max_workers "
+                    "spelling is deprecated — set the backend axis alone"
+                )
+            backend = _backend_for_executor(
+                self.shards.executor, self.shards.max_workers
+            )
+            warnings.warn(
+                "ShardConfig.executor/max_workers are deprecated; select "
+                "the execution backend on the plan's backend axis instead "
+                f"(equivalent plan axis: backend={backend!r})",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            object.__setattr__(
+                self,
+                "shards",
+                ShardConfig(
+                    num_shards=self.shards.num_shards,
+                    partition=self.shards.partition,
+                ),
+            )
+            object.__setattr__(self, "backend", backend)
         if self.pipeline is not None:
             if not isinstance(self.pipeline, PipelineConfig):
                 raise ValueError("pipeline must be a PipelineConfig or None")
@@ -151,6 +195,43 @@ class ExecutionPlan:
             self.serve, ServeConfig
         ):
             raise ValueError("serve must be a ServeConfig or None")
+        # Registry validation runs on the canonical form: the backend
+        # must be registered and must declare a capability for every
+        # axis this plan switches on.
+        name, workers = parse_backend_spec(self.backend)
+        info = backend_info(name)
+        if self.shards is None:
+            if not info.supports("flat"):
+                raise ValueError(
+                    f"backend {name!r} requires the shards axis "
+                    f"(plan spec: shards=N,backend={name})"
+                )
+        elif not info.supports("shards"):
+            raise ValueError(
+                f"backend {name!r} does not compose with the shards axis"
+            )
+        if self.pipeline is not None and not info.supports("pipeline"):
+            raise ValueError(
+                f"backend {name!r} does not compose with the pipeline "
+                "axis: its workers already overlap noise preparation "
+                "with the model update"
+            )
+        if self.async_ is not None and not info.supports("async"):
+            raise ValueError(
+                f"backend {name!r} does not compose with the async axis"
+            )
+        if (
+            name == "process"
+            and workers is not None
+            and self.shards is not None
+            and workers != self.shards.num_shards
+        ):
+            raise ValueError(
+                f"invalid backend spec: process:{workers} pins one worker "
+                f"process per shard, but the plan has "
+                f"{self.shards.num_shards} shard(s) (use backend=process "
+                f"or backend=process:{self.shards.num_shards})"
+            )
 
     # -- derived shape -----------------------------------------------------
     @property
@@ -256,6 +337,16 @@ class ExecutionPlan:
 
         ans = _parse_bool("ans", values["ans"]) if "ans" in values else True
         backend = values.get("backend", "numpy")
+        deprecated_executor_keys = [
+            key for key in ("executor", "workers") if key in values
+        ]
+        if "backend" in values and deprecated_executor_keys:
+            raise ValueError(
+                "contradictory plan spec: "
+                f"{', '.join(deprecated_executor_keys)} and backend= both "
+                "select an execution backend; executor=/workers= are the "
+                "deprecated spelling — use backend=name[:workers] alone"
+            )
 
         num_shards = (
             _parse_int("shards", values["shards"]) if "shards" in values else 0
@@ -380,20 +471,18 @@ class ExecutionPlan:
         """The canonical flat spec string; ``from_spec`` inverts it.
 
         Canonical form: ``ans`` always present, axis sub-keys spelled
-        out whenever the axis is on, defaults (``workers``, the numpy
-        backend) omitted.  This is the string benchmarks put in
+        out whenever the axis is on, the default numpy backend
+        omitted.  This is the string benchmarks put in
         BENCH_*.json metadata, so plan identity is comparable across
         reports.
         """
         parts = [f"ans={'on' if self.ans else 'off'}"]
         if self.shards is not None:
-            # ShardConfig only admits backend *names*; live executor
-            # instances travel via TrainSession.build's escape hatch.
+            # Executor selection lives on the backend axis (emitted
+            # last); canonical ShardConfigs carry only the partition
+            # geometry.
             parts.append(f"shards={self.shards.num_shards}")
             parts.append(f"partition={self.shards.partition}")
-            parts.append(f"executor={self.shards.executor}")
-            if self.shards.max_workers is not None:
-                parts.append(f"workers={self.shards.max_workers}")
         if self.pipeline is not None:
             parts.append(f"pipeline={self.pipeline.prefetch_depth}")
         if self.async_ is not None:
@@ -452,19 +541,23 @@ def plan_for_algorithm(algorithm: str, trainer_kwargs: dict | None = None):
 
     extras: dict = {}
     shards = None
+    backend = "numpy"
     if is_sharded:
         executor = kwargs.pop("executor", "serial")
+        max_workers = kwargs.pop("max_workers", None)
         if not isinstance(executor, str):
             # A live executor instance travels in extras; the plan
-            # records its backend name (or serial for custom ones).
+            # records its backend name (or numpy for custom ones).
             extras["executor"] = executor
             name = getattr(executor, "name", "serial")
             executor = name if name in ("serial", "threads") else "serial"
+        # Construct the canonical backend-axis form directly — the
+        # legacy *algorithm* shim already warned once; the deprecated
+        # ShardConfig.executor spelling must not warn again.
+        backend = _backend_for_executor(executor, max_workers)
         shards = ShardConfig(
             num_shards=kwargs.pop("num_shards", 2),
             partition=kwargs.pop("partition", "row_range"),
-            executor=executor,
-            max_workers=kwargs.pop("max_workers", None),
         )
         if "plan" in kwargs:
             extras["partition_plan"] = kwargs.pop("plan")
@@ -494,6 +587,7 @@ def plan_for_algorithm(algorithm: str, trainer_kwargs: dict | None = None):
             f"{', '.join(sorted(kwargs))}"
         )
     plan = ExecutionPlan(
-        ans=ans, shards=shards, pipeline=pipeline, async_=async_
+        ans=ans, shards=shards, pipeline=pipeline, async_=async_,
+        backend=backend,
     )
     return plan, extras

@@ -1,0 +1,229 @@
+"""The execution-backend registry: named, discoverable trainer bases.
+
+PR 5 left ``ExecutionPlan.backend`` validated against a static
+``BACKENDS = ("numpy",)`` tuple — a placeholder axis nothing could
+extend.  This module turns it into a first-class registry:
+
+* :func:`register_backend` — add a backend under a name, with the
+  factory that resolves a plan shape to a base trainer class and the
+  set of plan axes the backend composes with;
+* :func:`available_backends` — the registered names, in registration
+  order (validation errors quote this list);
+* :func:`backend_info` / :func:`parse_backend_spec` — lookup and the
+  ``"name[:workers]"`` spec grammar the plan language uses
+  (``backend=threads:4``, ``backend=process``).
+
+Three backends ship built in:
+
+``numpy``
+    The default: in-process numpy kernels, serial per-shard schedule.
+    The only backend that supports *flat* (unsharded) plans.
+``threads``
+    The former ``ShardConfig.executor="threads"`` spelling: the same
+    in-process kernels fanned out over a persistent shard thread pool
+    (``repro.shard.executor``).  ``:K`` caps the pool.
+``process``
+    One long-lived worker process per shard, each owning its embedding
+    slab and history table in ``multiprocessing.shared_memory``
+    (``repro.procshard``).  ``:K`` must equal the shard count — the
+    backend pins one worker per shard.
+
+The ROADMAP's numba/SIMD kernels land as one more
+:func:`register_backend` call, not a new trainer class — the factory
+hook receives the plan shape (``sharded``/``pipelined``/``async_``)
+and returns the base class ``compose_trainer_class`` stacks the
+capability layers onto.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Every capability a backend may declare.  ``flat`` — supports
+#: unsharded plans; ``shards``/``pipeline``/``async`` — composes with
+#: that plan axis; ``workers`` — accepts a ``:K`` worker count in the
+#: backend spec.
+BACKEND_CAPABILITIES = ("flat", "shards", "pipeline", "async", "workers")
+
+
+@dataclass(frozen=True)
+class BackendInfo:
+    """One registered execution backend."""
+
+    name: str
+    #: ``factory(*, sharded, pipelined, async_) -> type`` — resolves a
+    #: plan shape to the base trainer class; raises ``ValueError``
+    #: (naming the backend and the offending axis) for shapes the
+    #: backend does not support.
+    factory: object
+    capabilities: frozenset = field(default_factory=frozenset)
+    description: str = ""
+
+    def supports(self, capability: str) -> bool:
+        return capability in self.capabilities
+
+
+_REGISTRY: dict = {}
+
+
+def register_backend(
+    name: str, factory, capabilities=(), description: str = ""
+) -> BackendInfo:
+    """Register an execution backend under ``name``.
+
+    ``factory`` is called by ``compose_trainer_class`` with the plan
+    shape (keyword-only ``sharded``/``pipelined``/``async_`` booleans)
+    and must return the base trainer class for that shape.
+    ``capabilities`` declares which plan axes the backend composes
+    with (subset of :data:`BACKEND_CAPABILITIES`); plan validation
+    rejects combinations outside it with a named reason.
+    """
+    if not name or not name.replace("_", "").isalnum():
+        raise ValueError(
+            f"backend name must be alphanumeric (got {name!r}); the "
+            "spec grammar reserves ':' for the worker count"
+        )
+    if name in _REGISTRY:
+        raise ValueError(
+            f"backend {name!r} is already registered "
+            f"(registered: {', '.join(available_backends())})"
+        )
+    if not callable(factory):
+        raise ValueError(f"backend factory must be callable, got {factory!r}")
+    capabilities = frozenset(capabilities)
+    unknown = sorted(capabilities - set(BACKEND_CAPABILITIES))
+    if unknown:
+        raise ValueError(
+            f"unknown backend capabilities: {', '.join(unknown)} "
+            f"(choose from {', '.join(BACKEND_CAPABILITIES)})"
+        )
+    info = BackendInfo(
+        name=name,
+        factory=factory,
+        capabilities=capabilities,
+        description=description,
+    )
+    _REGISTRY[name] = info
+    return info
+
+
+def available_backends() -> tuple:
+    """Registered backend names, in registration order."""
+    return tuple(_REGISTRY)
+
+
+def backend_info(name: str) -> BackendInfo:
+    """The :class:`BackendInfo` for ``name`` (raises with the list of
+    registered names otherwise — the extension point's discoverable
+    error surface)."""
+    info = _REGISTRY.get(name)
+    if info is None:
+        raise ValueError(
+            f"unknown backend: {name!r} (registered: "
+            f"{', '.join(available_backends())}; add one with "
+            "repro.session.register_backend)"
+        )
+    return info
+
+
+def parse_backend_spec(spec: str) -> tuple:
+    """Split a ``"name[:workers]"`` backend spec into ``(name, workers)``.
+
+    Validates that ``name`` is registered and that a ``:workers``
+    suffix is only used with backends declaring the ``workers``
+    capability (``numpy:4`` is rejected — the serial backend admits no
+    worker count).
+    """
+    if not isinstance(spec, str):
+        raise ValueError(f"backend must be a string, got {type(spec).__name__}")
+    name, separator, suffix = spec.partition(":")
+    info = backend_info(name)
+    if not separator:
+        return name, None
+    try:
+        workers = int(suffix)
+    except ValueError:
+        raise ValueError(
+            f"invalid backend spec: {spec!r} — the worker count after "
+            "':' must be an integer"
+        ) from None
+    if workers < 1:
+        raise ValueError(
+            f"invalid backend spec: {spec!r} — the worker count must be "
+            "positive"
+        )
+    if not info.supports("workers"):
+        raise ValueError(
+            f"invalid backend spec: {spec!r} — backend {name!r} admits "
+            "no worker count (only "
+            f"{', '.join(n for n in available_backends() if _REGISTRY[n].supports('workers'))} "
+            "do)"
+        )
+    return name, workers
+
+
+def canonical_backend_spec(name: str, workers=None) -> str:
+    """The canonical spec string for ``(name, workers)``."""
+    return name if workers is None else f"{name}:{workers}"
+
+
+# ---------------------------------------------------------------------------
+# Built-in backends.
+# ---------------------------------------------------------------------------
+
+
+def _numpy_factory(*, sharded: bool, pipelined: bool, async_: bool):
+    from ..lazydp.trainer import LazyDPTrainer
+    from ..shard.trainer import ShardedLazyDPTrainer
+
+    return ShardedLazyDPTrainer if sharded else LazyDPTrainer
+
+
+def _threads_factory(*, sharded: bool, pipelined: bool, async_: bool):
+    if not sharded:
+        raise ValueError(
+            "backend 'threads' requires the shards axis "
+            "(plan spec: shards=N,backend=threads[:K])"
+        )
+    from ..shard.trainer import ShardedLazyDPTrainer
+
+    return ShardedLazyDPTrainer
+
+
+def _process_factory(*, sharded: bool, pipelined: bool, async_: bool):
+    if not sharded:
+        raise ValueError(
+            "backend 'process' requires the shards axis "
+            "(plan spec: shards=N,backend=process)"
+        )
+    if pipelined or async_:
+        raise ValueError(
+            "backend 'process' composes with neither the pipeline nor "
+            "the async axis: each shard's worker process already "
+            "overlaps plan/sample/apply with the other shards"
+        )
+    from ..procshard.trainer import ProcessShardedLazyDPTrainer
+
+    return ProcessShardedLazyDPTrainer
+
+
+register_backend(
+    "numpy",
+    _numpy_factory,
+    capabilities=("flat", "shards", "pipeline", "async"),
+    description="in-process numpy kernels, serial per-shard schedule",
+)
+register_backend(
+    "threads",
+    _threads_factory,
+    capabilities=("shards", "pipeline", "async", "workers"),
+    description="in-process numpy kernels on a persistent shard thread pool",
+)
+register_backend(
+    "process",
+    _process_factory,
+    capabilities=("shards", "workers"),
+    description=(
+        "one worker process per shard, slab and history in shared memory"
+    ),
+)

@@ -142,9 +142,7 @@ class DPConfig:
 
     def noise_std(self, batch_size: int) -> float:
         """Per-coordinate std of noise on the averaged clipped gradient."""
-        return gradient_noise_std(
-            self.noise_multiplier, self.max_grad_norm, batch_size
-        )
+        return gradient_noise_std(self.noise_multiplier, self.max_grad_norm, batch_size)
 
 
 @dataclass
@@ -183,8 +181,13 @@ class TrainerBase:
     name = "base"
     is_private = True
 
-    def __init__(self, model: DLRM, config: DPConfig, noise_seed: int = 1234,
-                 dense_optimizer: DenseOptimizer | None = None):
+    def __init__(
+        self,
+        model: DLRM,
+        config: DPConfig,
+        noise_seed: int = 1234,
+        dense_optimizer: DenseOptimizer | None = None,
+    ):
         self.model = model
         self.config = config
         self.noise_stream = NoiseStream(noise_seed)
@@ -195,9 +198,7 @@ class TrainerBase:
         # fine.  Embedding tables are pinned to the linear sparse update
         # inside each trainer (LazyDP's deferral requires it; see
         # repro.train.optimizers).
-        self.dense_optimizer = dense_optimizer or DenseSGD(
-            config.learning_rate
-        )
+        self.dense_optimizer = dense_optimizer or DenseSGD(config.learning_rate)
         # With Poisson sampling the realised batch size fluctuates, but the
         # DP convention (Opacus) averages and scales noise by the expected
         # lot size; ``fit`` pins this from the loader.
@@ -298,9 +299,7 @@ class TrainerBase:
                 loss = self.train_step(iteration, batch, next_batch)
             losses.append(loss)
             if self.accountant is not None:
-                self.accountant.step(
-                    self.config.noise_multiplier, loader.sample_rate
-                )
+                self.accountant.step(self.config.noise_multiplier, loader.sample_rate)
             final_iteration = iteration
             self.last_iteration = iteration
         with tracer.span("finalize", iteration=final_iteration):
@@ -319,14 +318,13 @@ class TrainerBase:
             shard_times=self._fit_shard_times(),
         )
         if obs.enabled:
-            obs.collect(
-                self, philox_launches=philox_invocations() - philox_start
-            )
+            obs.collect(self, philox_launches=philox_invocations() - philox_start)
         return result
 
     # -- shared update kernels ---------------------------------------------
-    def _apply_dense_noisy_updates(self, grads: dict, iteration: int,
-                                   noise_std: float) -> None:
+    def _apply_dense_noisy_updates(
+        self, grads: dict, iteration: int, noise_std: float
+    ) -> None:
         """Noisy update for every dense (MLP) parameter.
 
         All private variants treat the MLPs identically (paper Section
@@ -346,8 +344,7 @@ class TrainerBase:
             with self.timer.time("noisy_grad_update"):
                 self.dense_optimizer.update(param, noisy_grad)
 
-    def _apply_dense_plain_updates(self, grads: dict,
-                                   iteration: int) -> None:
+    def _apply_dense_plain_updates(self, grads: dict, iteration: int) -> None:
         if self.schedule is not None:
             self.dense_optimizer.learning_rate = self._learning_rate(iteration)
         with self.timer.time("noisy_grad_update"):

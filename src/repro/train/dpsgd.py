@@ -36,9 +36,7 @@ class EagerDPSGDBase(TrainerBase):
 
         denominator = self._batch_denominator(batch)
         norms = self._per_example_norms(batch)
-        weights = clipped_average_weights(
-            norms, self.config.max_grad_norm, denominator
-        )
+        weights = clipped_average_weights(norms, self.config.max_grad_norm, denominator)
         grads = self._reduced_grads(weights)
 
         noise_std = self.config.noise_std(denominator)
@@ -59,9 +57,9 @@ class EagerDPSGDBase(TrainerBase):
             return self.model.weighted_grads(weights)
 
     # -- the dense noisy embedding update (paper Figure 4b) ---------------
-    def _apply_embedding_dense_noisy_update(self, table_index: int, bag,
-                                            sparse_grad, iteration: int,
-                                            noise_std: float) -> None:
+    def _apply_embedding_dense_noisy_update(
+        self, table_index: int, bag, sparse_grad, iteration: int, noise_std: float
+    ) -> None:
         num_rows = bag.num_rows
         lr = self._learning_rate(iteration)
         with self.timer.time("noise_sampling"):
@@ -112,9 +110,7 @@ class DPSGDBTrainer(EagerDPSGDBase):
         with self.timer.time("bwd_per_batch"):
             grads: dict = {}
             for name, grad in self._per_example_dense.items():
-                grads[name] = np.einsum(
-                    "b...,b->...", grad, weights
-                )
+                grads[name] = np.einsum("b...,b->...", grad, weights)
             for name, pairs in self.model.per_example_embedding_pairs().items():
                 grads[name] = pairs.weighted_row_grad(weights)
         return grads

@@ -21,19 +21,24 @@ class EANATrainer(DPSGDFTrainer):
 
     name = "eana"
 
-    def _apply_embedding_dense_noisy_update(self, table_index: int, bag,
-                                            sparse_grad, iteration: int,
-                                            noise_std: float) -> None:
+    def _apply_embedding_dense_noisy_update(
+        self, table_index: int, bag, sparse_grad, iteration: int, noise_std: float
+    ) -> None:
         lr = self._learning_rate(iteration)
         with self.timer.time("noise_sampling"):
             noise_values = self.noise_stream.row_noise(
-                table_index, sparse_grad.rows, iteration, bag.dim,
+                table_index,
+                sparse_grad.rows,
+                iteration,
+                bag.dim,
                 std=noise_std,
             )
         with self.timer.time("noisy_grad_generation"):
             rows, values = merge_sparse_updates(
-                sparse_grad.rows, sparse_grad.values,
-                sparse_grad.rows, noise_values,
+                sparse_grad.rows,
+                sparse_grad.values,
+                sparse_grad.rows,
+                noise_values,
             )
         with self.timer.time("noisy_grad_update"):
             bag.table.data[rows] -= lr * values

@@ -52,8 +52,9 @@ def roc_auc(labels: np.ndarray, scores: np.ndarray) -> float:
     return float(u_statistic / (positives * negatives))
 
 
-def log_loss(labels: np.ndarray, probabilities: np.ndarray,
-             epsilon: float = 1e-12) -> float:
+def log_loss(
+    labels: np.ndarray, probabilities: np.ndarray, epsilon: float = 1e-12
+) -> float:
     """Mean binary cross-entropy on probabilities, clipped away from 0/1."""
     labels = np.asarray(labels, dtype=np.float64)
     probabilities = np.clip(
@@ -61,8 +62,9 @@ def log_loss(labels: np.ndarray, probabilities: np.ndarray,
     )
     if labels.shape != probabilities.shape:
         raise ValueError("labels and probabilities must be aligned")
-    losses = -(labels * np.log(probabilities)
-               + (1.0 - labels) * np.log(1.0 - probabilities))
+    losses = -(
+        labels * np.log(probabilities) + (1.0 - labels) * np.log(1.0 - probabilities)
+    )
     return float(losses.mean())
 
 
@@ -75,8 +77,9 @@ class CalibrationBin:
     observed_rate: float
 
 
-def calibration_bins(labels: np.ndarray, probabilities: np.ndarray,
-                     num_bins: int = 10) -> list:
+def calibration_bins(
+    labels: np.ndarray, probabilities: np.ndarray, num_bins: int = 10
+) -> list:
     """Reliability-diagram bins: predicted vs observed positive rate."""
     if num_bins < 1:
         raise ValueError("num_bins must be positive")
@@ -92,29 +95,32 @@ def calibration_bins(labels: np.ndarray, probabilities: np.ndarray,
             mask = (probabilities >= lower) & (probabilities < upper)
         count = int(np.count_nonzero(mask))
         if count == 0:
-            bins.append(CalibrationBin(lower, upper, 0, float("nan"),
-                                       float("nan")))
+            bins.append(CalibrationBin(lower, upper, 0, float("nan"), float("nan")))
         else:
-            bins.append(CalibrationBin(
-                lower, upper, count,
-                float(probabilities[mask].mean()),
-                float(labels[mask].mean()),
-            ))
+            bins.append(
+                CalibrationBin(
+                    lower,
+                    upper,
+                    count,
+                    float(probabilities[mask].mean()),
+                    float(labels[mask].mean()),
+                )
+            )
     return bins
 
 
-def expected_calibration_error(labels: np.ndarray,
-                               probabilities: np.ndarray,
-                               num_bins: int = 10) -> float:
+def expected_calibration_error(
+    labels: np.ndarray, probabilities: np.ndarray, num_bins: int = 10
+) -> float:
     """Count-weighted |predicted - observed| over calibration bins."""
     bins = calibration_bins(labels, probabilities, num_bins)
     total = sum(b.count for b in bins)
     if total == 0:
         return float("nan")
-    return float(sum(
-        b.count * abs(b.mean_predicted - b.observed_rate)
-        for b in bins if b.count > 0
-    ) / total)
+    weighted = sum(
+        b.count * abs(b.mean_predicted - b.observed_rate) for b in bins if b.count > 0
+    )
+    return float(weighted / total)
 
 
 def evaluate_model(model: DLRM, batches: list) -> dict:

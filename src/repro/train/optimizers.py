@@ -80,8 +80,9 @@ class SparseOptimizer:
             raise ValueError("learning_rate must be positive")
         self.learning_rate = float(learning_rate)
 
-    def update_rows(self, param: Parameter, rows: np.ndarray,
-                    values: np.ndarray) -> None:
+    def update_rows(
+        self, param: Parameter, rows: np.ndarray, values: np.ndarray
+    ) -> None:
         raise NotImplementedError
 
     def state_bytes(self) -> int:
@@ -97,8 +98,9 @@ class SparseSGD(SparseOptimizer):
 
     is_linear = True
 
-    def update_rows(self, param: Parameter, rows: np.ndarray,
-                    values: np.ndarray) -> None:
+    def update_rows(
+        self, param: Parameter, rows: np.ndarray, values: np.ndarray
+    ) -> None:
         param.data[rows] -= self.learning_rate * values
 
 
@@ -125,8 +127,9 @@ class SparseAdagrad(SparseOptimizer):
             self._accumulators[param.name] = acc
         return acc
 
-    def update_rows(self, param: Parameter, rows: np.ndarray,
-                    values: np.ndarray) -> None:
+    def update_rows(
+        self, param: Parameter, rows: np.ndarray, values: np.ndarray
+    ) -> None:
         acc = self._accumulator(param)
         row_norm_sq = np.einsum("rd,rd->r", values, values) / values.shape[1]
         acc[rows] += row_norm_sq

@@ -47,8 +47,7 @@ class LRSchedule:
             k = len(self._prefix_sq)
             self._prefix_sq.append(self._prefix_sq[-1] + self.rate(k) ** 2)
 
-    def sum_squares_window(self, last_iteration: int,
-                           delays: np.ndarray) -> np.ndarray:
+    def sum_squares_window(self, last_iteration: int, delays: np.ndarray) -> np.ndarray:
         """Per-row ``sum of rate(k)^2`` over ``[last-delay+1 .. last]``."""
         delays = np.asarray(delays, dtype=np.int64)
         if np.any(delays < 0):
@@ -74,8 +73,7 @@ class ConstantLR(LRSchedule):
 class StepDecayLR(LRSchedule):
     """lr = base * factor^(floor((iteration-1) / step_size))."""
 
-    def __init__(self, base: float, factor: float = 0.5,
-                 step_size: int = 10):
+    def __init__(self, base: float, factor: float = 0.5, step_size: int = 10):
         super().__init__()
         if base <= 0 or not 0 < factor <= 1 or step_size < 1:
             raise ValueError("invalid step-decay parameters")
@@ -115,8 +113,9 @@ class ScheduledDPSGDFTrainer(DPSGDFTrainer):
 
     name = "dpsgd_f_scheduled"
 
-    def __init__(self, model, config: DPConfig, schedule: LRSchedule,
-                 noise_seed: int = 1234):
+    def __init__(
+        self, model, config: DPConfig, schedule: LRSchedule, noise_seed: int = 1234
+    ):
         super().__init__(model, config, noise_seed)
         self.schedule = schedule
 
@@ -126,22 +125,37 @@ class ScheduledLazyDPTrainer(LazyDPTrainer):
 
     name = "lazydp_scheduled"
 
-    def __init__(self, model, config: DPConfig, schedule: LRSchedule,
-                 noise_seed: int = 1234, use_ans: bool = True):
-        super().__init__(model, config, noise_seed=noise_seed,
-                         use_ans=use_ans)
+    def __init__(
+        self,
+        model,
+        config: DPConfig,
+        schedule: LRSchedule,
+        noise_seed: int = 1234,
+        use_ans: bool = True,
+    ):
+        super().__init__(model, config, noise_seed=noise_seed, use_ans=use_ans)
         self.schedule = schedule
         if not use_ans:
             self.name = "lazydp_scheduled_no_ans"
 
     # -- origin-scaled catch-up noise, already in theta-units --------------
-    def _weighted_catchup(self, table_index: int, rows: np.ndarray,
-                          delays: np.ndarray, iteration: int, dim: int,
-                          noise_std: float) -> np.ndarray:
+    def _weighted_catchup(
+        self,
+        table_index: int,
+        rows: np.ndarray,
+        delays: np.ndarray,
+        iteration: int,
+        dim: int,
+        noise_std: float,
+    ) -> np.ndarray:
         engine = self.engine.ans
         if engine.enabled:
             raw = self.noise_stream.aggregated_row_noise(
-                table_index, rows, np.ones_like(delays), iteration, dim,
+                table_index,
+                rows,
+                np.ones_like(delays),
+                iteration,
+                dim,
                 std=1.0,
             )
             window = self.schedule.sum_squares_window(iteration, delays)
@@ -158,16 +172,19 @@ class ScheduledLazyDPTrainer(LazyDPTrainer):
                 break
             origin = iteration - lag + 1
             chunk = self.noise_stream.row_noise(
-                table_index, ordered_rows[:active], origin, dim,
+                table_index,
+                ordered_rows[:active],
+                origin,
+                dim,
                 std=noise_std,
             )
             total[order[:active]] += self.schedule.rate(origin) * chunk
             engine.samples_drawn += active * dim
         return total
 
-    def _apply_embedding_dense_noisy_update(self, table_index: int, bag,
-                                            sparse_grad, iteration: int,
-                                            noise_std: float) -> None:
+    def _apply_embedding_dense_noisy_update(
+        self, table_index: int, bag, sparse_grad, iteration: int, noise_std: float
+    ) -> None:
         self._last_noise_std = noise_std
         lr_now = self._learning_rate(iteration)
 
@@ -181,7 +198,11 @@ class ScheduledLazyDPTrainer(LazyDPTrainer):
                 history.mark_updated(next_rows, iteration)
             with self.timer.time("noise_sampling"):
                 noise_values = self._weighted_catchup(
-                    table_index, next_rows, delays, iteration, bag.dim,
+                    table_index,
+                    next_rows,
+                    delays,
+                    iteration,
+                    bag.dim,
                     noise_std,
                 )
         else:
@@ -192,8 +213,10 @@ class ScheduledLazyDPTrainer(LazyDPTrainer):
             # Gradient scaled by the current rate; catch-up noise already
             # carries its origin rates — merge in theta-units.
             rows, values = merge_sparse_updates(
-                sparse_grad.rows, lr_now * sparse_grad.values,
-                next_rows, noise_values,
+                sparse_grad.rows,
+                lr_now * sparse_grad.values,
+                next_rows,
+                noise_values,
             )
         with self.timer.time("noisy_grad_update"):
             bag.table.data[rows] -= values
@@ -208,11 +231,15 @@ class ScheduledLazyDPTrainer(LazyDPTrainer):
                 pending = history.pending_rows(final_iteration)
                 chunk_size = self.engine.flush_chunk_rows
                 for start in range(0, pending.size, chunk_size):
-                    rows = pending[start:start + chunk_size]
+                    rows = pending[start : start + chunk_size]
                     delays = history.delays(rows, final_iteration)
                     noise = self._weighted_catchup(
-                        table_index, rows, delays, final_iteration,
-                        bag.dim, noise_std,
+                        table_index,
+                        rows,
+                        delays,
+                        final_iteration,
+                        bag.dim,
+                        noise_std,
                     )
                     bag.table.data[rows] -= noise
                     history.mark_updated(rows, final_iteration)

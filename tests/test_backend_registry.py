@@ -1,0 +1,212 @@
+"""The execution-backend registry and the deprecated executor shim.
+
+The registry (``repro.session.registry``) is the single source of truth
+for what ``ExecutionPlan.backend`` may name: plan validation, the
+trainer-class composer and ``tools/plan_matrix.py`` all iterate it, and
+``register_backend`` is the extension point third-party backends use.
+"""
+
+import warnings
+
+import pytest
+
+from repro import configs
+from repro.session import (
+    BACKEND_CAPABILITIES,
+    BackendInfo,
+    ExecutionPlan,
+    available_backends,
+    backend_info,
+    compose_trainer_class,
+    parse_backend_spec,
+    register_backend,
+)
+from repro.session.registry import _REGISTRY
+
+
+@pytest.fixture
+def scratch_backend():
+    """Register-and-clean-up helper for tests that extend the registry."""
+    registered = []
+
+    def _register(name, factory, capabilities=(), description=""):
+        register_backend(name, factory, capabilities=capabilities,
+                         description=description)
+        registered.append(name)
+        return backend_info(name)
+
+    yield _register
+    for name in registered:
+        _REGISTRY.pop(name, None)
+
+
+class TestRegistry:
+    def test_builtins_are_registered(self):
+        assert available_backends() == ("numpy", "threads", "process")
+
+    def test_backend_info_fields(self):
+        info = backend_info("threads")
+        assert isinstance(info, BackendInfo)
+        assert info.name == "threads"
+        assert info.supports("workers")
+        assert not info.supports("flat")
+        assert backend_info("numpy").supports("flat")
+        assert backend_info("process").supports("shards")
+        assert not backend_info("process").supports("pipeline")
+
+    def test_unknown_backend_error_lists_registered_names(self):
+        with pytest.raises(ValueError) as excinfo:
+            backend_info("numba")
+        message = str(excinfo.value)
+        for name in available_backends():
+            assert name in message
+        assert "register_backend" in message
+
+    def test_register_backend_extends_plan_validation(self, scratch_backend):
+        scratch_backend(
+            "scratch", lambda **kwargs: object,
+            capabilities=("flat", "shards"),
+        )
+        assert "scratch" in available_backends()
+        plan = ExecutionPlan(backend="scratch")
+        assert plan.backend == "scratch"
+        unknown_error = None
+        try:
+            ExecutionPlan(backend="still_unknown")
+        except ValueError as error:
+            unknown_error = str(error)
+        assert unknown_error is not None and "scratch" in unknown_error
+
+    def test_register_rejects_duplicates_and_bad_input(self, scratch_backend):
+        scratch_backend("dupe", lambda **kwargs: object,
+                        capabilities=("flat",))
+        with pytest.raises(ValueError, match="already registered"):
+            register_backend("dupe", lambda **kwargs: object)
+        with pytest.raises(ValueError, match="name"):
+            register_backend("bad name!", lambda **kwargs: object)
+        with pytest.raises(ValueError, match="callable"):
+            register_backend("notafactory", "nope")
+        with pytest.raises(ValueError, match="capabilit"):
+            register_backend("badcaps", lambda **kwargs: object,
+                             capabilities=("time_travel",))
+
+    def test_capability_vocabulary_is_closed(self):
+        for name in available_backends():
+            assert backend_info(name).capabilities <= set(BACKEND_CAPABILITIES)
+
+
+class TestBackendSpecs:
+    def test_parse_forms(self):
+        assert parse_backend_spec("threads") == ("threads", None)
+        assert parse_backend_spec("threads:4") == ("threads", 4)
+        assert parse_backend_spec("process") == ("process", None)
+
+    def test_parse_rejects_bad_worker_counts(self):
+        with pytest.raises(ValueError, match="worker"):
+            parse_backend_spec("threads:zero")
+        with pytest.raises(ValueError, match="worker"):
+            parse_backend_spec("threads:0")
+        # numpy has no "workers" capability: a count is meaningless.
+        with pytest.raises(ValueError, match="worker"):
+            ExecutionPlan(backend="numpy:2")
+
+    def test_flat_plan_requires_flat_capability(self):
+        with pytest.raises(ValueError, match="shards"):
+            ExecutionPlan(backend="threads")
+        with pytest.raises(ValueError, match="shards"):
+            ExecutionPlan.from_spec("backend=process")
+
+    def test_process_pins_one_worker_per_shard(self):
+        plan = ExecutionPlan.from_spec("shards=3,backend=process:3")
+        assert parse_backend_spec(plan.backend) == ("process", 3)
+        with pytest.raises(ValueError, match="process:4"):
+            ExecutionPlan.from_spec("shards=3,backend=process:4")
+
+    def test_process_composes_with_neither_pipeline_nor_async(self):
+        with pytest.raises(ValueError, match="pipeline"):
+            ExecutionPlan.from_spec("shards=2,backend=process,pipeline=2")
+        with pytest.raises(ValueError, match="async"):
+            ExecutionPlan.from_spec("shards=2,backend=process,async=strict")
+
+    def test_process_spec_round_trips(self):
+        for spec in ("ans=on,shards=2,partition=row_range,backend=process",
+                     "ans=off,shards=7,partition=hash,backend=process:7"):
+            plan = ExecutionPlan.from_spec(spec)
+            assert plan.to_spec() == spec
+            assert ExecutionPlan.from_dict(plan.to_dict()) == plan
+
+
+class TestDeprecatedExecutorShim:
+    def test_shim_warns_once_and_canonicalizes(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            plan = ExecutionPlan(
+                shards=configs.ShardConfig(num_shards=4, executor="threads",
+                                           max_workers=2),
+            )
+        deprecations = [w for w in caught
+                        if issubclass(w.category, DeprecationWarning)]
+        assert len(deprecations) == 1
+        assert "backend" in str(deprecations[0].message)
+        assert plan.backend == "threads:2"
+        assert plan.shards.executor == "serial"
+        assert plan.shards.max_workers is None
+
+    def test_shim_spec_keys_still_parse(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            plan = ExecutionPlan.from_spec("shards=2,executor=threads")
+        assert plan.backend == "threads"
+        assert plan.to_spec() == (
+            "ans=on,shards=2,partition=row_range,backend=threads"
+        )
+
+    def test_both_spellings_at_once_is_a_contradiction(self):
+        with pytest.raises(ValueError, match="contradictory"):
+            ExecutionPlan(
+                shards=configs.ShardConfig(num_shards=2, executor="threads"),
+                backend="process",
+            )
+        with pytest.raises(ValueError, match="contradictory"):
+            ExecutionPlan.from_spec(
+                "shards=2,executor=threads,backend=process"
+            )
+
+
+class TestComposer:
+    def test_compose_resolves_through_registry(self):
+        from repro.lazydp import LazyDPTrainer
+        from repro.procshard import ProcessShardedLazyDPTrainer
+        from repro.shard import ShardedLazyDPTrainer
+
+        assert compose_trainer_class(
+            sharded=False, pipelined=False, async_=False, backend="numpy"
+        ) is LazyDPTrainer
+        assert compose_trainer_class(
+            sharded=True, pipelined=False, async_=False, backend="numpy"
+        ) is ShardedLazyDPTrainer
+        assert compose_trainer_class(
+            sharded=True, pipelined=False, async_=False, backend="process"
+        ) is ProcessShardedLazyDPTrainer
+        # Worker counts select the same class: they are trainer kwargs.
+        assert compose_trainer_class(
+            sharded=True, pipelined=False, async_=False, backend="threads:3"
+        ) is compose_trainer_class(
+            sharded=True, pipelined=False, async_=False, backend="threads"
+        )
+
+    def test_custom_backend_composes(self, scratch_backend):
+        from repro.shard import ShardedLazyDPTrainer
+
+        class MarkerTrainer(ShardedLazyDPTrainer):
+            pass
+
+        scratch_backend(
+            "marker",
+            lambda *, sharded, pipelined, async_: MarkerTrainer,
+            capabilities=("shards",),
+        )
+        composed = compose_trainer_class(
+            sharded=True, pipelined=False, async_=False, backend="marker"
+        )
+        assert issubclass(composed, MarkerTrainer)

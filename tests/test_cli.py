@@ -134,7 +134,7 @@ class TestPlanFlag:
         out = capsys.readouterr().out
         assert "pipelined_sharded_lazydp" in out
         assert ("plan             : ans=on,shards=2,partition=row_range,"
-                "executor=threads,pipeline=2") in out
+                "pipeline=2,backend=threads") in out
         assert "per-shard model update" in out
         assert "noise prefetch pipeline" in out
 
@@ -175,7 +175,7 @@ class TestPlanFlag:
         assert code == 0
         out = capsys.readouterr().out
         assert ("plan             : ans=on,shards=2,partition=row_range,"
-                "executor=serial,pipeline=2") in out
+                "pipeline=2") in out
 
     def test_rejects_contradictory_spec(self, capsys):
         code = main([

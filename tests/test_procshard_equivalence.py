@@ -1,0 +1,174 @@
+"""The process backend's headline guarantee: bitwise equivalence.
+
+``backend=process`` runs every shard's model update in a separate
+worker process over shared memory, yet must release exactly the
+parameters the flat ``LazyDPTrainer`` releases — same seed, same trace,
+same bits — for every shard count, partition strategy, ANS mode and
+sampling scheme.  Noise is a pure function of ``(seed, table, global
+row id, iteration)`` and each global row is owned by exactly one
+worker, so the cross-process matrix is testable as strict equality,
+exactly like the in-process sharded matrix.
+
+The ledger half: every worker advances a per-process ``VersionVector``
+segment as it applies noise, and ``audit_noise_ledger`` must prove
+exactly-once application across the process boundary after the flush.
+"""
+
+import multiprocessing
+
+import numpy as np
+import pytest
+
+from repro import configs
+from repro.lazydp.ledger import LedgerError
+from repro.testing import max_param_diff, train_algorithm
+
+
+@pytest.fixture
+def config():
+    return configs.tiny_dlrm(num_tables=3, rows=64, dim=8, lookups=2)
+
+
+def train_process(config, *, num_shards=2, sampling="fixed", use_ans=True,
+                  partition="row_range", num_batches=6, audit=True):
+    ans = "on" if use_ans else "off"
+    spec = (f"ans={ans},shards={num_shards},partition={partition},"
+            "backend=process")
+    model, result, trainer = train_algorithm(
+        spec, config, num_batches=num_batches, sampling=sampling,
+    )
+    if audit:
+        trainer.audit_noise_ledger(result.iterations)
+    trainer.close()
+    return model, result, trainer
+
+
+class TestBitwiseEquivalence:
+    @pytest.mark.parametrize("num_shards", [1, 2, 7])
+    @pytest.mark.parametrize("sampling", ["fixed", "poisson"])
+    def test_released_params_identical(self, config, num_shards, sampling):
+        flat_model, _, _ = train_algorithm(
+            "lazydp", config, num_batches=6, sampling=sampling
+        )
+        proc_model, _, _ = train_process(
+            config, num_shards=num_shards, sampling=sampling
+        )
+        assert max_param_diff(flat_model, proc_model) == 0.0
+
+    @pytest.mark.parametrize("num_shards", [1, 2, 7])
+    @pytest.mark.parametrize("sampling", ["fixed", "poisson"])
+    def test_identical_without_ans(self, config, num_shards, sampling):
+        flat_model, _, _ = train_algorithm(
+            "lazydp_no_ans", config, num_batches=5, sampling=sampling
+        )
+        proc_model, _, _ = train_process(
+            config, num_shards=num_shards, sampling=sampling,
+            use_ans=False, num_batches=5,
+        )
+        assert max_param_diff(flat_model, proc_model) == 0.0
+
+    @pytest.mark.parametrize("partition", ["frequency", "hash"])
+    def test_identical_across_partitions(self, config, partition):
+        flat_model, _, _ = train_algorithm("lazydp", config, num_batches=6)
+        proc_model, _, _ = train_process(
+            config, num_shards=4, partition=partition
+        )
+        assert max_param_diff(flat_model, proc_model) == 0.0
+
+    def test_matches_threads_backend_bitwise(self, config):
+        threads_model, _, _ = train_algorithm(
+            "shards=3,backend=threads", config, num_batches=6
+        )
+        proc_model, _, _ = train_process(config, num_shards=3)
+        assert max_param_diff(threads_model, proc_model) == 0.0
+
+    def test_histories_match_flat_after_fit(self, config):
+        _, _, flat_trainer = train_algorithm("lazydp", config, num_batches=6)
+        _, _, proc_trainer = train_process(config, num_shards=3)
+        for flat, sharded in zip(flat_trainer.engine.histories,
+                                 proc_trainer.engine.histories):
+            np.testing.assert_array_equal(flat.snapshot(), sharded.snapshot())
+
+    def test_spawn_start_method_is_equivalent(self, config, monkeypatch):
+        """The spawn fallback (no fork on the host) trains the same bits."""
+        flat_model, _, _ = train_algorithm("lazydp", config, num_batches=4)
+        monkeypatch.setattr(
+            multiprocessing, "get_all_start_methods", lambda: ["spawn"]
+        )
+        proc_model, _, trainer = train_process(
+            config, num_shards=2, num_batches=4
+        )
+        assert trainer._start_method == "spawn"
+        assert max_param_diff(flat_model, proc_model) == 0.0
+
+
+class TestCrossProcessLedger:
+    def test_audit_passes_after_flush(self, config):
+        _, result, trainer = train_process(config, num_shards=3, audit=False)
+        trainer.audit_noise_ledger(result.iterations)
+        # One non-empty segment per (table, shard); rows split across them.
+        total_rows = sum(vector.num_rows for vector in trainer.ledger)
+        assert total_rows == 3 * 64
+
+    def test_ledger_mirrors_history_after_flush(self, config):
+        _, result, trainer = train_process(config, num_shards=2)
+        final = result.iterations
+        for vector in trainer.ledger:
+            np.testing.assert_array_equal(
+                vector.snapshot(), np.full(vector.num_rows, final)
+            )
+
+    def test_audit_catches_missing_span(self, config):
+        """A ledger segment left behind the flush horizon must fail the
+        audit — the exactly-once proof is not vacuous."""
+        _, result, trainer = train_process(config, num_shards=2)
+        vector = trainer.ledger[0]
+        storage = vector.snapshot()
+        storage[0] = result.iterations - 1
+        tampered = type(vector).attach(storage)
+        with pytest.raises(LedgerError):
+            tampered.audit_complete(result.iterations)
+
+
+class TestReportingSurfaces:
+    def test_procshard_stats_and_kernel_stats(self, config):
+        model, result, trainer = train_algorithm(
+            "shards=2,backend=process", config, num_batches=4
+        )
+        stats = trainer.procshard_stats()
+        assert stats["start_method"] in ("fork", "spawn")
+        assert len(stats["workers"]) == 2
+        for worker in stats["workers"]:
+            assert worker["pid"] > 0
+            assert worker["messages"] > 0
+            assert worker["samples_drawn"] >= 0
+            assert worker["staged"] == 0
+        assert trainer.kernel_stats()["procshard"]["workers"]
+        trainer.close()
+        # Post-close stats come from the cached last round trip.
+        assert trainer.procshard_stats()["workers"]
+
+    def test_worker_stage_timings_fold_into_shard_timers(self, config):
+        _, _, trainer = train_algorithm(
+            "shards=2,backend=process", config, num_batches=4
+        )
+        summary = trainer.shard_time_summary()
+        assert summary["per_shard"], summary
+        folded_stages = set()
+        for stage_totals in summary["per_shard"]:
+            folded_stages.update(stage_totals)
+        assert "noise_sampling" in folded_stages
+        assert "lazydp_history_read" in folded_stages
+        trainer.close()
+
+    def test_export_and_serve_survive_close(self, config):
+        """Close rematerializes private copies: every read surface keeps
+        working after the shared memory is gone."""
+        model, result, trainer = train_algorithm(
+            "shards=2,backend=process", config, num_batches=4
+        )
+        before = [bag.table.data.copy() for bag in model.embeddings]
+        trainer.close()
+        for bag, snapshot in zip(model.embeddings, before):
+            np.testing.assert_array_equal(bag.table.data, snapshot)
+        trainer.audit_noise_ledger(result.iterations)

@@ -37,10 +37,9 @@ def plan_matrix():
         ExecutionPlan(),
         ExecutionPlan(ans=False),
         ExecutionPlan(shards=ShardConfig(num_shards=3)),
-        ExecutionPlan(shards=ShardConfig(
-            num_shards=4, partition="frequency", executor="threads",
-            max_workers=2,
-        )),
+        ExecutionPlan(shards=ShardConfig(num_shards=4,
+                                         partition="frequency"),
+                      backend="threads:2"),
         ExecutionPlan(pipeline=PipelineConfig(enabled=True,
                                               prefetch_depth=3)),
         ExecutionPlan(async_=AsyncConfig(enabled=True, max_in_flight=4,
@@ -174,8 +173,8 @@ class TestLegacyMapping:
              "max_in_flight": 4, "staleness": "bounded:1",
              "prefetch_depth": 3, "skew": "SKEW"},
         )
-        assert plan.shards == ShardConfig(num_shards=7, partition="hash",
-                                          executor="threads")
+        assert plan.shards == ShardConfig(num_shards=7, partition="hash")
+        assert plan.backend == "threads"
         assert plan.pipeline.prefetch_depth == 3
         assert plan.async_ == AsyncConfig(enabled=True, max_in_flight=4,
                                           staleness="bounded:1")
@@ -190,7 +189,8 @@ class TestLegacyMapping:
             plan, extras = plan_for_algorithm(
                 "sharded_lazydp", {"num_shards": 3, "executor": executor}
             )
-            assert plan.shards.executor == "threads"
+            assert plan.shards.executor == "serial"
+            assert plan.backend == "threads"
             assert extras["executor"] is executor
         finally:
             executor.shutdown()

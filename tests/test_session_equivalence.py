@@ -47,31 +47,38 @@ MATRIX = [
     ("lazydp_no_ans", {}, "fixed"),
     ("sharded_lazydp", {"num_shards": 1}, "fixed"),
     ("sharded_lazydp", {"num_shards": 2}, "poisson"),
-    ("sharded_lazydp", {"num_shards": 7, "partition": "hash",
-                        "executor": "threads"}, "fixed"),
-    ("sharded_lazydp_no_ans", {"num_shards": 2,
-                               "partition": "frequency"}, "fixed"),
+    (
+        "sharded_lazydp",
+        {"num_shards": 7, "partition": "hash", "executor": "threads"},
+        "fixed",
+    ),
+    ("sharded_lazydp_no_ans", {"num_shards": 2, "partition": "frequency"}, "fixed"),
     ("pipelined_lazydp", {"prefetch_depth": 1}, "fixed"),
     ("pipelined_lazydp", {"prefetch_depth": 2}, "poisson"),
     ("pipelined_lazydp", {"prefetch_depth": 4}, "fixed"),
     ("pipelined_lazydp_no_ans", {"prefetch_depth": 2}, "fixed"),
-    ("pipelined_sharded_lazydp", {"num_shards": 2,
-                                  "prefetch_depth": 2}, "fixed"),
-    ("pipelined_sharded_lazydp", {"num_shards": 7,
-                                  "executor": "threads",
-                                  "prefetch_depth": 4}, "poisson"),
-    ("pipelined_sharded_lazydp_no_ans", {"num_shards": 2,
-                                         "partition": "hash"}, "fixed"),
+    ("pipelined_sharded_lazydp", {"num_shards": 2, "prefetch_depth": 2}, "fixed"),
+    (
+        "pipelined_sharded_lazydp",
+        {"num_shards": 7, "executor": "threads", "prefetch_depth": 4},
+        "poisson",
+    ),
+    (
+        "pipelined_sharded_lazydp_no_ans",
+        {"num_shards": 2, "partition": "hash"},
+        "fixed",
+    ),
     ("async_lazydp", {"max_in_flight": 1}, "fixed"),
     ("async_lazydp", {"max_in_flight": 2}, "poisson"),
     ("async_lazydp", {"max_in_flight": 4, "prefetch_depth": 4}, "fixed"),
     ("async_lazydp_no_ans", {"max_in_flight": 2}, "fixed"),
-    ("async_sharded_lazydp", {"num_shards": 2,
-                              "max_in_flight": 2}, "fixed"),
-    ("async_sharded_lazydp", {"num_shards": 7, "executor": "threads",
-                              "max_in_flight": 4}, "poisson"),
-    ("async_sharded_lazydp_no_ans", {"num_shards": 2,
-                                     "max_in_flight": 2}, "fixed"),
+    ("async_sharded_lazydp", {"num_shards": 2, "max_in_flight": 2}, "fixed"),
+    (
+        "async_sharded_lazydp",
+        {"num_shards": 7, "executor": "threads", "max_in_flight": 4},
+        "poisson",
+    ),
+    ("async_sharded_lazydp_no_ans", {"num_shards": 2, "max_in_flight": 2}, "fixed"),
 ]
 
 
@@ -90,8 +97,7 @@ def train(config, trainer_factory, sampling):
     """Fresh model + the shared deterministic workload; returns model."""
     model = DLRM(config, seed=7)
     trainer = trainer_factory(model)
-    loader = make_loader(config, batch_size=16, num_batches=6,
-                         sampling=sampling)
+    loader = make_loader(config, batch_size=16, num_batches=6, sampling=sampling)
     trainer.fit(loader)
     close = getattr(trainer, "close", None)
     if close is not None:
@@ -102,8 +108,7 @@ def train(config, trainer_factory, sampling):
 @pytest.mark.parametrize("case", MATRIX, ids=matrix_id)
 def test_plan_matches_legacy_class_bitwise(config, case):
     algorithm, kwargs, sampling = case
-    dp = DPConfig(noise_multiplier=1.1, max_grad_norm=1.0,
-                  learning_rate=0.05)
+    dp = DPConfig(noise_multiplier=1.1, max_grad_norm=1.0, learning_rate=0.05)
     base_name = algorithm.removesuffix("_no_ans")
     use_ans = not algorithm.endswith("_no_ans")
 
@@ -132,15 +137,13 @@ def test_plan_matches_legacy_class_bitwise(config, case):
 def test_bounded_staleness_plan_keeps_ledger_exact(config):
     """bounded:k may reorder reads (no bitwise bar); the plan-built
     trainer must still account every noise value exactly once."""
-    dp = DPConfig(noise_multiplier=1.1, max_grad_norm=1.0,
-                  learning_rate=0.05)
+    dp = DPConfig(noise_multiplier=1.1, max_grad_norm=1.0, learning_rate=0.05)
     plan, _ = plan_for_algorithm(
         "async_lazydp", {"max_in_flight": 4, "staleness": "bounded:2"}
     )
     _, trainer = train(
         config,
-        lambda model: TrainSession.build(model, dp, plan,
-                                         noise_seed=99).trainer,
+        lambda model: TrainSession.build(model, dp, plan, noise_seed=99).trainer,
         "fixed",
     )
     trainer.audit_noise_ledger(6)
@@ -150,8 +153,7 @@ def test_plan_built_histories_match_legacy(config):
     """Beyond parameters: the deferred-noise bookkeeping agrees too."""
     import numpy as np
 
-    dp = DPConfig(noise_multiplier=1.1, max_grad_norm=1.0,
-                  learning_rate=0.05)
+    dp = DPConfig(noise_multiplier=1.1, max_grad_norm=1.0, learning_rate=0.05)
     _, legacy_trainer = train(
         config,
         lambda model: PipelinedShardedLazyDPTrainer(
@@ -164,10 +166,10 @@ def test_plan_built_histories_match_legacy(config):
     )
     _, plan_trainer = train(
         config,
-        lambda model: TrainSession.build(model, dp, plan,
-                                         noise_seed=99).trainer,
+        lambda model: TrainSession.build(model, dp, plan, noise_seed=99).trainer,
         "fixed",
     )
-    for legacy, built in zip(legacy_trainer.engine.histories,
-                             plan_trainer.engine.histories):
+    for legacy, built in zip(
+        legacy_trainer.engine.histories, plan_trainer.engine.histories
+    ):
         np.testing.assert_array_equal(legacy.snapshot(), built.snapshot())

@@ -4,14 +4,28 @@ For each legacy algorithm string, map it to its ExecutionPlan
 (:func:`repro.session.plan_for_algorithm`), check both serialization
 round trips, build a trainer through ``TrainSession.build``, and run a
 short fit (one lookahead step plus the terminal flush) at a tiny
-geometry.  CI runs this as the ``plan-matrix`` step so a plan that
-stops composing — or stops round-tripping — fails fast, independently
-of the (slower) tier-1 equivalence matrix.
+geometry.  Then iterate the execution-backend *registry*
+(:func:`repro.session.available_backends`) and smoke one plan per
+registered backend, so a backend someone registers — or one of the
+built-ins — cannot silently stop composing with the session facade.
+CI runs this as the ``plan-matrix`` step so a plan that stops composing
+— or stops round-tripping — fails fast, independently of the (slower)
+tier-1 equivalence matrix.
 
 Run:  PYTHONPATH=src python tools/plan_matrix.py
 """
 
 import sys
+
+
+def _backend_smoke_plan(name):
+    """A minimal plan exercising one registered backend."""
+    from repro.session import ExecutionPlan, backend_info
+
+    info = backend_info(name)
+    if info.supports("shards"):
+        return ExecutionPlan.from_spec(f"shards=2,backend={name}")
+    return ExecutionPlan.from_spec(f"backend={name}")
 
 
 def main() -> int:
@@ -21,6 +35,7 @@ def main() -> int:
         ExecutionPlan,
         LEGACY_ALGORITHMS,
         TrainSession,
+        available_backends,
         plan_for_algorithm,
     )
     from repro.testing import make_loader
@@ -47,11 +62,26 @@ def main() -> int:
         except Exception as error:  # noqa: BLE001 - smoke surface
             failures += 1
             print(f"FAIL {algorithm:35s} -> {error!r}", file=sys.stderr)
+    for name in available_backends():
+        try:
+            plan = _backend_smoke_plan(name)
+            assert ExecutionPlan.from_spec(plan.to_spec()) == plan
+            with TrainSession.build(DLRM(config, seed=7), dp, plan,
+                                    noise_seed=99) as session:
+                result = session.fit(
+                    make_loader(config, batch_size=16, num_batches=2)
+                )
+                assert result.iterations == 2, result.iterations
+            print(f"ok   backend:{name:27s} -> {plan.canonical()}")
+        except Exception as error:  # noqa: BLE001 - smoke surface
+            failures += 1
+            print(f"FAIL backend:{name:27s} -> {error!r}", file=sys.stderr)
     if failures:
         print(f"{failures} plan(s) failed", file=sys.stderr)
         return 1
     print(f"\nplan matrix: {len(LEGACY_ALGORITHMS)} legacy-equivalent "
-          "plans built, stepped and round-tripped")
+          f"plans and {len(available_backends())} registered backends "
+          "built, stepped and round-tripped")
     return 0
 
 
