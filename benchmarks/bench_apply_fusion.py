@@ -15,13 +15,30 @@ This benchmark measures the two kernels of ``repro.kernels``:
 * the BufferArena steady state: after warm-up, further iterations must
   allocate nothing.
 
+The ``--backend`` axis selects which kernel table is measured:
+
+* ``--backend numpy`` (default) — the sweeps above, numpy vs its own
+  unfused/looped references; writes ``BENCH_apply_fusion.json``.
+* ``--backend numba`` — the compiled kernel table
+  (``repro.kernels.njit``) vs the numpy fused kernels on identical
+  data: fused apply (bitwise-checked) and no-ANS catch-up sampling
+  (checked within the pinned ``NUMERIC_TOLERANCE``).  The warmup phase
+  runs each compiled kernel once before any timed window, so JIT
+  compile time is excluded from every measurement.  Writes
+  ``BENCH_apply_fusion_numba.json`` with its own pinned floors
+  (``fused_speedup_numba``, ``sampling_speedup_numba``) so the
+  per-backend speedup is CI-gated separately from the numpy run.
+  ``--allow-fallback`` runs the same equivalence checks interpreted
+  when numba is missing (dev boxes); timings are then meaningless, so
+  the baseline gate is skipped.
+
 Runs two ways:
 
 * under pytest-benchmark alongside the other figure benchmarks
   (``pytest benchmarks/bench_apply_fusion.py``);
 * as a plain script — ``python benchmarks/bench_apply_fusion.py
-  [--smoke]`` — for CI smoke coverage; writes a ``BENCH_apply_fusion
-  .json`` artifact and fails on a regression against
+  [--smoke] [--backend numpy|numba]`` — for CI smoke coverage; writes a
+  ``BENCH_*.json`` artifact and fails on a regression against
   ``benchmarks/reports/baseline.json`` (the pinned speedups are
   relative, in-process ratios, so the gate is portable across runners).
 """
@@ -221,6 +238,223 @@ SAMPLING_HEADER = [
     "vs looped",
     "catch-up sum",
 ]
+NUMBA_APPLY_HEADER = ["apply backend", "total ms", "vs numpy", "slab"]
+NUMBA_SAMPLING_HEADER = [
+    "no-ANS sampler",
+    "total ms",
+    "philox launches",
+    "vs numpy",
+    "catch-up sum",
+]
+
+
+def numba_apply_sweep(
+    num_rows=200_000, dim=16, touched=4096, iterations=60, repeats=3
+):
+    """Compiled vs numpy fused apply on identical data (bitwise-checked).
+
+    Both backends replay the same pre-generated update stream against
+    equal tables.  The warmup pass (which also triggers JIT
+    compilation) runs before any timed window.
+    """
+    from repro.kernels import njit as njit_kernels
+    from repro.kernels.fused import fused_noisy_update as numpy_fused
+
+    rng = np.random.default_rng(7)
+    updates = _make_updates(rng, num_rows, dim, touched, 8)
+    base = rng.standard_normal((num_rows, dim))
+    lr = 0.05
+
+    numpy_table = base.copy()
+    arena = BufferArena()
+
+    def run_numpy():
+        for i in range(iterations):
+            (grad_rows, grad_values), (noise_rows, noise_values) = updates[i % 8]
+            numpy_fused(
+                numpy_table, lr, grad_rows, grad_values, noise_rows, noise_values,
+                arena=arena,
+            )
+
+    numba_table = base.copy()
+
+    def run_numba():
+        for i in range(iterations):
+            (grad_rows, grad_values), (noise_rows, noise_values) = updates[i % 8]
+            njit_kernels.fused_noisy_update(
+                numba_table, lr, grad_rows, grad_values, noise_rows, noise_values
+            )
+
+    # Warmup: numpy pays first-touch faults and arena growth, numba pays
+    # JIT compilation — all excluded from the measured windows below.
+    run_numpy()
+    run_numba()
+    numpy_table[:] = base
+    numba_table[:] = base
+
+    numpy_seconds = _best_of(repeats, run_numpy)
+    numba_seconds = _best_of(repeats, run_numba)
+
+    identical = numpy_table.tobytes() == numba_table.tobytes()
+    speedup = numpy_seconds / numba_seconds
+    table_rows = [
+        ["numpy fused scatter", f"{numpy_seconds * 1e3:.1f}", "1.00x", "-"],
+        [
+            "numba fused @njit(parallel)",
+            f"{numba_seconds * 1e3:.1f}",
+            f"{speedup:.2f}x",
+            "bitwise equal" if identical else "MISMATCH",
+        ],
+    ]
+    metrics = {"fused_speedup_numba": speedup}
+    return table_rows, metrics, identical
+
+
+def numba_sampling_sweep(rows_count=256, max_delay=512, dim=16, repeats=3):
+    """Compiled vs numpy no-ANS catch-up (checked within NUMERIC_TOLERANCE)."""
+    from repro.kernels import njit as njit_kernels
+    from repro.kernels.sampler import batched_catchup_sum as numpy_batched
+
+    rng = np.random.default_rng(11)
+    stream = NoiseStream(seed=101)
+    rows = np.sort(rng.choice(100_000, size=rows_count, replace=False))
+    rows = rows.astype(np.int64)
+    delays = rng.integers(0, max_delay, size=rows_count).astype(np.int64)
+    iteration = max_delay + 1
+    arena = BufferArena()
+
+    result = {}
+
+    def run_numpy():
+        result["numpy"] = numpy_batched(
+            stream, 0, rows, delays, iteration, dim, std=0.5, arena=arena
+        )
+
+    def run_numba():
+        result["numba"] = njit_kernels.batched_catchup_sum(
+            stream, 0, rows, delays, iteration, dim, std=0.5
+        )
+
+    run_numpy()  # warm the arena
+    run_numba()  # JIT compile
+    before = philox_invocations()
+    run_numpy()
+    numpy_launches = philox_invocations() - before
+    before = philox_invocations()
+    run_numba()
+    numba_launches = philox_invocations() - before
+
+    numpy_seconds = _best_of(repeats, run_numpy)
+    numba_seconds = _best_of(repeats, run_numba)
+    close = bool(
+        np.allclose(
+            result["numpy"], result["numba"], **njit_kernels.NUMERIC_TOLERANCE
+        )
+    )
+
+    speedup = numpy_seconds / numba_seconds
+    table_rows = [
+        [
+            "numpy (flattened + segmented sum)",
+            f"{numpy_seconds * 1e3:.1f}",
+            str(numpy_launches),
+            "1.00x",
+            "-",
+        ],
+        [
+            "numba (in-register prange)",
+            f"{numba_seconds * 1e3:.1f}",
+            str(numba_launches),
+            f"{speedup:.2f}x",
+            "within tolerance" if close else "MISMATCH",
+        ],
+    ]
+    metrics = {"sampling_speedup_numba": speedup}
+    return table_rows, metrics, close
+
+
+def run_numba_report(smoke: bool, allow_fallback: bool = False) -> int:
+    """The ``--backend numba`` report: compiled vs numpy, gated floors."""
+    from repro.kernels import dispatch
+    from repro.kernels.njit import NUMBA_AVAILABLE
+
+    reason = dispatch.numba_missing_reason()
+    if reason is not None and not allow_fallback:
+        print(f"ERROR: {reason}", file=sys.stderr)
+        print(
+            "(--allow-fallback runs the equivalence checks interpreted, "
+            "without the speedup gate)",
+            file=sys.stderr,
+        )
+        return 2
+    fallback = not NUMBA_AVAILABLE
+
+    if fallback:
+        # Interpreted kernels: keep the geometry tiny, skip the gate.
+        apply_kwargs = dict(num_rows=2_000, dim=8, touched=96, iterations=4)
+        sampling_kwargs = dict(rows_count=24, max_delay=24, dim=8)
+    elif smoke:
+        apply_kwargs = dict(num_rows=40_000, dim=16, touched=1024, iterations=40)
+        sampling_kwargs = dict(rows_count=128, max_delay=256, dim=16)
+    else:
+        apply_kwargs = dict(num_rows=200_000, dim=16, touched=4096, iterations=60)
+        sampling_kwargs = dict(rows_count=256, max_delay=512, dim=16)
+
+    apply_rows, apply_metrics, identical = numba_apply_sweep(**apply_kwargs)
+    title = "Fused apply, numba vs numpy ({num_rows} rows x dim {dim})".format(
+        **apply_kwargs
+    )
+    print(format_table(NUMBA_APPLY_HEADER, apply_rows, title=title))
+    sampling_rows, sampling_metrics, close = numba_sampling_sweep(
+        **sampling_kwargs
+    )
+    title = (
+        "No-ANS sampling, numba vs numpy "
+        "({rows_count} rows, delays < {max_delay})".format(**sampling_kwargs)
+    )
+    print(format_table(NUMBA_SAMPLING_HEADER, sampling_rows, title=title))
+
+    if not identical:
+        print("ERROR: numba fused apply diverged from numpy bits", file=sys.stderr)
+        return 1
+    if not close:
+        print(
+            "ERROR: numba catch-up sums outside the pinned tolerance",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        "\nequivalence: numba fused slab bitwise-equal to numpy; catch-up "
+        "sums within the pinned tolerance (repro.kernels.njit"
+        ".NUMERIC_TOLERANCE)"
+    )
+    if not fallback:
+        # The plan-level route to these kernels: verify the dispatcher
+        # actually swaps the package-level wrappers onto the numba table.
+        import repro.kernels as kernel_api
+
+        with kernel_api.use_kernel_backend("numba"):
+            active = kernel_api.dispatch.active_kernel_table()
+            assert active.fused_noisy_update is not None
+            assert kernel_api.active_kernel_backend() == "numba"
+    if fallback:
+        print(
+            "\ninterpreted fallback (numba not installed): timings are "
+            "not meaningful, baseline gate skipped"
+        )
+        return 0
+    metrics = dict(apply_metrics)
+    metrics.update(sampling_metrics)
+    return _jsonreport.gate(
+        "apply_fusion_numba",
+        metrics,
+        meta={
+            "smoke": smoke,
+            "apply": apply_kwargs,
+            "sampling": sampling_kwargs,
+            "plan": "backend=numba",
+        },
+    )
 
 
 def run_report(smoke: bool = False) -> int:
@@ -321,4 +555,21 @@ def test_sampling_batched_measured(benchmark):
 if __name__ == "__main__":
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--smoke", action="store_true", help="small fast sweep for CI")
-    raise SystemExit(run_report(smoke=parser.parse_args().smoke))
+    parser.add_argument(
+        "--backend",
+        choices=("numpy", "numba"),
+        default="numpy",
+        help="which kernel table to measure",
+    )
+    parser.add_argument(
+        "--allow-fallback",
+        action="store_true",
+        help="with --backend numba but no numba installed: run the "
+        "equivalence checks interpreted and skip the speedup gate",
+    )
+    args = parser.parse_args()
+    if args.backend == "numba":
+        raise SystemExit(
+            run_numba_report(smoke=args.smoke, allow_fallback=args.allow_fallback)
+        )
+    raise SystemExit(run_report(smoke=args.smoke))

@@ -526,6 +526,34 @@ def _run_score(args) -> int:
     return 1 if failed else 0
 
 
+def _run_backends(args) -> int:
+    """Print the execution-backend registry: one row per backend with
+    its capabilities, kernel table and availability — the discovery
+    surface for "why is backend=numba rejected here?"."""
+    from .kernels import active_kernel_backend
+    from .session import available_backends, backend_info
+
+    table_rows = []
+    for name in available_backends():
+        info = backend_info(name)
+        ok, reason = info.available()
+        table_rows.append([
+            name,
+            ",".join(c for c in ("flat", "shards", "pipeline", "async",
+                                 "workers") if info.supports(c)),
+            info.kernels,
+            "yes" if ok else "NO",
+            reason if not ok else info.description,
+        ])
+    print(format_table(
+        ["backend", "capabilities", "kernels", "available", "notes"],
+        table_rows,
+        title="Execution backends (ExecutionPlan backend=...)",
+    ))
+    print(f"\nactive kernel table: {active_kernel_backend()}")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro", description=__doc__,
@@ -557,6 +585,11 @@ def main(argv=None) -> int:
 
     subparsers.add_parser(
         "score", help="evaluate the reproduction scoreboard"
+    )
+
+    subparsers.add_parser(
+        "backends",
+        help="list execution backends: capabilities, kernels, availability",
     )
 
     serve_parser = subparsers.add_parser(
@@ -593,6 +626,7 @@ def main(argv=None) -> int:
         "audit": _run_audit,
         "score": _run_score,
         "serve": _run_serve,
+        "backends": _run_backends,
     }
     return handlers[args.command](args)
 

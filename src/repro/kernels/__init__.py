@@ -11,38 +11,147 @@ apply phase sits on:
   geometrically-grown scratch buffers reused across iterations, so the
   steady-state apply allocates nothing (hit/alloc counters surface
   through ``StageTimer.stats()``).
-* :func:`fused_noisy_update <repro.kernels.fused.fused_noisy_update>` —
-  merges the clipped gradient with the staged catch-up noise and writes
-  the parameter slab in one traversal, bitwise-identical to the
-  reference ``merge_sparse_updates`` + ``table[rows] -= lr * values``
-  two-step (shared rows still see exactly one summed write).
-* :func:`batched_catchup_sum <repro.kernels.sampler
-  .batched_catchup_sum>` — the no-ANS exact replay as ONE flattened
-  ``(row, iteration)`` Philox invocation followed by a segmented sum,
-  collapsing the O(max_delay) per-lag kernel launches of the eager-style
-  loop to O(1).
+* :func:`fused_noisy_update` — merges the clipped gradient with the
+  staged catch-up noise and writes the parameter slab in one traversal,
+  bitwise-identical to the reference ``merge_sparse_updates`` +
+  ``table[rows] -= lr * values`` two-step (shared rows still see
+  exactly one summed write).
+* :func:`batched_catchup_sum` — the no-ANS exact replay as ONE
+  flattened ``(row, iteration)`` Philox invocation followed by a
+  segmented sum, collapsing the O(max_delay) per-lag kernel launches of
+  the eager-style loop to O(1).
 
-Every consumer (serial / sharded / pipelined / async trainers, the
-terminal flush, the private serving engine) delegates here, so the
-bitwise-equivalence suites that pin trainer-vs-trainer equality also
-pin the kernels.
+The three hot kernels above are *dispatched*: the package-level names
+are thin wrappers over the active :class:`KernelTable
+<repro.kernels.dispatch.KernelTable>`, so an execution plan's
+``backend=numba`` swaps in the compiled implementations
+(:mod:`repro.kernels.njit`) for every consumer — serial / sharded /
+pipelined / async trainers, the terminal flush, the private serving
+engine — with zero call-site changes.  The default table is the
+vectorised numpy reference; the bitwise-equivalence suites that pin
+trainer-vs-trainer equality therefore also pin the kernels.
 """
 
+from . import dispatch
 from .arena import BufferArena
-from .fused import (
-    apply_sparse_update,
-    fused_merge,
-    fused_noisy_update,
-    merge_sparse_updates,
+from .dispatch import (
+    KernelTable,
+    active_kernel_backend,
+    active_kernel_table,
+    kernel_backends,
+    register_kernel_table,
+    set_kernel_backend,
+    use_kernel_backend,
 )
-from .sampler import batched_catchup_sum, batched_row_noise_sum
+from .fused import apply_sparse_update, fused_merge, merge_sparse_updates
+from .sampler import DEFAULT_MAX_ROW_SCALARS, DEFAULT_MAX_SCALARS
+
+
+def fused_noisy_update(
+    table,
+    learning_rate,
+    grad_rows,
+    grad_values,
+    noise_rows,
+    noise_values,
+    arena=None,
+    row_base=0,
+    timer=None,
+):
+    """The fused apply phase, routed through the active kernel table.
+
+    See :func:`repro.kernels.fused.fused_noisy_update` (the numpy
+    reference and contract holder) and
+    :func:`repro.kernels.njit.fused.fused_noisy_update` (the compiled
+    table's entry).
+    """
+    return dispatch.active_kernel_table().fused_noisy_update(
+        table,
+        learning_rate,
+        grad_rows,
+        grad_values,
+        noise_rows,
+        noise_values,
+        arena=arena,
+        row_base=row_base,
+        timer=timer,
+    )
+
+
+def batched_catchup_sum(
+    stream,
+    table_id,
+    rows,
+    delays,
+    iteration,
+    dim,
+    std=1.0,
+    arena=None,
+    max_scalars=DEFAULT_MAX_SCALARS,
+    max_row_scalars=DEFAULT_MAX_ROW_SCALARS,
+):
+    """Per-row deferred-noise sum, routed through the active kernel table.
+
+    See :func:`repro.kernels.sampler.batched_catchup_sum` for the
+    contract (exact per-row sums, chunk/shard-invariant bits).
+    """
+    return dispatch.active_kernel_table().batched_catchup_sum(
+        stream,
+        table_id,
+        rows,
+        delays,
+        iteration,
+        dim,
+        std=std,
+        arena=arena,
+        max_scalars=max_scalars,
+        max_row_scalars=max_row_scalars,
+    )
+
+
+def batched_row_noise_sum(
+    stream,
+    table_id,
+    rows,
+    first_iteration,
+    last_iteration,
+    dim,
+    std=1.0,
+    arena=None,
+    max_scalars=DEFAULT_MAX_SCALARS,
+    max_row_scalars=DEFAULT_MAX_ROW_SCALARS,
+):
+    """Uniform-window noise sum, routed through the active kernel table.
+
+    See :func:`repro.kernels.sampler.batched_row_noise_sum`.
+    """
+    return dispatch.active_kernel_table().batched_row_noise_sum(
+        stream,
+        table_id,
+        rows,
+        first_iteration,
+        last_iteration,
+        dim,
+        std=std,
+        arena=arena,
+        max_scalars=max_scalars,
+        max_row_scalars=max_row_scalars,
+    )
+
 
 __all__ = [
     "BufferArena",
+    "KernelTable",
+    "active_kernel_backend",
+    "active_kernel_table",
     "apply_sparse_update",
     "batched_catchup_sum",
     "batched_row_noise_sum",
     "fused_merge",
     "fused_noisy_update",
+    "kernel_backends",
     "merge_sparse_updates",
+    "register_kernel_table",
+    "set_kernel_backend",
+    "use_kernel_backend",
 ]

@@ -1,0 +1,39 @@
+"""numba import shim: real ``@njit`` when available, identity otherwise.
+
+The compiled kernels in this package are written to be *valid in both
+modes*: under numba they compile to parallel machine code; without it
+they run interpreted (every ``@njit`` becomes a no-op decorator and
+``prange`` degrades to ``range``), exactly like running numba with
+``NUMBA_DISABLE_JIT=1``.  The fallback exists for the equivalence test
+suite — tiny inputs, where interpreted speed is irrelevant — so that a
+numba-free environment (tier-1 CI, dev boxes) can still verify every
+line of kernel logic against the numpy reference.
+
+Backend *selection* is gated separately: ``repro.kernels.dispatch``
+refuses ``set_kernel_backend("numba")`` while numba is missing, so the
+interpreted fallback can never be picked up by a trainer accidentally
+(tests monkeypatch ``numba_missing_reason`` to opt in deliberately).
+"""
+
+from __future__ import annotations
+
+try:
+    from numba import njit, prange
+
+    NUMBA_AVAILABLE = True
+except ImportError:
+    NUMBA_AVAILABLE = False
+    prange = range
+
+    def njit(*args, **kwargs):
+        """Identity decorator standing in for ``numba.njit``."""
+
+        def decorate(func):
+            return func
+
+        if args and callable(args[0]) and not kwargs:
+            return args[0]
+        return decorate
+
+
+__all__ = ["NUMBA_AVAILABLE", "njit", "prange"]

@@ -1,0 +1,148 @@
+"""Scalar-in-register Philox4x32-10 and Box-Muller for the njit kernels.
+
+The numpy cipher (:mod:`repro.rng.philox`) vectorises each round as
+uint64 products followed by hi/lo splits — five array passes per round,
+forty intermediate arrays per invocation.  Here the whole ten-round
+cipher runs on six uint64 *registers* per counter block (the classic
+``mulhilo`` formulation), so a compiled caller draws noise with zero
+heap traffic and the per-block state never leaves the register file.
+
+Bitwise contract (asserted in ``tests/test_njit_kernels.py``):
+
+* :func:`philox4x32_scalar` / :func:`philox4x32_blocks` produce words
+  bit-identical to ``repro.rng.philox.philox4x32`` — the cipher is pure
+  integer arithmetic, so equality is exact in both compiled and
+  interpreted modes.
+* :func:`gauss4` matches the numpy Box-Muller *operation order*
+  (``sqrt(-2 ln u) * cos/sin(2 pi u)`` with the identical uniform
+  mapping), but compiled libm ``log``/``cos``/``sin`` may differ from
+  numpy's SIMD transcendentals in the last ulp.  That deviation — the
+  only one in the backend — is pinned by ``NUMERIC_TOLERANCE`` in the
+  package root.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ._compat import njit, prange
+
+# Philox4x32 round constants (Salmon et al., Table 2), held as uint64 so
+# every product and key-schedule addition stays in one unsigned register
+# (numba unifies mixed int64/uint64 arithmetic to float64 — keeping all
+# operands uint64 sidesteps that trap in compiled mode and avoids numpy
+# overflow warnings in interpreted mode).
+_M0 = np.uint64(0xD2511F53)
+_M1 = np.uint64(0xCD9E8D57)
+_W0 = np.uint64(0x9E3779B9)
+_W1 = np.uint64(0xBB67AE85)
+_MASK32 = np.uint64(0xFFFFFFFF)
+_SHIFT32 = np.uint64(32)
+
+PHILOX_ROUNDS = 10
+
+#: Uniform mapping constant: ``(word + 0.5) / 2**32`` keeps draws
+#: strictly inside (0, 1) — same expression as
+#: ``repro.rng.philox.uniform_from_uint32``.
+_INV_2_32 = 1.0 / 4294967296.0
+
+#: ``2 * pi`` exactly as the numpy Box-Muller computes it (``2.0 *
+#: np.pi`` is a scalar float64 product, bit-equal to this constant).
+_TWO_PI = 2.0 * np.pi
+
+
+@njit(cache=True)
+def philox4x32_scalar(c0, c1, c2, c3, k0, k1):
+    """Ten Philox4x32 rounds on one counter block, all-scalar uint64.
+
+    Every argument must already be ``np.uint64`` holding a 32-bit value.
+    Returns the four output words as uint64 scalars (each < 2**32).
+    The ``mulhilo`` of the reference implementation is a single 64-bit
+    product here: the high half comes from a shift, the low half from a
+    mask — no 32-bit splitting of inputs, no vector temporaries.
+    """
+    for _ in range(PHILOX_ROUNDS):
+        p0 = c0 * _M0
+        p1 = c2 * _M1
+        n0 = ((p1 >> _SHIFT32) ^ c1 ^ k0) & _MASK32
+        n1 = p1 & _MASK32
+        n2 = ((p0 >> _SHIFT32) ^ c3 ^ k1) & _MASK32
+        n3 = p0 & _MASK32
+        c0, c1, c2, c3 = n0, n1, n2, n3
+        k0 = (k0 + _W0) & _MASK32
+        k1 = (k1 + _W1) & _MASK32
+    return c0, c1, c2, c3
+
+
+@njit(parallel=True, fastmath=False, cache=True)
+def _philox4x32_blocks(counters, k0, k1, out):
+    for i in prange(counters.shape[0]):
+        c0, c1, c2, c3 = philox4x32_scalar(
+            np.uint64(counters[i, 0]),
+            np.uint64(counters[i, 1]),
+            np.uint64(counters[i, 2]),
+            np.uint64(counters[i, 3]),
+            k0,
+            k1,
+        )
+        out[i, 0] = np.uint32(c0)
+        out[i, 1] = np.uint32(c1)
+        out[i, 2] = np.uint32(c2)
+        out[i, 3] = np.uint32(c3)
+
+
+def philox4x32_blocks(counters: np.ndarray, key: np.ndarray) -> np.ndarray:
+    """Batch cipher with the numpy ``philox4x32`` signature and bits.
+
+    ``counters`` is ``(n, 4)`` uint32, ``key`` is ``(2,)`` uint32;
+    returns ``(n, 4)`` uint32, bit-identical to
+    :func:`repro.rng.philox.philox4x32` on the same inputs.  Exists for
+    the equivalence suite and for callers that want the compiled cipher
+    without the fused draw loops; the hot kernels inline
+    :func:`philox4x32_scalar` instead and never materialise counters.
+    """
+    from ...rng.philox import record_invocations
+
+    counters = np.ascontiguousarray(counters, dtype=np.uint32)
+    if counters.ndim != 2 or counters.shape[1] != 4:
+        raise ValueError(f"counters must have shape (n, 4), got {counters.shape}")
+    key = np.asarray(key, dtype=np.uint32)
+    if key.shape != (2,):
+        raise ValueError(f"key must have shape (2,), got {key.shape}")
+    record_invocations(1)
+    out = np.empty_like(counters)
+    _philox4x32_blocks(counters, np.uint64(key[0]), np.uint64(key[1]), out)
+    return out
+
+
+@njit(cache=True)
+def uniform01(word):
+    """One uint64 word (< 2**32) to a float64 uniform in (0, 1)."""
+    return (np.float64(word) + 0.5) * _INV_2_32
+
+
+@njit(cache=True)
+def gauss4(c0, c1, c2, c3):
+    """Four Philox output words to four N(0, 1) draws, Box-Muller.
+
+    Words 0/1 feed one Box-Muller pair and words 2/3 the other — the
+    same lane assignment as
+    :func:`repro.rng.boxmuller.gaussians_from_uint32_block`, with the
+    identical expression ``sqrt(-2 ln u1) * {cos,sin}(2 pi u2)``.
+    """
+    u0 = uniform01(c0)
+    u1 = uniform01(c1)
+    u2 = uniform01(c2)
+    u3 = uniform01(c3)
+    r0 = math.sqrt(-2.0 * math.log(u0))
+    t0 = _TWO_PI * u1
+    r1 = math.sqrt(-2.0 * math.log(u2))
+    t1 = _TWO_PI * u3
+    return (
+        r0 * math.cos(t0),
+        r0 * math.sin(t0),
+        r1 * math.cos(t1),
+        r1 * math.sin(t1),
+    )

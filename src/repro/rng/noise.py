@@ -121,7 +121,9 @@ class NoiseStream:
         invocation and segment-summed (value-equal to the one-at-a-time
         loop; only the accumulation order differs, within float rounding).
         """
-        from ..kernels.sampler import batched_row_noise_sum
+        # Through the package-level dispatcher, so backend=numba routes
+        # this facade onto the compiled sampler too.
+        from ..kernels import batched_row_noise_sum
 
         return batched_row_noise_sum(
             self, table_id, rows, first_iteration, last_iteration, dim, std=std

@@ -51,6 +51,19 @@ def philox_invocations() -> int:
         return _INVOCATIONS
 
 
+def record_invocations(count: int = 1) -> None:
+    """Fold externally-performed cipher launches into the counter.
+
+    The compiled njit kernels (``repro.kernels.njit``) run the Philox
+    rounds in-register inside their own loops rather than calling
+    :func:`philox4x32`; they record one launch per compiled call so the
+    O(launches) diagnostics stay comparable across backends.
+    """
+    global _INVOCATIONS
+    with _INVOCATIONS_LOCK:
+        _INVOCATIONS += int(count)
+
+
 def _mulhilo(a: np.ndarray, m: np.uint64) -> tuple[np.ndarray, np.ndarray]:
     """Return the (high, low) 32-bit halves of the 64-bit product ``a * m``.
 
@@ -82,9 +95,7 @@ def philox4x32(
     -------
     ``(n, 4)`` uint32 array of pseudo-random words.
     """
-    global _INVOCATIONS
-    with _INVOCATIONS_LOCK:
-        _INVOCATIONS += 1
+    record_invocations(1)
     counters = np.ascontiguousarray(counters, dtype=np.uint32)
     if counters.ndim != 2 or counters.shape[1] != 4:
         raise ValueError(f"counters must have shape (n, 4), got {counters.shape}")

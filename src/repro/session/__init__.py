@@ -38,6 +38,7 @@ from .plan import (
 from .registry import (
     BACKEND_CAPABILITIES,
     BackendInfo,
+    PlanError,
     available_backends,
     backend_info,
     parse_backend_spec,
@@ -49,6 +50,7 @@ __all__ = [
     "BackendInfo",
     "ExecutionPlan",
     "LEGACY_ALGORITHMS",
+    "PlanError",
     "TrainSession",
     "available_backends",
     "backend_info",

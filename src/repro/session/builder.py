@@ -190,6 +190,17 @@ class TrainSession:
         make sense for sharded plans.
         """
         plan = plan if plan is not None else ExecutionPlan()
+        # Activate the backend's kernel table before any trainer code
+        # runs: the hot kernels (repro.kernels top level) dispatch on
+        # the process-global active table at call time, which is what
+        # lets backend=numba reroute every consumer with zero call-site
+        # changes.  The setting is sticky until the next build; running
+        # trainers with different kernel backends concurrently in one
+        # process is unsupported.
+        backend_name, _ = parse_backend_spec(plan.backend)
+        from ..kernels import set_kernel_backend
+
+        set_kernel_backend(backend_info(backend_name).kernels)
         trainer_cls = compose_trainer_class(
             sharded=plan.is_sharded,
             pipelined=plan.is_pipelined,

@@ -27,9 +27,12 @@ algorithm string (``pipelined_sharded_lazydp_no_ans``, ...); an
     the registry in :mod:`repro.session.registry` — ``"numpy"``
     (default, in-process serial schedule), ``"threads[:K]"`` (shard
     thread pool), ``"process"`` (one worker process per shard, slabs in
-    shared memory; ``repro.procshard``).  New backends — the ROADMAP's
-    SIMD/numba kernels — land as ``register_backend`` calls, not new
-    trainer classes.  The pre-registry spelling
+    shared memory; ``repro.procshard``), ``"numba"`` (compiled
+    ``@njit`` kernels via the kernel-table dispatcher; needs the
+    optional ``[numba]`` extra, else validation raises
+    :class:`PlanError <repro.session.registry.PlanError>`).  New
+    backends land as ``register_backend`` calls, not new trainer
+    classes.  The pre-registry spelling
     ``ShardConfig(executor=..., max_workers=...)`` still canonicalizes
     onto this axis with one ``DeprecationWarning``.
 ``obs``
@@ -68,6 +71,7 @@ from ..configs import (
     ShardConfig,
 )
 from .registry import (
+    PlanError,
     backend_info,
     canonical_backend_spec,
     parse_backend_spec,
@@ -219,6 +223,14 @@ class ExecutionPlan:
         if self.async_ is not None and not info.supports("async"):
             raise ValueError(
                 f"backend {name!r} does not compose with the async axis"
+            )
+        # Environmental availability last: a well-formed plan naming a
+        # backend whose optional dependency is missing gets a
+        # PlanError spelling out the extra to install.
+        ok, reason = info.available()
+        if not ok:
+            raise PlanError(
+                f"backend {name!r} is unavailable: {reason}"
             )
         if (
             name == "process"

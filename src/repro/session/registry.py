@@ -13,7 +13,7 @@ extend.  This module turns it into a first-class registry:
   ``"name[:workers]"`` spec grammar the plan language uses
   (``backend=threads:4``, ``backend=process``).
 
-Three backends ship built in:
+Four backends ship built in:
 
 ``numpy``
     The default: in-process numpy kernels, serial per-shard schedule.
@@ -27,12 +27,17 @@ Three backends ship built in:
     slab and history table in ``multiprocessing.shared_memory``
     (``repro.procshard``).  ``:K`` must equal the shard count — the
     backend pins one worker per shard.
+``numba``
+    The same trainer classes as ``numpy``, with the three hot kernels
+    rerouted to compiled ``@njit(parallel=True)`` implementations
+    (``repro.kernels.njit``) through the kernel-table dispatcher.
+    Conditionally available: plan validation raises :class:`PlanError`
+    naming the missing ``[numba]`` extra when numba is not importable.
 
-The ROADMAP's numba/SIMD kernels land as one more
-:func:`register_backend` call, not a new trainer class — the factory
-hook receives the plan shape (``sharded``/``pipelined``/``async_``)
-and returns the base class ``compose_trainer_class`` stacks the
-capability layers onto.
+A backend is more than a trainer base class: :class:`BackendInfo` also
+names the *kernel table* (``repro.kernels.dispatch``) the build
+activates, and an optional *availability* probe — the hook that lets a
+backend depend on an optional extra without tier-1 ever importing it.
 """
 
 from __future__ import annotations
@@ -44,6 +49,15 @@ from dataclasses import dataclass, field
 #: that plan axis; ``workers`` — accepts a ``:K`` worker count in the
 #: backend spec.
 BACKEND_CAPABILITIES = ("flat", "shards", "pipeline", "async", "workers")
+
+
+class PlanError(ValueError):
+    """An execution plan that cannot run in this environment.
+
+    Subclass of ``ValueError`` so existing ``except ValueError``
+    call sites keep working; raised distinctly for *environmental*
+    rejections (an unavailable backend) as opposed to malformed plans.
+    """
 
 
 @dataclass(frozen=True)
@@ -58,16 +72,38 @@ class BackendInfo:
     factory: object
     capabilities: frozenset = field(default_factory=frozenset)
     description: str = ""
+    #: Name of the kernel table (``repro.kernels.dispatch``) the build
+    #: activates for this backend.  Most backends run the numpy
+    #: reference kernels; ``numba`` swaps in the compiled table.
+    kernels: str = "numpy"
+    #: Optional availability probe: ``None`` (always available) or a
+    #: zero-argument callable returning ``None`` when available, else a
+    #: human-readable reason.  Checked at plan validation, so a
+    #: rejected plan names the missing extra instead of failing deep in
+    #: the build.
+    availability: object = None
 
     def supports(self, capability: str) -> bool:
         return capability in self.capabilities
+
+    def available(self) -> tuple:
+        """``(ok, reason)`` — whether the backend can run here."""
+        if self.availability is None:
+            return True, ""
+        reason = self.availability()
+        return reason is None, (reason or "")
 
 
 _REGISTRY: dict = {}
 
 
 def register_backend(
-    name: str, factory, capabilities=(), description: str = ""
+    name: str,
+    factory,
+    capabilities=(),
+    description: str = "",
+    kernels: str = "numpy",
+    availability=None,
 ) -> BackendInfo:
     """Register an execution backend under ``name``.
 
@@ -76,7 +112,10 @@ def register_backend(
     and must return the base trainer class for that shape.
     ``capabilities`` declares which plan axes the backend composes
     with (subset of :data:`BACKEND_CAPABILITIES`); plan validation
-    rejects combinations outside it with a named reason.
+    rejects combinations outside it with a named reason.  ``kernels``
+    names the kernel table the build activates; ``availability`` is an
+    optional probe (``None`` reason = available) letting the backend
+    gate on an optional dependency.
     """
     if not name or not name.replace("_", "").isalnum():
         raise ValueError(
@@ -97,11 +136,17 @@ def register_backend(
             f"unknown backend capabilities: {', '.join(unknown)} "
             f"(choose from {', '.join(BACKEND_CAPABILITIES)})"
         )
+    if availability is not None and not callable(availability):
+        raise ValueError(
+            f"backend availability probe must be callable, got {availability!r}"
+        )
     info = BackendInfo(
         name=name,
         factory=factory,
         capabilities=capabilities,
         description=description,
+        kernels=str(kernels),
+        availability=availability,
     )
     _REGISTRY[name] = info
     return info
@@ -153,11 +198,12 @@ def parse_backend_spec(spec: str) -> tuple:
             "positive"
         )
     if not info.supports("workers"):
+        counted = ", ".join(
+            n for n in available_backends() if _REGISTRY[n].supports("workers")
+        )
         raise ValueError(
             f"invalid backend spec: {spec!r} — backend {name!r} admits "
-            "no worker count (only "
-            f"{', '.join(n for n in available_backends() if _REGISTRY[n].supports('workers'))} "
-            "do)"
+            f"no worker count (only {counted} do)"
         )
     return name, workers
 
@@ -219,6 +265,22 @@ register_backend(
     capabilities=("shards", "pipeline", "async", "workers"),
     description="in-process numpy kernels on a persistent shard thread pool",
 )
+def _numba_availability():
+    from ..kernels import dispatch
+
+    return dispatch.numba_missing_reason()
+
+
+def _numba_factory(*, sharded: bool, pipelined: bool, async_: bool):
+    reason = _numba_availability()
+    if reason is not None:
+        raise PlanError(f"backend 'numba' is unavailable: {reason}")
+    from ..lazydp.trainer import LazyDPTrainer
+    from ..shard.trainer import ShardedLazyDPTrainer
+
+    return ShardedLazyDPTrainer if sharded else LazyDPTrainer
+
+
 register_backend(
     "process",
     _process_factory,
@@ -226,4 +288,14 @@ register_backend(
     description=(
         "one worker process per shard, slab and history in shared memory"
     ),
+)
+register_backend(
+    "numba",
+    _numba_factory,
+    capabilities=("flat", "shards", "pipeline", "async"),
+    description=(
+        "compiled @njit(parallel) kernels: fused apply + in-register sampling"
+    ),
+    kernels="numba",
+    availability=_numba_availability,
 )

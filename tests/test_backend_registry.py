@@ -42,7 +42,7 @@ def scratch_backend():
 
 class TestRegistry:
     def test_builtins_are_registered(self):
-        assert available_backends() == ("numpy", "threads", "process")
+        assert available_backends() == ("numpy", "threads", "process", "numba")
 
     def test_backend_info_fields(self):
         info = backend_info("threads")
@@ -54,9 +54,27 @@ class TestRegistry:
         assert backend_info("process").supports("shards")
         assert not backend_info("process").supports("pipeline")
 
+    def test_kernel_table_and_availability_fields(self):
+        # Every backend but numba runs the numpy reference kernels and
+        # is unconditionally available.
+        for name in ("numpy", "threads", "process"):
+            info = backend_info(name)
+            assert info.kernels == "numpy"
+            assert info.available() == (True, "")
+        numba = backend_info("numba")
+        assert numba.kernels == "numba"
+        assert numba.supports("flat") and numba.supports("shards")
+        ok, reason = numba.available()
+        # Environment-dependent: when numba is missing the reason must
+        # name the optional extra users need to install.
+        if not ok:
+            assert "numba" in reason
+        else:
+            assert reason == ""
+
     def test_unknown_backend_error_lists_registered_names(self):
         with pytest.raises(ValueError) as excinfo:
-            backend_info("numba")
+            backend_info("cuda")
         message = str(excinfo.value)
         for name in available_backends():
             assert name in message

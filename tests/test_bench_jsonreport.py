@@ -147,4 +147,5 @@ class TestCommittedBaseline:
         baseline = jsonreport.load_baseline()
         benches = {key.partition("/")[0] for key in baseline["metrics"]}
         assert benches == {"shard_scaling", "pipeline_overlap",
-                           "async_inflight", "apply_fusion", "serve_load"}
+                           "async_inflight", "apply_fusion",
+                           "apply_fusion_numba", "serve_load"}

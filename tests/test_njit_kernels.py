@@ -1,0 +1,424 @@
+"""Numba kernel backend: equivalence, dispatch, and availability gating.
+
+The suite runs with or without numba installed.  Without it, the
+``@njit`` decorators in ``repro.kernels.njit`` degrade to no-ops (see
+``repro.kernels.njit._compat``) so the *identical kernel logic* executes
+interpreted — the numerics contract (bitwise Philox/fused-apply,
+``NUMERIC_TOLERANCE`` for Gaussians) is checked either way, and the CI
+``numba-kernels`` job re-runs this file against the real compiled
+kernels.  Backend *selection* stays gated on real numba, so tests that
+route trainers through ``backend=numba`` opt in via the single
+monkeypatch choke point ``repro.kernels.dispatch.numba_missing_reason``.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import configs
+from repro.kernels import (
+    active_kernel_backend,
+    active_kernel_table,
+    kernel_backends,
+    set_kernel_backend,
+    use_kernel_backend,
+)
+from repro.kernels import dispatch
+from repro.kernels import njit as njit_kernels
+from repro.kernels.fused import fused_noisy_update as numpy_fused_noisy_update
+from repro.kernels.njit import NUMERIC_TOLERANCE
+from repro.kernels.sampler import batched_catchup_sum as numpy_batched_catchup_sum
+from repro.kernels.sampler import batched_row_noise_sum as numpy_batched_row_noise_sum
+from repro.rng import (
+    NoiseStream,
+    derive_key,
+    gaussians_from_uint32_block,
+    philox4x32,
+)
+from repro.session import ExecutionPlan, PlanError, backend_info
+from repro.testing import max_param_diff, train_algorithm
+
+MISSING_REASON = (
+    "numba is not installed; the compiled kernel backend needs "
+    "the optional extra -- pip install 'repro[numba]'"
+)
+
+
+@pytest.fixture
+def numba_selectable(monkeypatch):
+    """Allow ``backend=numba`` selection, restoring numpy afterwards.
+
+    With numba installed this is a no-op guard; without it the
+    interpreted fallback is opted in by monkeypatching the availability
+    probe.  Either way the process-global kernel table is restored to
+    numpy on teardown (selection is sticky by design).
+    """
+    if not njit_kernels.NUMBA_AVAILABLE:
+        monkeypatch.setattr(dispatch, "numba_missing_reason", lambda: None)
+    yield
+    set_kernel_backend("numpy")
+
+
+@pytest.fixture
+def numba_missing(monkeypatch):
+    """Simulate an environment without numba, deterministically."""
+    monkeypatch.setattr(
+        dispatch, "numba_missing_reason", lambda: MISSING_REASON
+    )
+
+
+class TestPhilox:
+    def test_blocks_match_numpy_bitwise(self):
+        rng = np.random.default_rng(11)
+        counters = rng.integers(0, 1 << 32, size=(64, 4), dtype=np.uint32)
+        key = derive_key(12345, 1, 2)
+        expected = philox4x32(counters, key)
+        got = njit_kernels.philox4x32_blocks(counters, key)
+        assert got.dtype == expected.dtype
+        assert np.array_equal(got, expected)
+
+    def test_scalar_matches_numpy_bitwise(self):
+        rng = np.random.default_rng(13)
+        counters = rng.integers(0, 1 << 32, size=(16, 4), dtype=np.uint32)
+        key = derive_key(999, 1, 0)
+        expected = philox4x32(counters, key)
+        k0, k1 = np.uint64(key[0]), np.uint64(key[1])
+        for i in range(counters.shape[0]):
+            words = njit_kernels.philox4x32_scalar(
+                np.uint64(counters[i, 0]), np.uint64(counters[i, 1]),
+                np.uint64(counters[i, 2]), np.uint64(counters[i, 3]),
+                k0, k1,
+            )
+            assert tuple(int(w) for w in words) == tuple(
+                int(w) for w in expected[i]
+            )
+
+    def test_gauss4_within_pinned_tolerance(self):
+        rng = np.random.default_rng(17)
+        counters = rng.integers(0, 1 << 32, size=(32, 4), dtype=np.uint32)
+        words = philox4x32(counters, derive_key(7, 1, 0))
+        expected = gaussians_from_uint32_block(words).reshape(-1)
+        got = np.empty(words.size, dtype=np.float64)
+        for i in range(words.shape[0]):
+            got[4 * i: 4 * i + 4] = njit_kernels.gauss4(
+                np.uint64(words[i, 0]), np.uint64(words[i, 1]),
+                np.uint64(words[i, 2]), np.uint64(words[i, 3]),
+            )
+        assert np.allclose(got, expected, **NUMERIC_TOLERANCE)
+
+
+def _fused_case(grad, noise, dim, row_base, seed):
+    """Build one fused-apply input set over a 20-row slab."""
+    rng = np.random.default_rng(seed)
+    grad_rows = np.array(sorted(grad), dtype=np.int64) + row_base
+    noise_rows = np.array(sorted(noise), dtype=np.int64) + row_base
+    grad_values = rng.standard_normal((grad_rows.size, dim))
+    noise_values = rng.standard_normal((noise_rows.size, dim))
+    table = rng.standard_normal((20, dim))
+    return table, grad_rows, grad_values, noise_rows, noise_values
+
+
+class TestFusedApply:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        grad=st.sets(st.integers(0, 19), max_size=8),
+        noise=st.sets(st.integers(0, 19), max_size=8),
+        dim=st.integers(1, 8),
+        row_base=st.sampled_from([0, 7]),
+        seed=st.integers(0, 2**16),
+    )
+    def test_bitwise_equal_to_numpy(self, grad, noise, dim, row_base, seed):
+        table, grad_rows, grad_values, noise_rows, noise_values = _fused_case(
+            grad, noise, dim, row_base, seed
+        )
+        table_numpy = table.copy()
+        table_njit = table.copy()
+        written_numpy = numpy_fused_noisy_update(
+            table_numpy, 0.05, grad_rows, grad_values,
+            noise_rows, noise_values, row_base=row_base,
+        )
+        written_njit = njit_kernels.fused_noisy_update(
+            table_njit, 0.05, grad_rows, grad_values,
+            noise_rows, noise_values, row_base=row_base,
+        )
+        assert written_njit == written_numpy
+        assert np.array_equal(table_njit, table_numpy)
+
+    @pytest.mark.parametrize(
+        "grad_rows,noise_rows",
+        [
+            ([5, 3, 3], [1, 2]),      # unsorted + duplicate gradient rows
+            ([1, 2], [9, 4]),         # unsorted noise rows
+            ([2, 2], [3, 3]),         # duplicates on both sides
+        ],
+    )
+    def test_unsorted_inputs_delegate_to_reference(self, grad_rows, noise_rows):
+        # Both backends fall back to the reference implementation for
+        # inputs no hot path produces; results must still agree bitwise.
+        rng = np.random.default_rng(23)
+        grad_rows = np.array(grad_rows, dtype=np.int64)
+        noise_rows = np.array(noise_rows, dtype=np.int64)
+        grad_values = rng.standard_normal((grad_rows.size, 4))
+        noise_values = rng.standard_normal((noise_rows.size, 4))
+        table = rng.standard_normal((12, 4))
+        table_numpy = table.copy()
+        table_njit = table.copy()
+        written_numpy = numpy_fused_noisy_update(
+            table_numpy, 0.1, grad_rows, grad_values,
+            noise_rows, noise_values,
+        )
+        written_njit = njit_kernels.fused_noisy_update(
+            table_njit, 0.1, grad_rows, grad_values,
+            noise_rows, noise_values,
+        )
+        assert written_njit == written_numpy
+        assert np.array_equal(table_njit, table_numpy)
+
+    def test_empty_updates_write_nothing(self):
+        empty_rows = np.empty(0, dtype=np.int64)
+        empty_values = np.empty((0, 3), dtype=np.float64)
+        table = np.random.default_rng(3).standard_normal((6, 3))
+        before = table.copy()
+        written = njit_kernels.fused_noisy_update(
+            table, 0.05, empty_rows, empty_values, empty_rows, empty_values
+        )
+        assert written == 0
+        assert np.array_equal(table, before)
+
+
+class TestCatchupSampling:
+    def test_matches_numpy_within_pinned_tolerance(self):
+        stream = NoiseStream(4242)
+        # A >32-bit row exercises the (row_lo, row_hi) counter split;
+        # dim=5 exercises the partial trailing Philox block.
+        rows = np.array([0, 1, 17, (1 << 33) + 7], dtype=np.int64)
+        delays = np.array([0, 1, 3, 6], dtype=np.int64)
+        expected = numpy_batched_catchup_sum(
+            stream, 2, rows, delays, iteration=10, dim=5, std=1.3
+        )
+        got = njit_kernels.batched_catchup_sum(
+            stream, 2, rows, delays, iteration=10, dim=5, std=1.3
+        )
+        assert got.shape == expected.shape
+        assert np.allclose(got, expected, **NUMERIC_TOLERANCE)
+        # Zero-delay rows receive exactly zero on both paths.
+        assert np.all(got[0] == 0.0) and np.all(expected[0] == 0.0)
+
+    def test_per_row_sums_are_batch_invariant(self):
+        # The sum for a row is a pure function of its own coordinates:
+        # computing rows together or one at a time is bitwise identical.
+        # This is the property that makes sharded == flat exact.
+        stream = NoiseStream(77)
+        rows = np.array([3, 9, 21], dtype=np.int64)
+        delays = np.array([4, 1, 7], dtype=np.int64)
+        together = njit_kernels.batched_catchup_sum(
+            stream, 0, rows, delays, iteration=12, dim=6
+        )
+        for k in range(rows.size):
+            alone = njit_kernels.batched_catchup_sum(
+                stream, 0, rows[k: k + 1], delays[k: k + 1],
+                iteration=12, dim=6,
+            )
+            assert np.array_equal(alone[0], together[k])
+
+    def test_matches_per_lag_replay_bitwise(self):
+        # Replaying the same compiled draws one lag at a time and
+        # accumulating reproduces the single-launch sum bit for bit:
+        # the kernel adds draws in descending-iteration order, exactly
+        # the order this loop adds them.
+        stream = NoiseStream(5150)
+        rows = np.array([2, 40], dtype=np.int64)
+        delays = np.array([5, 5], dtype=np.int64)
+        fused = njit_kernels.batched_catchup_sum(
+            stream, 1, rows, delays, iteration=9, dim=4, std=0.7
+        )
+        replay = np.zeros_like(fused)
+        one = np.ones(rows.size, dtype=np.int64)
+        for lag in range(5):
+            replay += njit_kernels.batched_catchup_sum(
+                stream, 1, rows, one, iteration=9 - lag, dim=4, std=0.7
+            )
+        assert np.array_equal(replay, fused)
+
+    def test_row_noise_sum_matches_numpy_and_uniform_delays(self):
+        stream = NoiseStream(31337)
+        rows = np.array([0, 5, 11], dtype=np.int64)
+        expected = numpy_batched_row_noise_sum(
+            stream, 3, rows, first_iteration=4, last_iteration=8, dim=3
+        )
+        got = njit_kernels.batched_row_noise_sum(
+            stream, 3, rows, first_iteration=4, last_iteration=8, dim=3
+        )
+        assert np.allclose(got, expected, **NUMERIC_TOLERANCE)
+        uniform = njit_kernels.batched_catchup_sum(
+            stream, 3, rows, np.full(rows.size, 5, dtype=np.int64),
+            iteration=8, dim=3,
+        )
+        assert np.array_equal(got, uniform)
+
+    def test_empty_and_zero_delay_inputs(self):
+        stream = NoiseStream(1)
+        empty = njit_kernels.batched_catchup_sum(
+            stream, 0, np.empty(0, dtype=np.int64),
+            np.empty(0, dtype=np.int64), iteration=3, dim=4,
+        )
+        assert empty.shape == (0, 4)
+        rows = np.array([1, 2], dtype=np.int64)
+        zeros = njit_kernels.batched_catchup_sum(
+            stream, 0, rows, np.zeros(2, dtype=np.int64), iteration=3, dim=4
+        )
+        assert np.all(zeros == 0.0)
+
+
+class TestDispatch:
+    def test_numpy_is_the_default_table(self):
+        assert active_kernel_backend() == "numpy"
+        assert "numpy" in kernel_backends()
+        assert (
+            active_kernel_table().fused_noisy_update
+            is numpy_fused_noisy_update
+        )
+
+    def test_unknown_backend_lists_registered_names(self):
+        with pytest.raises(ValueError, match="numpy"):
+            set_kernel_backend("cuda")
+
+    def test_selection_refused_without_numba(self, numba_missing):
+        with pytest.raises(RuntimeError, match=r"repro\[numba\]"):
+            set_kernel_backend("numba")
+        assert active_kernel_backend() == "numpy"
+
+    def test_use_kernel_backend_swaps_and_restores(self, numba_selectable):
+        assert active_kernel_backend() == "numpy"
+        with use_kernel_backend("numba"):
+            assert active_kernel_backend() == "numba"
+            table = active_kernel_table()
+            assert table.fused_noisy_update is njit_kernels.fused_noisy_update
+            assert (
+                table.batched_catchup_sum is njit_kernels.batched_catchup_sum
+            )
+        assert active_kernel_backend() == "numpy"
+
+    def test_package_wrappers_follow_the_active_table(self, numba_selectable):
+        from repro import kernels
+
+        rng = np.random.default_rng(29)
+        rows = np.array([1, 4], dtype=np.int64)
+        values = rng.standard_normal((2, 3))
+        empty_rows = np.empty(0, dtype=np.int64)
+        empty_values = np.empty((0, 3), dtype=np.float64)
+        table = rng.standard_normal((8, 3))
+        via_numpy = table.copy()
+        via_numba = table.copy()
+        kernels.fused_noisy_update(
+            via_numpy, 0.05, rows, values, empty_rows, empty_values
+        )
+        with use_kernel_backend("numba"):
+            kernels.fused_noisy_update(
+                via_numba, 0.05, rows, values, empty_rows, empty_values
+            )
+        assert np.array_equal(via_numba, via_numpy)
+
+    def test_session_build_installs_the_plan_kernel_table(
+        self, numba_selectable
+    ):
+        from repro.nn import DLRM
+        from repro.session import TrainSession
+        from repro.train import DPConfig
+
+        config = configs.tiny_dlrm(num_tables=2, rows=32, dim=8, lookups=2)
+        plan = ExecutionPlan.from_spec("backend=numba")
+        with TrainSession.build(
+            DLRM(config, seed=7), DPConfig(), plan, noise_seed=99
+        ):
+            assert active_kernel_backend() == "numba"
+        # Sticky by design: only the next build (or an explicit call)
+        # moves the table back.
+        assert active_kernel_backend() == "numba"
+        with TrainSession.build(
+            DLRM(config, seed=7), DPConfig(), ExecutionPlan(), noise_seed=99
+        ):
+            assert active_kernel_backend() == "numpy"
+
+
+class TestPlanGating:
+    def test_plan_validation_names_the_missing_extra(self, numba_missing):
+        with pytest.raises(PlanError, match=r"repro\[numba\]"):
+            ExecutionPlan(backend="numba")
+        with pytest.raises(PlanError, match="unavailable"):
+            ExecutionPlan.from_spec("shards=2,backend=numba")
+        ok, reason = backend_info("numba").available()
+        assert not ok and "numba" in reason
+
+    def test_numpy_plans_are_untouched_by_missing_numba(self, numba_missing):
+        plan = ExecutionPlan.from_spec("ans=on,shards=2,partition=row_range")
+        assert ExecutionPlan.from_spec(plan.to_spec()) == plan
+        assert active_kernel_backend() == "numpy"
+        model, result, _ = train_algorithm(
+            "ans=on", configs.tiny_dlrm(), num_batches=2
+        )
+        assert result.iterations == 2
+        assert active_kernel_backend() == "numpy"
+
+    def test_available_numba_plans_round_trip(self, numba_selectable):
+        flat = ExecutionPlan.from_spec("backend=numba")
+        assert ExecutionPlan.from_spec(flat.to_spec()) == flat
+        assert ExecutionPlan.from_dict(flat.to_dict()) == flat
+        sharded = ExecutionPlan.from_spec(
+            "ans=off,shards=2,partition=row_range,backend=numba"
+        )
+        assert sharded.to_spec() == (
+            "ans=off,shards=2,partition=row_range,backend=numba"
+        )
+
+
+class TestTrainerEquivalence:
+    """The backend=numba trainer matrix at tiny geometry.
+
+    With ANS on, the numba trainer is *bitwise* equal to numpy: the ANS
+    draws stay on the numpy sampler and the fused apply arithmetic is
+    bit-identical.  With ANS off, the catch-up Gaussians go through the
+    compiled transcendentals, so cross-backend equality holds within
+    ``NUMERIC_TOLERANCE`` — while numba-vs-numba stays bitwise across
+    execution strategies (sharding, pipelining, async).
+    """
+
+    CONFIG = configs.tiny_dlrm()
+
+    def _train(self, spec):
+        model, _, _ = train_algorithm(spec, self.CONFIG, num_batches=3)
+        return model
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            "ans=on",
+            "ans=on,shards=2,partition=row_range",
+            "ans=on,pipeline=2",
+            "ans=on,async=strict,inflight=2",
+        ],
+    )
+    def test_ans_on_is_bitwise_equal_to_numpy(self, numba_selectable, spec):
+        reference = self._train(spec)
+        compiled = self._train(f"{spec},backend=numba")
+        assert max_param_diff(compiled, reference) == 0.0
+
+    def test_ans_off_matches_numpy_within_tolerance(self, numba_selectable):
+        reference = self._train("ans=off")
+        compiled = self._train("ans=off,backend=numba")
+        assert max_param_diff(compiled, reference) <= NUMERIC_TOLERANCE["atol"]
+
+    def test_ans_off_sharded_equals_flat_bitwise(self, numba_selectable):
+        flat = self._train("ans=off,backend=numba")
+        sharded = self._train(
+            "ans=off,shards=2,partition=row_range,backend=numba"
+        )
+        assert max_param_diff(sharded, flat) == 0.0
+
+    def test_ans_on_composed_plans_equal_flat_bitwise(self, numba_selectable):
+        flat = self._train("ans=on,backend=numba")
+        composed = self._train(
+            "ans=on,shards=3,partition=row_range,backend=numba,pipeline=2"
+        )
+        assert max_param_diff(composed, flat) == 0.0

@@ -76,7 +76,7 @@ class TestPlanValidation:
 
     def test_rejects_unknown_backend(self):
         with pytest.raises(ValueError, match="backend"):
-            ExecutionPlan(backend="numba")
+            ExecutionPlan(backend="cuda")
 
     def test_rejects_wrong_axis_types(self):
         with pytest.raises(ValueError, match="ShardConfig"):
@@ -150,7 +150,7 @@ class TestSpecRoundTrip:
         ("async=bounded:-1", "bound"),
         ("pipeline=-1", ">= 0"),
         ("workers=0,shards=2", "max_workers"),
-        ("backend=numba", "backend"),
+        ("backend=cuda", "backend"),
     ])
     def test_rejections_name_the_problem(self, spec, message):
         with pytest.raises(ValueError, match=message):
